@@ -1,0 +1,35 @@
+"""Ablation benchmarks: join-order optimisation and OO correlation tables."""
+
+import pytest
+
+from repro.bench import run_join_order_ablation, run_oo_correlation_ablation
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_join_order_ablation(benchmark, bench_dataset, report_sink):
+    """Algorithm 4 vs Algorithm 3: intermediate-result reduction."""
+    report = benchmark.pedantic(
+        run_join_order_ablation,
+        kwargs={"dataset": bench_dataset},
+        rounds=1,
+        iterations=1,
+    )
+    report_sink("ablation_join_order", report)
+    # The size-based ordering is a heuristic: it must win clearly in aggregate,
+    # even if an individual query can be marginally worse.
+    optimized_total = sum(row["optimized_intermediate"] for row in report.rows)
+    unoptimized_total = sum(row["unoptimized_intermediate"] for row in report.rows)
+    assert optimized_total <= unoptimized_total
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_oo_correlation_ablation(benchmark, bench_dataset, report_sink):
+    """Materialising OO tables: how much would they reduce?"""
+    report = benchmark.pedantic(
+        run_oo_correlation_ablation,
+        kwargs={"dataset": bench_dataset},
+        rounds=1,
+        iterations=1,
+    )
+    report_sink("ablation_oo_correlations", report)
+    assert report.row_for(kind="OO") is not None

@@ -1,0 +1,51 @@
+"""Benchmark for Table 4 / Fig. 14: WatDiv Basic Testing across all systems."""
+
+import pytest
+
+from repro.bench import run_table4_basic
+from repro.bench.scaling import paper_work_scale
+from repro.bench.table4_basic import default_engines
+from repro.watdiv.basic_queries import basic_template
+from repro.watdiv.template import instantiate_template
+
+
+@pytest.mark.benchmark(group="table4-basic")
+def test_table4_report(benchmark, bench_dataset, report_sink):
+    """Regenerate the Basic Testing comparison and check the system ordering."""
+    report = benchmark.pedantic(
+        run_table4_basic,
+        kwargs={"dataset": bench_dataset, "instantiations": 1},
+        rounds=1,
+        iterations=1,
+    )
+    report_sink("table4_basic", report)
+    total = report.row_for(query="AM-T")
+    assert total["S2RDF ExtVP"] <= total["S2RDF VP"]
+    assert total["S2RDF ExtVP"] < total["PigSPARQL"]
+    assert total["S2RDF ExtVP"] < total["SHARD"]
+
+
+@pytest.fixture(scope="module")
+def loaded_engines(bench_dataset):
+    engines = default_engines(paper_work_scale(bench_dataset.graph))
+    for engine in engines:
+        engine.load(bench_dataset.graph)
+    return {engine.name: engine for engine in engines}
+
+
+@pytest.mark.benchmark(group="table4-basic")
+@pytest.mark.parametrize("template_name", ["L3", "S3", "F5", "C3"])
+def test_s2rdf_extvp_wallclock(benchmark, bench_dataset, loaded_engines, template_name):
+    """Wall-clock execution of one query per shape on S2RDF ExtVP."""
+    query = instantiate_template(basic_template(template_name), bench_dataset)
+    result = benchmark(loaded_engines["S2RDF ExtVP"].query, query)
+    assert not result.failed
+
+
+@pytest.mark.benchmark(group="table4-basic")
+@pytest.mark.parametrize("engine_name", ["Sempala", "H2RDF+", "Virtuoso"])
+def test_competitor_wallclock(benchmark, bench_dataset, loaded_engines, engine_name):
+    """Wall-clock execution of the snowflake query F5 on the other engines."""
+    query = instantiate_template(basic_template("F5"), bench_dataset)
+    result = benchmark(loaded_engines[engine_name].query, query)
+    assert not result.failed

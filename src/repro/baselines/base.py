@@ -1,0 +1,120 @@
+"""Common engine interface for S2RDF and all competitor baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.relation import Relation
+from repro.rdf.graph import Graph
+from repro.sparql.algebra import BGP, Distinct, Filter, PatternNode, Projection, Query, Slice
+from repro.sparql.parser import parse_query
+
+
+class UnsupportedQueryError(NotImplementedError):
+    """Raised when an engine does not support a SPARQL feature."""
+
+
+@dataclass
+class LoadReport:
+    """Result of loading a graph into an engine (Table 2 data)."""
+
+    engine: str
+    triples: int
+    tuples_stored: int
+    table_count: int
+    hdfs_bytes: int
+    simulated_load_seconds: float
+    wallclock_seconds: float
+
+
+@dataclass
+class EngineResult:
+    """Result of one query execution on one engine."""
+
+    engine: str
+    relation: Relation
+    simulated_runtime_ms: float
+    metrics: ExecutionMetrics = field(default_factory=ExecutionMetrics)
+    execution_mode: str = "default"
+    failed: bool = False
+    failure_reason: str = ""
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    @property
+    def bindings(self) -> List[Dict[str, object]]:
+        return [
+            {c: v for c, v in zip(self.relation.columns, row) if v is not None}
+            for row in self.relation.rows
+        ]
+
+
+class SparqlEngine:
+    """Abstract base class for all engines in the comparison."""
+
+    name = "abstract"
+
+    def load(self, graph: Graph) -> LoadReport:
+        raise NotImplementedError
+
+    def query(self, query: Union[str, Query]) -> EngineResult:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def parse(query: Union[str, Query]) -> Query:
+        return parse_query(query) if isinstance(query, str) else query
+
+    @staticmethod
+    def extract_single_bgp(query: Query) -> BGP:
+        """Return the query's BGP, unwrapping projection/distinct/slice wrappers.
+
+        The baseline engines only support plain BGP queries (which is all the
+        WatDiv workloads need); anything else raises
+        :class:`UnsupportedQueryError`.
+        """
+        node: PatternNode = query.pattern
+        while True:
+            if isinstance(node, (Projection, Distinct, Slice)):
+                node = node.pattern
+                continue
+            if isinstance(node, Filter):
+                raise UnsupportedQueryError("baseline engines do not evaluate FILTER")
+            break
+        if not isinstance(node, BGP):
+            raise UnsupportedQueryError(f"baseline engines only support BGP queries, got {type(node).__name__}")
+        return node
+
+    @staticmethod
+    def apply_solution_modifiers(query: Query, relation: Relation) -> Relation:
+        """Apply SELECT projection, DISTINCT, ORDER BY and LIMIT/OFFSET."""
+        result = relation
+        if query.distinct:
+            result = result.distinct()
+        if query.order_by:
+            keys = []
+            for condition in query.order_by:
+                expression = condition.expression
+                variable = getattr(expression, "variable", None)
+                if variable is not None and variable.name in result.columns:
+                    keys.append((variable.name, condition.ascending))
+            if keys:
+                result = result.order_by(keys)
+        if query.select_variables:
+            wanted = [v.name for v in query.select_variables]
+            missing = [name for name in wanted if name not in result.columns]
+            if missing:
+                padded = Relation(
+                    list(result.columns) + missing,
+                    (row + tuple(None for _ in missing) for row in result.rows),
+                )
+                result = padded
+            result = result.project(wanted)
+        if query.limit is not None or query.offset:
+            result = result.limit(query.limit, query.offset)
+        return result

@@ -1,0 +1,182 @@
+"""Shared binding-iteration executors over the RDF graph.
+
+Two strategies used by the baseline engines:
+
+* :func:`index_nested_loop_execute` — for each partial solution, look up the
+  matching triples of the next pattern through the graph's indexes.  This is
+  how index-based stores (Rya, H2RDF+ centralized mode, Virtuoso) evaluate
+  BGPs; the work grows with the number of index lookups and produced bindings.
+* :func:`clause_iteration_execute` — SHARD's approach: every clause (triple
+  pattern) triggers a full scan of the data which is joined against the
+  current binding set (one MapReduce job per clause).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.relation import Relation
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Term, Variable
+from repro.sparql.algebra import TriplePattern
+
+Binding = Dict[str, Term]
+
+
+class ResultSizeExceeded(RuntimeError):
+    """Raised when an execution produces more bindings than an engine allows.
+
+    The baseline engines use this to emulate the paper's failed / timed-out
+    runs (marked "F" in Table 5) instead of exhausting local memory.
+    """
+
+
+def _substitute(pattern: TriplePattern, binding: Binding) -> Tuple[Optional[Term], Optional[Term], Optional[Term]]:
+    """Replace bound variables of ``pattern`` by the binding's values."""
+    components: List[Optional[Term]] = []
+    for term in (pattern.subject, pattern.predicate, pattern.object):
+        if isinstance(term, Variable):
+            components.append(binding.get(term.name))
+        else:
+            components.append(term)
+    return components[0], components[1], components[2]
+
+
+def _extend(pattern: TriplePattern, binding: Binding, triple) -> Optional[Binding]:
+    """Extend ``binding`` with the variable bindings implied by ``triple``."""
+    extended = dict(binding)
+    for term, value in ((pattern.subject, triple.subject), (pattern.predicate, triple.predicate), (pattern.object, triple.object)):
+        if isinstance(term, Variable):
+            existing = extended.get(term.name)
+            if existing is not None and existing != value:
+                return None
+            extended[term.name] = value
+        elif term != value:
+            return None
+    return extended
+
+
+def _pattern_cardinality(graph: Graph, pattern: TriplePattern) -> int:
+    """Estimated number of triples matching a pattern (used for ordering)."""
+    subject = None if isinstance(pattern.subject, Variable) else pattern.subject
+    predicate = None if isinstance(pattern.predicate, Variable) else pattern.predicate
+    object_ = None if isinstance(pattern.object, Variable) else pattern.object
+    if subject is None and object_ is None and predicate is not None:
+        return graph.predicate_count(predicate)
+    return sum(1 for _ in graph.triples(subject, predicate, object_))
+
+
+def order_by_selectivity(graph: Graph, patterns: Sequence[TriplePattern]) -> List[TriplePattern]:
+    """Order patterns by estimated selectivity, avoiding cross products."""
+    remaining = list(patterns)
+    cardinalities = {id(p): _pattern_cardinality(graph, p) for p in remaining}
+    ordered: List[TriplePattern] = []
+    seen_variables: set = set()
+    while remaining:
+        connected = [p for p in remaining if not ordered or (seen_variables & {v.name for v in p.variables()})]
+        pool = connected or remaining
+        best = min(pool, key=lambda p: (-p.bound_count(), cardinalities[id(p)]))
+        ordered.append(best)
+        seen_variables |= {v.name for v in best.variables()}
+        remaining.remove(best)
+    return ordered
+
+
+def bindings_to_relation(bindings: Sequence[Binding], variables: Sequence[str]) -> Relation:
+    """Materialise a list of bindings as a relation over ``variables``."""
+    columns = list(variables)
+    return Relation(columns, (tuple(b.get(c) for c in columns) for b in bindings))
+
+
+def index_nested_loop_execute(
+    graph: Graph,
+    patterns: Sequence[TriplePattern],
+    metrics: Optional[ExecutionMetrics] = None,
+    reorder: bool = True,
+    max_bindings: Optional[int] = None,
+) -> List[Binding]:
+    """Evaluate a BGP with index nested loop joins over the graph indexes."""
+    metrics = metrics if metrics is not None else ExecutionMetrics()
+    ordered = order_by_selectivity(graph, patterns) if reorder else list(patterns)
+    bindings: List[Binding] = [{}]
+    for pattern in ordered:
+        next_bindings: List[Binding] = []
+        matched = 0
+        for binding in bindings:
+            subject, predicate, object_ = _substitute(pattern, binding)
+            for triple in graph.triples(subject, predicate, object_):
+                matched += 1
+                extended = _extend(pattern, binding, triple)
+                if extended is not None:
+                    next_bindings.append(extended)
+            if max_bindings is not None and len(next_bindings) > max_bindings:
+                raise ResultSizeExceeded(
+                    f"intermediate result exceeded {max_bindings} bindings"
+                )
+        metrics.input_tuples += matched
+        metrics.join_comparisons += matched
+        metrics.intermediate_tuples += len(next_bindings)
+        metrics.joins += 1
+        metrics.stages += 1
+        bindings = next_bindings
+        if not bindings:
+            break
+    metrics.output_tuples = len(bindings)
+    return bindings
+
+
+def clause_iteration_execute(
+    graph: Graph,
+    patterns: Sequence[TriplePattern],
+    metrics: Optional[ExecutionMetrics] = None,
+    max_bindings: Optional[int] = None,
+) -> List[Binding]:
+    """SHARD-style clause iteration: one full-data scan-and-join per clause."""
+    metrics = metrics if metrics is not None else ExecutionMetrics()
+    graph_size = len(graph)
+    bindings: List[Binding] = [{}]
+    for pattern in patterns:
+        # Every clause is a MapReduce job over the complete data set.
+        metrics.record_scan("graph", graph_size)
+        clause_bindings: List[Binding] = []
+        for triple in graph:
+            extended = _extend(pattern, {}, triple)
+            if extended is not None:
+                clause_bindings.append(extended)
+        # Reduce phase: hash join of the clause bindings with the current set
+        # on their shared variables.
+        pattern_variables = {v.name for v in pattern.variables()}
+        current_variables = set().union(*(b.keys() for b in bindings)) if bindings and bindings[0] else set()
+        shared = sorted(pattern_variables & current_variables)
+        next_bindings: List[Binding] = []
+        comparisons = 0
+        if shared:
+            buckets: Dict[Tuple, List[Binding]] = {}
+            for clause_binding in clause_bindings:
+                buckets.setdefault(tuple(clause_binding[v] for v in shared), []).append(clause_binding)
+            for binding in bindings:
+                bucket = buckets.get(tuple(binding[v] for v in shared), [])
+                comparisons += len(bucket)
+                for clause_binding in bucket:
+                    merged = dict(binding)
+                    merged.update(clause_binding)
+                    next_bindings.append(merged)
+        else:
+            for binding in bindings:
+                for clause_binding in clause_bindings:
+                    comparisons += 1
+                    merged = dict(binding)
+                    merged.update(clause_binding)
+                    next_bindings.append(merged)
+        metrics.record_join(len(bindings), len(clause_bindings), comparisons, len(next_bindings))
+        if max_bindings is not None and len(next_bindings) > max_bindings:
+            raise ResultSizeExceeded(f"intermediate result exceeded {max_bindings} bindings")
+        bindings = next_bindings
+        if not bindings:
+            # SHARD still runs the remaining jobs; account for their scans.
+            for _ in range(len(patterns) - patterns.index(pattern) - 1):
+                metrics.record_scan("graph", graph_size)
+            break
+    metrics.output_tuples = len(bindings)
+    return bindings

@@ -1,0 +1,30 @@
+"""Experiment harness: one module per table / figure of the paper's evaluation.
+
+Each experiment returns an :class:`~repro.bench.reporting.ExperimentReport`
+whose rows mirror the paper's table rows (or figure series) and can be printed
+with ``report.to_text()``.  The ``benchmarks/`` directory wraps these
+experiments with pytest-benchmark entry points; ``EXPERIMENTS.md`` records the
+measured outcomes next to the paper's numbers.
+"""
+
+from repro.bench.reporting import ExperimentReport, arithmetic_mean, format_runtime, geometric_mean
+from repro.bench.table2_load import run_table2_load
+from repro.bench.table3_selectivity import run_table3_selectivity
+from repro.bench.table4_basic import run_table4_basic
+from repro.bench.table5_incremental import run_table5_incremental
+from repro.bench.table6_threshold import run_table6_threshold
+from repro.bench.ablations import run_join_order_ablation, run_oo_correlation_ablation
+
+__all__ = [
+    "ExperimentReport",
+    "arithmetic_mean",
+    "geometric_mean",
+    "format_runtime",
+    "run_table2_load",
+    "run_table3_selectivity",
+    "run_table4_basic",
+    "run_table5_incremental",
+    "run_table6_threshold",
+    "run_join_order_ablation",
+    "run_oo_correlation_ablation",
+]

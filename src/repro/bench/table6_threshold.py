@@ -1,0 +1,116 @@
+"""Table 6 / Figure 16: effect of the ExtVP selectivity-factor threshold.
+
+The experiment sweeps the SF threshold (0 = plain VP, 1 = full ExtVP), builds
+the layout once per threshold, reports the storage footprint (Table 6) and the
+runtime of the Basic Testing workload relative to the VP baseline, grouped by
+shape category (Fig. 16).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.reporting import ExperimentReport, arithmetic_mean
+from repro.bench.scaling import PAPER_SF10000_TRIPLES, paper_work_scale
+from repro.core.session import S2RDFSession
+from repro.watdiv.basic_queries import BASIC_TEMPLATES
+from repro.watdiv.generator import WatDivDataset, generate_dataset
+from repro.watdiv.template import instantiate_many
+
+DEFAULT_THRESHOLDS = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+def run_table6_threshold(
+    scale_factor: float = 3.0,
+    seed: int = 42,
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+    instantiations: int = 1,
+    dataset: Optional[WatDivDataset] = None,
+    template_names: Optional[Sequence[str]] = None,
+    paper_triples: int = PAPER_SF10000_TRIPLES,
+) -> ExperimentReport:
+    """Regenerate Table 6 / Fig. 16 (SF threshold sweep)."""
+    dataset = dataset if dataset is not None else generate_dataset(scale_factor=scale_factor, seed=seed)
+    work_scale = paper_work_scale(dataset.graph, paper_triples)
+    templates = [
+        template
+        for template in BASIC_TEMPLATES
+        if template_names is None or template.name in template_names
+    ]
+
+    report = ExperimentReport(
+        name="Table 6 / Fig. 16 — ExtVP selectivity threshold sweep",
+        description=(
+            f"Storage footprint and Basic Testing runtime per SF threshold, scale factor {dataset.scale_factor:g}. "
+            "Runtimes are arithmetic means of the simulated runtimes, also reported relative to threshold 0 (VP)."
+        ),
+        columns=[
+            "threshold",
+            "tables",
+            "tuples",
+            "hdfs_bytes",
+            "tuples_vs_full",
+            "runtime_ms",
+            "runtime_vs_vp",
+            "runtime_L",
+            "runtime_S",
+            "runtime_F",
+            "runtime_C",
+        ],
+    )
+
+    per_threshold: List[Dict[str, float]] = []
+    for threshold in thresholds:
+        use_extvp = threshold > 0.0
+        session = S2RDFSession.from_graph(
+            dataset.graph,
+            selectivity_threshold=threshold if use_extvp else 1.0,
+            use_extvp=use_extvp,
+            work_scale=work_scale,
+        )
+        summary = session.storage_summary()
+        runtimes: List[float] = []
+        per_category: Dict[str, List[float]] = defaultdict(list)
+        for template in templates:
+            queries = instantiate_many(template, dataset, instantiations, seed=seed)
+            template_runtimes = [session.query(q).simulated_runtime_ms for q in queries]
+            mean_runtime = arithmetic_mean(template_runtimes)
+            runtimes.append(mean_runtime)
+            per_category[template.category].append(mean_runtime)
+        per_threshold.append(
+            {
+                "threshold": threshold,
+                "tables": summary["table_counts"]["total"],
+                "tuples": summary["total_tuples"],
+                "hdfs_bytes": summary["hdfs_bytes"],
+                "runtime_ms": arithmetic_mean(runtimes),
+                "runtime_L": arithmetic_mean(per_category.get("L", [0.0])),
+                "runtime_S": arithmetic_mean(per_category.get("S", [0.0])),
+                "runtime_F": arithmetic_mean(per_category.get("F", [0.0])),
+                "runtime_C": arithmetic_mean(per_category.get("C", [0.0])),
+            }
+        )
+
+    full_tuples = per_threshold[-1]["tuples"] if per_threshold else 1
+    vp_runtime = per_threshold[0]["runtime_ms"] if per_threshold else 1.0
+    for entry in per_threshold:
+        report.add_row(
+            threshold=entry["threshold"],
+            tables=entry["tables"],
+            tuples=entry["tuples"],
+            hdfs_bytes=entry["hdfs_bytes"],
+            tuples_vs_full=round(entry["tuples"] / full_tuples, 3) if full_tuples else 0.0,
+            runtime_ms=round(entry["runtime_ms"], 2),
+            runtime_vs_vp=round(entry["runtime_ms"] / vp_runtime, 3) if vp_runtime else 0.0,
+            runtime_L=round(entry["runtime_L"], 2),
+            runtime_S=round(entry["runtime_S"], 2),
+            runtime_F=round(entry["runtime_F"], 2),
+            runtime_C=round(entry["runtime_C"], 2),
+        )
+
+    report.add_note(
+        "Expected shape: threshold 0.25 already captures most of the runtime benefit of full ExtVP while "
+        "storing only a fraction of its tuples (paper: ~95 % of the benefit at ~25 % of the tuples)."
+    )
+    return report

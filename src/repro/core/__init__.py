@@ -1,0 +1,35 @@
+"""S2RDF core: the SPARQL-over-SQL query processor of the paper.
+
+The public entry point is :class:`~repro.core.session.S2RDFSession`:
+
+.. code-block:: python
+
+    from repro import S2RDFSession
+    session = S2RDFSession.from_graph(graph, selectivity_threshold=0.25)
+    result = session.query("SELECT ?x WHERE { ?x wsdbm:follows ?y }")
+    for binding in result.bindings:
+        print(binding["x"])
+
+Internally the session uses the paper's algorithms: statistics-driven table
+selection (Algorithm 1), triple-pattern-to-SQL translation (Algorithm 2), BGP
+translation (Algorithm 3) and join-order optimisation (Algorithm 4).
+"""
+
+from repro.core.table_selection import TableChoice, TableSelector
+from repro.core.translation import triple_pattern_to_subquery
+from repro.core.bgp import BGPCompilationResult, compile_bgp
+from repro.core.compiler import QueryCompiler
+from repro.core.results import QueryResult, SolutionBinding
+from repro.core.session import S2RDFSession
+
+__all__ = [
+    "TableChoice",
+    "TableSelector",
+    "triple_pattern_to_subquery",
+    "BGPCompilationResult",
+    "compile_bgp",
+    "QueryCompiler",
+    "QueryResult",
+    "SolutionBinding",
+    "S2RDFSession",
+]

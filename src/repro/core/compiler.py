@@ -1,0 +1,139 @@
+"""Full SPARQL-to-SQL compiler (Sec. 6 of the paper).
+
+BGPs are compiled through :func:`repro.core.bgp.compile_bgp`; the remaining
+SPARQL 1.0 operators map to their relational counterparts: ``FILTER`` to a
+selection, ``OPTIONAL`` to a left outer join, ``UNION`` to a bag union,
+``DISTINCT`` / ``ORDER BY`` / ``LIMIT`` / ``OFFSET`` to their SQL equivalents
+and the ``SELECT`` clause to a projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.bgp import BGPCompilationResult, compile_bgp
+from repro.core.table_selection import TableSelector
+from repro.engine.plan import (
+    DistinctNode,
+    EmptyNode,
+    FilterNode,
+    LeftOuterJoinNode,
+    LimitNode,
+    NaturalJoinNode,
+    OrderByNode,
+    PlanNode,
+    ProjectNode,
+    UnionNode,
+)
+from repro.sparql.algebra import (
+    BGP,
+    Distinct,
+    Filter,
+    Join,
+    LeftJoin,
+    OrderBy,
+    OrderCondition,
+    PatternNode,
+    Projection,
+    Query,
+    Slice,
+    Union,
+)
+from repro.sparql.expressions import VariableExpression
+
+
+@dataclass
+class CompiledQuery:
+    """A compiled query: the root plan plus per-BGP compilation details."""
+
+    plan: PlanNode
+    bgp_results: List[BGPCompilationResult] = field(default_factory=list)
+
+    @property
+    def statically_empty(self) -> bool:
+        return any(result.statically_empty for result in self.bgp_results) and all(
+            result.statically_empty for result in self.bgp_results
+        ) if self.bgp_results else False
+
+    @property
+    def selected_tables(self) -> List[str]:
+        tables: List[str] = []
+        for result in self.bgp_results:
+            tables.extend(result.selected_tables)
+        return tables
+
+    def sql(self) -> str:
+        return self.plan.to_sql()
+
+
+class QueryCompiler:
+    """Compiles parsed SPARQL queries into logical plans."""
+
+    def __init__(self, selector: TableSelector, optimize_join_order: bool = True) -> None:
+        self.selector = selector
+        self.optimize_join_order = optimize_join_order
+
+    # ------------------------------------------------------------------ #
+    def compile(self, query: Query) -> CompiledQuery:
+        bgp_results: List[BGPCompilationResult] = []
+        plan = self._compile_pattern(query.pattern, bgp_results)
+
+        if query.order_by:
+            keys = self._order_keys(query.order_by)
+            if keys:
+                plan = OrderByNode(plan, keys)
+        if query.select_variables:
+            plan = ProjectNode(plan, tuple(v.name for v in query.select_variables))
+        if query.distinct:
+            # DISTINCT applies to the projected solutions (SPARQL algebra:
+            # Distinct(Project(...))); our distinct preserves the sort order.
+            plan = DistinctNode(plan)
+        if query.limit is not None or query.offset:
+            plan = LimitNode(plan, query.limit, query.offset)
+        return CompiledQuery(plan=plan, bgp_results=bgp_results)
+
+    # ------------------------------------------------------------------ #
+    def _compile_pattern(self, node: PatternNode, bgp_results: List[BGPCompilationResult]) -> PlanNode:
+        if isinstance(node, BGP):
+            result = compile_bgp(node, self.selector, self.optimize_join_order)
+            bgp_results.append(result)
+            return result.plan
+        if isinstance(node, Filter):
+            child = self._compile_pattern(node.pattern, bgp_results)
+            return FilterNode(child, node.expression)
+        if isinstance(node, Join):
+            left = self._compile_pattern(node.left, bgp_results)
+            right = self._compile_pattern(node.right, bgp_results)
+            return NaturalJoinNode(left, right)
+        if isinstance(node, LeftJoin):
+            left = self._compile_pattern(node.left, bgp_results)
+            right = self._compile_pattern(node.right, bgp_results)
+            return LeftOuterJoinNode(left, right, node.expression)
+        if isinstance(node, Union):
+            left = self._compile_pattern(node.left, bgp_results)
+            right = self._compile_pattern(node.right, bgp_results)
+            return UnionNode(left, right)
+        if isinstance(node, Projection):
+            child = self._compile_pattern(node.pattern, bgp_results)
+            if node.variables_list:
+                return ProjectNode(child, tuple(v.name for v in node.variables_list))
+            return child
+        if isinstance(node, Distinct):
+            return DistinctNode(self._compile_pattern(node.pattern, bgp_results))
+        if isinstance(node, OrderBy):
+            child = self._compile_pattern(node.pattern, bgp_results)
+            keys = self._order_keys(node.conditions)
+            return OrderByNode(child, keys) if keys else child
+        if isinstance(node, Slice):
+            child = self._compile_pattern(node.pattern, bgp_results)
+            return LimitNode(child, node.limit, node.offset)
+        raise TypeError(f"unsupported algebra node {type(node).__name__}")
+
+    @staticmethod
+    def _order_keys(conditions: Tuple[OrderCondition, ...]) -> Tuple[Tuple[str, bool], ...]:
+        keys: List[Tuple[str, bool]] = []
+        for condition in conditions:
+            if isinstance(condition.expression, VariableExpression):
+                keys.append((condition.expression.variable.name, condition.ascending))
+        return tuple(keys)

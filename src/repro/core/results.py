@@ -1,0 +1,77 @@
+"""Query results.
+
+A :class:`QueryResult` bundles the solution bindings with everything the
+benchmark harness needs: the generated SQL text, the execution metrics, the
+simulated cluster runtime and the wall-clock time spent in the local engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.relation import Relation
+from repro.rdf.terms import Term
+
+SolutionBinding = Dict[str, Term]
+
+
+@dataclass
+class QueryResult:
+    """The outcome of executing one SPARQL query."""
+
+    relation: Relation
+    sql: str
+    metrics: ExecutionMetrics
+    simulated_runtime_ms: float
+    wallclock_ms: float
+    statically_empty: bool = False
+    selected_tables: List[str] = field(default_factory=list)
+
+    @property
+    def variables(self) -> Sequence[str]:
+        return self.relation.columns
+
+    @property
+    def bindings(self) -> List[SolutionBinding]:
+        """Solution mappings as dictionaries (unbound variables omitted)."""
+        return [
+            {column: value for column, value in zip(self.relation.columns, row) if value is not None}
+            for row in self.relation.rows
+        ]
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def __iter__(self) -> Iterator[SolutionBinding]:
+        return iter(self.bindings)
+
+    def values(self, variable: str) -> List[Any]:
+        """All values bound to ``variable`` across the result."""
+        return self.relation.column_values(variable)
+
+    def as_table(self, limit: Optional[int] = 20) -> str:
+        """Human-readable tabular rendering (used by the examples)."""
+        columns = list(self.relation.columns)
+        rows = self.relation.rows[:limit] if limit is not None else self.relation.rows
+
+        def render(value: Any) -> str:
+            if value is None:
+                return ""
+            if hasattr(value, "n3"):
+                return value.n3()
+            return str(value)
+
+        rendered = [[render(v) for v in row] for row in rows]
+        widths = [
+            max([len(c)] + [len(r[i]) for r in rendered]) if rendered else len(c)
+            for i, c in enumerate(columns)
+        ]
+        header = " | ".join(c.ljust(w) for c, w in zip(columns, widths))
+        separator = "-+-".join("-" * w for w in widths)
+        body = "\n".join(" | ".join(v.ljust(w) for v, w in zip(row, widths)) for row in rendered)
+        suffix = ""
+        if limit is not None and len(self.relation) > limit:
+            suffix = f"\n... ({len(self.relation) - limit} more rows)"
+        return "\n".join(filter(None, [header, separator, body])) + suffix

@@ -1,0 +1,143 @@
+"""The S2RDF session — the library's main public API.
+
+A session owns the data layout (VP + ExtVP over a graph), compiles SPARQL
+queries to SQL plans, executes them on the relational engine and attaches a
+simulated Spark-cluster runtime derived from the execution metrics.
+
+.. code-block:: python
+
+    session = S2RDFSession.from_graph(graph, selectivity_threshold=0.25)
+    result = session.query("SELECT * WHERE { ?x wsdbm:follows ?y . ?y wsdbm:likes ?z }")
+    print(result.sql)
+    print(result.simulated_runtime_ms)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union
+
+from repro.core.compiler import CompiledQuery, QueryCompiler
+from repro.core.results import QueryResult
+from repro.core.table_selection import TableSelector
+from repro.engine.cluster import SparkCostModel
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.plan import PlanExecutor
+from repro.mappings.extvp import ExtVPLayout
+from repro.rdf.graph import Graph
+from repro.rdf.ntriples import parse_ntriples
+from repro.sparql.algebra import Query
+from repro.sparql.parser import parse_query
+
+
+@dataclass
+class SessionConfig:
+    """Tunable knobs of a session."""
+
+    #: SF threshold for ExtVP materialisation (1.0 = all non-trivial tables).
+    selectivity_threshold: float = 1.0
+    #: Use ExtVP tables during table selection; ``False`` degrades to plain VP.
+    use_extvp: bool = True
+    #: Apply Algorithm 4's join-order optimisation.
+    optimize_join_order: bool = True
+    #: Materialise OO correlation tables (ablation only).
+    include_oo: bool = False
+    #: Multiplier applied to data-proportional execution counters before the
+    #: cost model converts them to a simulated runtime.  The benchmarks use it
+    #: to extrapolate laptop-scale measurements to the paper's data scale.
+    work_scale: float = 1.0
+
+
+class S2RDFSession:
+    """SPARQL query processing over an ExtVP (or VP) layout."""
+
+    def __init__(
+        self,
+        layout: ExtVPLayout,
+        config: Optional[SessionConfig] = None,
+        cost_model: Optional[SparkCostModel] = None,
+    ) -> None:
+        self.layout = layout
+        self.config = config or SessionConfig()
+        self.cost_model = cost_model or SparkCostModel()
+        self.selector = TableSelector(layout, use_extvp=self.config.use_extvp)
+        self.compiler = QueryCompiler(self.selector, optimize_join_order=self.config.optimize_join_order)
+        self.executor = PlanExecutor(layout.catalog)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_graph(
+        cls,
+        graph: Graph,
+        selectivity_threshold: float = 1.0,
+        use_extvp: bool = True,
+        optimize_join_order: bool = True,
+        include_oo: bool = False,
+        cost_model: Optional[SparkCostModel] = None,
+        work_scale: float = 1.0,
+    ) -> "S2RDFSession":
+        """Build the data layout for ``graph`` and return a ready session."""
+        config = SessionConfig(
+            selectivity_threshold=selectivity_threshold,
+            use_extvp=use_extvp,
+            optimize_join_order=optimize_join_order,
+            include_oo=include_oo,
+            work_scale=work_scale,
+        )
+        layout = ExtVPLayout(
+            selectivity_threshold=selectivity_threshold if use_extvp else 0.0,
+            include_oo=include_oo,
+        )
+        layout.build(graph)
+        return cls(layout, config=config, cost_model=cost_model)
+
+    @classmethod
+    def from_ntriples(cls, document: Union[str, Iterable[str]], **kwargs) -> "S2RDFSession":
+        """Parse an N-Triples document and build a session for it."""
+        return cls.from_graph(parse_ntriples(document), **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Query execution
+    # ------------------------------------------------------------------ #
+    def parse(self, query_text: str) -> Query:
+        return parse_query(query_text)
+
+    def compile(self, query: Union[str, Query]) -> CompiledQuery:
+        parsed = self.parse(query) if isinstance(query, str) else query
+        return self.compiler.compile(parsed)
+
+    def explain(self, query: Union[str, Query]) -> str:
+        """Return the generated SQL for a query without executing it."""
+        return self.compile(query).sql()
+
+    def query(self, query: Union[str, Query]) -> QueryResult:
+        """Parse, compile and execute a SPARQL query."""
+        compiled = self.compile(query)
+        metrics = ExecutionMetrics()
+        start = time.perf_counter()
+        relation = self.executor.execute(compiled.plan, metrics)
+        wallclock_ms = (time.perf_counter() - start) * 1000.0
+        scaled_metrics = metrics.scaled(self.config.work_scale) if self.config.work_scale != 1.0 else metrics
+        simulated = self.cost_model.runtime_ms(scaled_metrics)
+        return QueryResult(
+            relation=relation,
+            sql=compiled.sql(),
+            metrics=metrics,
+            simulated_runtime_ms=simulated,
+            wallclock_ms=wallclock_ms,
+            statically_empty=compiled.statically_empty,
+            selected_tables=compiled.selected_tables,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def storage_summary(self) -> dict:
+        """Tuple counts and simulated HDFS size of the layout (Table 2 data)."""
+        summary = self.layout.size_summary()
+        summary["table_counts"] = self.layout.table_counts()
+        summary["load_seconds"] = self.layout.report.build_seconds if self.layout.report else 0.0
+        return summary

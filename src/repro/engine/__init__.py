@@ -1,0 +1,75 @@
+"""Relational engine substrate (the Spark SQL stand-in).
+
+The paper executes SPARQL queries by compiling them to Spark SQL over tables
+stored in HDFS/Parquet.  This package provides the equivalent substrate for a
+single machine:
+
+* :class:`~repro.engine.relation.Relation` — a column-named bag of tuples with
+  the relational operators the compiler needs (project/rename, selection,
+  natural join, left outer join, semi join, union, distinct, order by, limit).
+* :class:`~repro.engine.metrics.ExecutionMetrics` — counters (tuples scanned,
+  tuples shuffled, join comparisons, stages) collected during execution.
+* :mod:`~repro.engine.plan` — a logical plan layer with a SQL pretty-printer,
+  so the S2RDF compiler genuinely produces "SQL" as in the paper.
+* :class:`~repro.engine.catalog.Catalog` — the table store with statistics.
+* :mod:`~repro.engine.storage` — a simulated HDFS namespace with Parquet-like
+  size accounting (dictionary + run-length encoding, snappy-style factor).
+* :mod:`~repro.engine.cluster` — cost models that convert execution metrics
+  into simulated runtimes for the different execution architectures
+  (in-memory MPP, MapReduce, centralised single node).
+"""
+
+from repro.engine.relation import Relation
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.catalog import Catalog, TableStatistics
+from repro.engine.plan import (
+    DistinctNode,
+    EmptyNode,
+    FilterNode,
+    LeftOuterJoinNode,
+    LimitNode,
+    NaturalJoinNode,
+    OrderByNode,
+    PlanExecutor,
+    PlanNode,
+    ProjectNode,
+    SubqueryNode,
+    TableScanNode,
+    UnionNode,
+)
+from repro.engine.storage import HdfsSimulator, ParquetSizeModel, StoredFile
+from repro.engine.cluster import (
+    CentralizedCostModel,
+    ClusterConfig,
+    CostModel,
+    MapReduceCostModel,
+    SparkCostModel,
+)
+
+__all__ = [
+    "Relation",
+    "ExecutionMetrics",
+    "Catalog",
+    "TableStatistics",
+    "DistinctNode",
+    "EmptyNode",
+    "FilterNode",
+    "LeftOuterJoinNode",
+    "LimitNode",
+    "NaturalJoinNode",
+    "OrderByNode",
+    "PlanExecutor",
+    "PlanNode",
+    "ProjectNode",
+    "SubqueryNode",
+    "TableScanNode",
+    "UnionNode",
+    "HdfsSimulator",
+    "ParquetSizeModel",
+    "StoredFile",
+    "CentralizedCostModel",
+    "ClusterConfig",
+    "CostModel",
+    "MapReduceCostModel",
+    "SparkCostModel",
+]

@@ -1,0 +1,126 @@
+"""Table catalog with statistics.
+
+S2RDF "collects statistics about all tables in ExtVP during the initial
+creation process, most notably the selectivities (SF values) and actual sizes"
+(Sec. 6.1).  The :class:`Catalog` is the shared table store: mapping builders
+register tables here, the compiler consults the statistics, and the plan
+executor reads the relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.engine.relation import Relation
+
+
+@dataclass
+class TableStatistics:
+    """Per-table statistics used by table selection and join ordering."""
+
+    name: str
+    row_count: int
+    #: Selectivity factor relative to the underlying VP table (1.0 for VP and
+    #: base tables, |ExtVP| / |VP| for ExtVP tables, 0.0 for empty tables).
+    selectivity: float = 1.0
+    #: Distinct subjects/objects — handy for cardinality estimates.
+    distinct_subjects: int = 0
+    distinct_objects: int = 0
+
+    @property
+    def is_empty(self) -> bool:
+        return self.row_count == 0
+
+
+class TableNotFoundError(KeyError):
+    """Raised when a plan references a table the catalog does not contain."""
+
+
+class Catalog:
+    """Named relations plus their statistics.
+
+    Statistics can exist without a materialised relation: the paper notes that
+    S2RDF "also stores statistics about empty tables (which do not physically
+    exist)" so the compiler can answer queries without running them.
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Relation] = {}
+        self._statistics: Dict[str, TableStatistics] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(
+        self,
+        name: str,
+        relation: Relation,
+        selectivity: float = 1.0,
+        materialize: bool = True,
+    ) -> TableStatistics:
+        """Register a relation (and derive its statistics)."""
+        subjects = relation.distinct_count(relation.columns[0]) if relation.columns and relation.rows else 0
+        objects = (
+            relation.distinct_count(relation.columns[1])
+            if len(relation.columns) > 1 and relation.rows
+            else 0
+        )
+        statistics = TableStatistics(
+            name=name,
+            row_count=len(relation),
+            selectivity=selectivity,
+            distinct_subjects=subjects,
+            distinct_objects=objects,
+        )
+        if materialize:
+            self._tables[name] = relation
+        self._statistics[name] = statistics
+        return statistics
+
+    def register_statistics_only(self, name: str, row_count: int, selectivity: float) -> TableStatistics:
+        """Record statistics for a table that is not materialised (e.g. empty ExtVP tables)."""
+        statistics = TableStatistics(name=name, row_count=row_count, selectivity=selectivity)
+        self._statistics[name] = statistics
+        return statistics
+
+    def drop(self, name: str) -> None:
+        self._tables.pop(name, None)
+        self._statistics.pop(name, None)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def has_statistics(self, name: str) -> bool:
+        return name in self._statistics
+
+    def table(self, name: str) -> Relation:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableNotFoundError(name) from None
+
+    def statistics(self, name: str) -> Optional[TableStatistics]:
+        return self._statistics.get(name)
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def statistics_names(self) -> List[str]:
+        return sorted(self._statistics)
+
+    def items(self) -> Iterator[Tuple[str, Relation]]:
+        return iter(sorted(self._tables.items()))
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    def total_tuples(self) -> int:
+        """Sum of materialised table sizes (the paper's "number of tuples")."""
+        return sum(len(relation) for relation in self._tables.values())
+
+    def table_count(self) -> int:
+        return len(self._tables)

@@ -1,0 +1,105 @@
+"""Execution metrics.
+
+The paper's argument for ExtVP is quantitative: fewer input tuples, fewer
+shuffled tuples and fewer join comparisons.  Every relational operator in the
+engine updates an :class:`ExecutionMetrics` instance so the benchmark harness
+can report exactly these quantities and feed them to the cost models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ExecutionMetrics:
+    """Counters collected while executing one query."""
+
+    #: Tuples read from base tables (query input size).
+    input_tuples: int = 0
+    #: Tuples moved between "nodes" for joins (shuffle volume).
+    shuffled_tuples: int = 0
+    #: Candidate pairs compared during join probing.
+    join_comparisons: int = 0
+    #: Tuples produced by the final operator.
+    output_tuples: int = 0
+    #: Tuples produced by intermediate joins (materialised between stages).
+    intermediate_tuples: int = 0
+    #: Number of join operators executed.
+    joins: int = 0
+    #: Number of base-table scans.
+    table_scans: int = 0
+    #: Number of distributed stages (scans + shuffles), used by cost models.
+    stages: int = 0
+    #: Per-table scan counts, useful for debugging table selection.
+    scanned_tables: Dict[str, int] = field(default_factory=dict)
+
+    def record_scan(self, table_name: str, rows: int) -> None:
+        self.input_tuples += rows
+        self.table_scans += 1
+        self.stages += 1
+        self.scanned_tables[table_name] = self.scanned_tables.get(table_name, 0) + rows
+
+    def record_join(self, left_rows: int, right_rows: int, comparisons: int, output_rows: int) -> None:
+        self.joins += 1
+        self.stages += 1
+        self.shuffled_tuples += left_rows + right_rows
+        self.join_comparisons += comparisons
+        self.intermediate_tuples += output_rows
+
+    def merge(self, other: "ExecutionMetrics") -> None:
+        """Accumulate another metrics object into this one."""
+        self.input_tuples += other.input_tuples
+        self.shuffled_tuples += other.shuffled_tuples
+        self.join_comparisons += other.join_comparisons
+        self.output_tuples += other.output_tuples
+        self.intermediate_tuples += other.intermediate_tuples
+        self.joins += other.joins
+        self.table_scans += other.table_scans
+        self.stages += other.stages
+        for table, rows in other.scanned_tables.items():
+            self.scanned_tables[table] = self.scanned_tables.get(table, 0) + rows
+
+    def scaled(self, factor: float) -> "ExecutionMetrics":
+        """Return a copy with all data-proportional counters multiplied.
+
+        The benchmark harness uses this to extrapolate counters measured on a
+        laptop-scale dataset to the paper's data scale before feeding them to
+        the cost models; structural counters (joins, scans, stages) are not
+        data-proportional and stay unchanged.
+        """
+        clone = self.copy()
+        clone.input_tuples = int(self.input_tuples * factor)
+        clone.shuffled_tuples = int(self.shuffled_tuples * factor)
+        clone.join_comparisons = int(self.join_comparisons * factor)
+        clone.output_tuples = int(self.output_tuples * factor)
+        clone.intermediate_tuples = int(self.intermediate_tuples * factor)
+        clone.scanned_tables = {table: int(rows * factor) for table, rows in self.scanned_tables.items()}
+        return clone
+
+    def copy(self) -> "ExecutionMetrics":
+        clone = ExecutionMetrics(
+            input_tuples=self.input_tuples,
+            shuffled_tuples=self.shuffled_tuples,
+            join_comparisons=self.join_comparisons,
+            output_tuples=self.output_tuples,
+            intermediate_tuples=self.intermediate_tuples,
+            joins=self.joins,
+            table_scans=self.table_scans,
+            stages=self.stages,
+        )
+        clone.scanned_tables = dict(self.scanned_tables)
+        return clone
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "input_tuples": self.input_tuples,
+            "shuffled_tuples": self.shuffled_tuples,
+            "join_comparisons": self.join_comparisons,
+            "output_tuples": self.output_tuples,
+            "intermediate_tuples": self.intermediate_tuples,
+            "joins": self.joins,
+            "table_scans": self.table_scans,
+            "stages": self.stages,
+        }

@@ -1,0 +1,308 @@
+"""Column-named relations and relational operators.
+
+A :class:`Relation` is a bag of tuples with named columns — the stand-in for a
+Spark SQL ``DataFrame``.  All operators are pure (they return new relations)
+and optionally record their work in an
+:class:`~repro.engine.metrics.ExecutionMetrics` instance.
+
+Joins are natural joins on shared column names, which matches the way the
+S2RDF compiler renames VP/ExtVP columns to query-variable names so subqueries
+"can be easily joined on same column names" (Sec. 6.1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.engine.metrics import ExecutionMetrics
+
+Row = Tuple[Any, ...]
+
+
+class SchemaError(ValueError):
+    """Raised when an operator is applied to incompatible schemas."""
+
+
+class Relation:
+    """An immutable bag of tuples with named columns."""
+
+    __slots__ = ("columns", "rows")
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Row] = ()) -> None:
+        self.columns: Tuple[str, ...] = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise SchemaError(f"duplicate column names in {self.columns}")
+        materialized: List[Row] = []
+        width = len(self.columns)
+        for row in rows:
+            row_tuple = tuple(row)
+            if len(row_tuple) != width:
+                raise SchemaError(
+                    f"row has {len(row_tuple)} values but schema has {width} columns: {row_tuple!r}"
+                )
+            materialized.append(row_tuple)
+        self.rows: List[Row] = materialized
+
+    # ------------------------------------------------------------------ #
+    # Basics
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.columns == other.columns and sorted(map(repr, self.rows)) == sorted(map(repr, other.rows))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Relation(columns={self.columns}, rows={len(self.rows)})"
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self.columns.index(name)
+        except ValueError:
+            raise SchemaError(f"unknown column {name!r}; available: {self.columns}") from None
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Materialise rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column_values(self, name: str) -> List[Any]:
+        index = self.column_index(name)
+        return [row[index] for row in self.rows]
+
+    def distinct_count(self, name: str) -> int:
+        return len(set(self.column_values(name)))
+
+    @classmethod
+    def empty(cls, columns: Sequence[str]) -> "Relation":
+        return cls(columns, [])
+
+    @classmethod
+    def from_dicts(cls, columns: Sequence[str], dicts: Iterable[Mapping[str, Any]]) -> "Relation":
+        columns = tuple(columns)
+        return cls(columns, (tuple(d.get(c) for c in columns) for d in dicts))
+
+    # ------------------------------------------------------------------ #
+    # Unary operators
+    # ------------------------------------------------------------------ #
+    def project(self, columns: Sequence[str]) -> "Relation":
+        """Keep only ``columns``, in the given order (duplicates removed)."""
+        unique: List[str] = []
+        for column in columns:
+            if column not in unique:
+                unique.append(column)
+        indexes = [self.column_index(c) for c in unique]
+        return Relation(unique, (tuple(row[i] for i in indexes) for row in self.rows))
+
+    def rename(self, mapping: Mapping[str, str]) -> "Relation":
+        """Rename columns according to ``mapping`` (old name -> new name)."""
+        for old in mapping:
+            self.column_index(old)
+        new_columns = [mapping.get(c, c) for c in self.columns]
+        return Relation(new_columns, self.rows)
+
+    def select(self, predicate: Callable[[Dict[str, Any]], bool]) -> "Relation":
+        """Filter rows by a predicate over row dictionaries."""
+        kept = [row for row in self.rows if predicate(dict(zip(self.columns, row)))]
+        return Relation(self.columns, kept)
+
+    def select_eq(self, conditions: Mapping[str, Any]) -> "Relation":
+        """Filter rows by equality conditions (column -> required value)."""
+        indexes = [(self.column_index(column), value) for column, value in conditions.items()]
+        kept = [row for row in self.rows if all(row[i] == v for i, v in indexes)]
+        return Relation(self.columns, kept)
+
+    def distinct(self) -> "Relation":
+        seen = set()
+        kept: List[Row] = []
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                kept.append(row)
+        return Relation(self.columns, kept)
+
+    def order_by(self, keys: Sequence[Tuple[str, bool]]) -> "Relation":
+        """Sort by ``(column, ascending)`` pairs; stable, None sorts last."""
+        rows = list(self.rows)
+        for column, ascending in reversed(list(keys)):
+            index = self.column_index(column)
+
+            def sort_key(row: Row, index: int = index) -> Tuple[int, Any]:
+                value = row[index]
+                if value is None:
+                    return (1, "")
+                return (0, _sortable(value))
+
+            rows.sort(key=sort_key, reverse=not ascending)
+        return Relation(self.columns, rows)
+
+    def limit(self, count: Optional[int], offset: int = 0) -> "Relation":
+        end = None if count is None else offset + count
+        return Relation(self.columns, self.rows[offset:end])
+
+    # ------------------------------------------------------------------ #
+    # Binary operators
+    # ------------------------------------------------------------------ #
+    def union(self, other: "Relation") -> "Relation":
+        if set(self.columns) != set(other.columns):
+            # SPARQL UNION allows different variables; pad with None.
+            all_columns = list(dict.fromkeys(list(self.columns) + list(other.columns)))
+            left = self._pad_to(all_columns)
+            right = other._pad_to(all_columns)
+            return Relation(all_columns, left.rows + right.rows)
+        aligned = other.project(self.columns)
+        return Relation(self.columns, self.rows + aligned.rows)
+
+    def _pad_to(self, columns: Sequence[str]) -> "Relation":
+        index_map = {c: i for i, c in enumerate(self.columns)}
+        rows = (
+            tuple(row[index_map[c]] if c in index_map else None for c in columns)
+            for row in self.rows
+        )
+        return Relation(columns, rows)
+
+    def natural_join(self, other: "Relation", metrics: Optional[ExecutionMetrics] = None) -> "Relation":
+        """Hash join on all shared column names.
+
+        Shared columns appear once in the output.  When there is no shared
+        column the result is the cross product (the compiler avoids this, but
+        the operator supports it for completeness).
+        """
+        shared = [c for c in self.columns if c in other.columns]
+        output_columns = list(self.columns) + [c for c in other.columns if c not in shared]
+        comparisons = 0
+        output_rows: List[Row] = []
+
+        if not shared:
+            for left_row in self.rows:
+                for right_row in other.rows:
+                    comparisons += 1
+                    output_rows.append(left_row + right_row)
+            if metrics is not None:
+                metrics.record_join(len(self.rows), len(other.rows), comparisons, len(output_rows))
+            return Relation(output_columns, output_rows)
+
+        # Build the hash table on the smaller input, probe with the larger.
+        build, probe, build_is_left = (
+            (self, other, True) if len(self.rows) <= len(other.rows) else (other, self, False)
+        )
+        build_key_indexes = [build.column_index(c) for c in shared]
+        probe_key_indexes = [probe.column_index(c) for c in shared]
+        probe_extra_indexes = [
+            probe.column_index(c) for c in probe.columns if c not in shared
+        ]
+        hash_table: Dict[Row, List[Row]] = defaultdict(list)
+        for row in build.rows:
+            hash_table[tuple(row[i] for i in build_key_indexes)].append(row)
+
+        left_extra_positions = [self.column_index(c) for c in self.columns]
+        right_extra_positions = [other.column_index(c) for c in other.columns if c not in shared]
+
+        for probe_row in probe.rows:
+            key = tuple(probe_row[i] for i in probe_key_indexes)
+            bucket = hash_table.get(key)
+            if not bucket:
+                continue
+            comparisons += len(bucket)
+            for build_row in bucket:
+                left_row = build_row if build_is_left else probe_row
+                right_row = probe_row if build_is_left else build_row
+                combined = tuple(left_row[i] for i in left_extra_positions) + tuple(
+                    right_row[i] for i in right_extra_positions
+                )
+                output_rows.append(combined)
+        if metrics is not None:
+            metrics.record_join(len(self.rows), len(other.rows), comparisons, len(output_rows))
+        return Relation(output_columns, output_rows)
+
+    def left_outer_join(self, other: "Relation", metrics: Optional[ExecutionMetrics] = None) -> "Relation":
+        """Left outer join on shared column names (OPTIONAL semantics)."""
+        shared = [c for c in self.columns if c in other.columns]
+        extra_columns = [c for c in other.columns if c not in shared]
+        output_columns = list(self.columns) + extra_columns
+        comparisons = 0
+        output_rows: List[Row] = []
+
+        right_key_indexes = [other.column_index(c) for c in shared]
+        right_extra_indexes = [other.column_index(c) for c in extra_columns]
+        hash_table: Dict[Row, List[Row]] = defaultdict(list)
+        for row in other.rows:
+            hash_table[tuple(row[i] for i in right_key_indexes)].append(row)
+
+        left_key_indexes = [self.column_index(c) for c in shared]
+        for left_row in self.rows:
+            key = tuple(left_row[i] for i in left_key_indexes)
+            bucket = hash_table.get(key)
+            if bucket:
+                comparisons += len(bucket)
+                for right_row in bucket:
+                    output_rows.append(left_row + tuple(right_row[i] for i in right_extra_indexes))
+            else:
+                output_rows.append(left_row + tuple(None for _ in extra_columns))
+        if metrics is not None:
+            metrics.record_join(len(self.rows), len(other.rows), comparisons, len(output_rows))
+        return Relation(output_columns, output_rows)
+
+    def semi_join(
+        self,
+        other: "Relation",
+        on: Sequence[Tuple[str, str]],
+        metrics: Optional[ExecutionMetrics] = None,
+    ) -> "Relation":
+        """Left semi join: keep rows of ``self`` with a match in ``other``.
+
+        ``on`` is a sequence of ``(left_column, right_column)`` pairs.  This is
+        the operator ExtVP is built from (Sec. 5.2).
+        """
+        left_indexes = [self.column_index(lc) for lc, _ in on]
+        right_indexes = [other.column_index(rc) for _, rc in on]
+        keys = {tuple(row[i] for i in right_indexes) for row in other.rows}
+        comparisons = 0
+        kept: List[Row] = []
+        for row in self.rows:
+            comparisons += 1
+            if tuple(row[i] for i in left_indexes) in keys:
+                kept.append(row)
+        if metrics is not None:
+            metrics.record_join(len(self.rows), len(other.rows), comparisons, len(kept))
+        return Relation(self.columns, kept)
+
+    def anti_join(
+        self,
+        other: "Relation",
+        on: Sequence[Tuple[str, str]],
+        metrics: Optional[ExecutionMetrics] = None,
+    ) -> "Relation":
+        """Left anti join: keep rows of ``self`` with no match in ``other``."""
+        left_indexes = [self.column_index(lc) for lc, _ in on]
+        right_indexes = [other.column_index(rc) for _, rc in on]
+        keys = {tuple(row[i] for i in right_indexes) for row in other.rows}
+        kept = [row for row in self.rows if tuple(row[i] for i in left_indexes) not in keys]
+        if metrics is not None:
+            metrics.record_join(len(self.rows), len(other.rows), len(self.rows), len(kept))
+        return Relation(self.columns, kept)
+
+
+def _sortable(value: Any) -> Any:
+    """Make heterogeneous values comparable for ORDER BY."""
+    if isinstance(value, (int, float)):
+        return (0, value, "")
+    if hasattr(value, "n3"):
+        return (1, 0, value.n3())
+    return (1, 0, str(value))

@@ -1,0 +1,77 @@
+"""Table naming conventions.
+
+All layouts register their tables in a shared catalog, so names must be
+deterministic, collision-free and readable in generated SQL.  Predicates are
+compacted to their prefixed name (``wsdbm:follows``) and sanitised to a SQL
+identifier (``wsdbm_follows``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict
+
+from repro.rdf.namespaces import NamespaceManager
+from repro.rdf.terms import IRI
+
+_SANITIZE_RE = re.compile(r"[^A-Za-z0-9_]")
+
+_DEFAULT_MANAGER = NamespaceManager()
+
+TRIPLES_TABLE = "triples"
+PROPERTY_TABLE = "property_table"
+
+
+def predicate_key(predicate: IRI, namespaces: NamespaceManager = _DEFAULT_MANAGER) -> str:
+    """A SQL-safe, human-readable key for a predicate IRI."""
+    compact = namespaces.compact(predicate)
+    if compact.startswith("<") and compact.endswith(">"):
+        compact = predicate.local_name() or predicate.value
+    return _SANITIZE_RE.sub("_", compact).strip("_") or "p"
+
+
+def triples_table_name() -> str:
+    return TRIPLES_TABLE
+
+
+def vp_table_name(predicate: IRI, namespaces: NamespaceManager = _DEFAULT_MANAGER) -> str:
+    """Name of the VP table for ``predicate`` (``vp_wsdbm_follows``)."""
+    return f"vp_{predicate_key(predicate, namespaces)}"
+
+
+def extvp_table_name(
+    kind: str,
+    first: IRI,
+    second: IRI,
+    namespaces: NamespaceManager = _DEFAULT_MANAGER,
+) -> str:
+    """Name of an ExtVP table (``extvp_os_wsdbm_follows__wsdbm_likes``).
+
+    ``kind`` is one of ``ss``, ``os``, ``so`` (``oo`` exists only for the
+    ablation study).  The first predicate is the one whose VP table is being
+    reduced; the second is the correlated predicate.
+    """
+    kind = kind.lower()
+    if kind not in ("ss", "os", "so", "oo"):
+        raise ValueError(f"unknown correlation kind {kind!r}")
+    return f"extvp_{kind}_{predicate_key(first, namespaces)}__{predicate_key(second, namespaces)}"
+
+
+def property_table_column(predicate: IRI, namespaces: NamespaceManager = _DEFAULT_MANAGER) -> str:
+    """Column name of a predicate inside the unified property table."""
+    return predicate_key(predicate, namespaces)
+
+
+def build_unique_keys(predicates, namespaces: NamespaceManager = _DEFAULT_MANAGER) -> Dict[IRI, str]:
+    """Map predicates to unique keys, disambiguating collisions with suffixes."""
+    keys: Dict[IRI, str] = {}
+    used: Dict[str, int] = {}
+    for predicate in sorted(predicates, key=lambda p: p.value):
+        key = predicate_key(predicate, namespaces)
+        if key in used:
+            used[key] += 1
+            key = f"{key}_{used[key]}"
+        else:
+            used[key] = 0
+        keys[predicate] = key
+    return keys

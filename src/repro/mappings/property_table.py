@@ -1,0 +1,109 @@
+"""Unified property table layout (Sec. 4.3, the Sempala layout).
+
+All predicates become columns of a single wide table keyed by subject.
+Multi-valued predicates are handled by row duplication as in Table 1 of the
+paper: every extra value of a predicate adds one more row for the subject.
+This keeps the table size in the order of the number of subjects (times the
+maximum multiplicity), but it means that a single property-table row cannot
+enumerate all *combinations* of two multi-valued predicates — consumers such
+as the Sempala baseline therefore evaluate at most one multi-valued predicate
+per table scan and join additional ones back in (the paper's Fig. 7 uses the
+same pattern: one ``SELECT DISTINCT`` block per triple group).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.engine.catalog import Catalog
+from repro.engine.relation import Relation
+from repro.engine.storage import HdfsSimulator
+from repro.mappings.naming import PROPERTY_TABLE, build_unique_keys, triples_table_name
+from repro.mappings.triples_table import LayoutBuildReport
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import NamespaceManager
+from repro.rdf.terms import IRI, Term
+
+
+class PropertyTableLayout:
+    """Builds a single unified property table plus the triples-table fallback."""
+
+    name = "property_table"
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        hdfs: Optional[HdfsSimulator] = None,
+        namespaces: Optional[NamespaceManager] = None,
+    ) -> None:
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.hdfs = hdfs if hdfs is not None else HdfsSimulator()
+        self.namespaces = namespaces or NamespaceManager()
+        self.report: Optional[LayoutBuildReport] = None
+        self.columns: Tuple[str, ...] = ()
+        #: predicate -> column name
+        self.predicate_columns: Dict[IRI, str] = {}
+        #: predicates with more than one value for at least one subject
+        self.multi_valued_predicates: Set[IRI] = set()
+
+    def build(self, graph: Graph) -> LayoutBuildReport:
+        start = time.perf_counter()
+        predicates = graph.predicates()
+        keys = build_unique_keys(predicates, self.namespaces)
+        self.predicate_columns = dict(keys)
+        self.columns = ("s",) + tuple(keys[p] for p in predicates)
+
+        # Group values per subject and predicate.
+        per_subject: Dict[Term, Dict[IRI, List[Term]]] = {}
+        for triple in graph:
+            per_subject.setdefault(triple.subject, {}).setdefault(triple.predicate, []).append(triple.object)
+
+        self.multi_valued_predicates = set()
+        rows: List[Tuple[Term, ...]] = []
+        for subject in sorted(per_subject, key=lambda s: s.n3()):
+            values = per_subject[subject]
+            value_lists = [sorted(values.get(p, [None]), key=_value_sort_key) for p in predicates]
+            row_count = max(len(value_list) for value_list in value_lists)
+            for predicate, value_list in zip(predicates, value_lists):
+                if len(value_list) > 1:
+                    self.multi_valued_predicates.add(predicate)
+            for row_index in range(row_count):
+                # Shorter value lists wrap around (Table 1 repeats the single
+                # follows value next to each likes value), so every value of
+                # every predicate co-occurs with the subject's single-valued
+                # attributes in at least one row.
+                row = tuple(value_list[row_index % len(value_list)] for value_list in value_lists)
+                rows.append((subject,) + row)
+
+        relation = Relation(self.columns, rows)
+        self.catalog.register(PROPERTY_TABLE, relation)
+        self.hdfs.write(f"{self.name}/{PROPERTY_TABLE}.parquet", relation)
+        triples_relation = Relation(("s", "p", "o"), ((t.subject, t.predicate, t.object) for t in graph))
+        self.catalog.register(triples_table_name(), triples_relation)
+        elapsed = time.perf_counter() - start
+        self.report = LayoutBuildReport(
+            layout=self.name,
+            table_count=1,
+            tuple_count=len(relation),
+            hdfs_bytes=self.hdfs.total_bytes(f"{self.name}/"),
+            build_seconds=elapsed,
+        )
+        return self.report
+
+    def table(self) -> Relation:
+        return self.catalog.table(PROPERTY_TABLE)
+
+    def column_for(self, predicate: IRI) -> Optional[str]:
+        return self.predicate_columns.get(predicate)
+
+    def is_multi_valued(self, predicate: IRI) -> bool:
+        """Whether any subject has more than one value for ``predicate``."""
+        return predicate in self.multi_valued_predicates
+
+
+def _value_sort_key(value: Optional[Term]) -> str:
+    """Deterministic ordering of the values packed into one subject's rows."""
+    if value is None:
+        return ""
+    return value.n3()

@@ -1,0 +1,93 @@
+"""Vertical Partitioning layout (Sec. 4.2, Abadi et al.).
+
+One two-column table ``VP_p(s, o)`` per predicate ``p``.  The triples table is
+kept as well so that triple patterns with an unbound predicate can still be
+answered (Sec. 5.2).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional
+
+from repro.engine.catalog import Catalog
+from repro.engine.relation import Relation
+from repro.engine.storage import HdfsSimulator
+from repro.mappings.naming import build_unique_keys, triples_table_name
+from repro.mappings.triples_table import LayoutBuildReport
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import NamespaceManager
+from repro.rdf.terms import IRI
+
+
+class VerticalPartitioningLayout:
+    """Builds and registers the VP tables of an RDF graph."""
+
+    name = "vp"
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        hdfs: Optional[HdfsSimulator] = None,
+        namespaces: Optional[NamespaceManager] = None,
+        include_triples_table: bool = True,
+    ) -> None:
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.hdfs = hdfs if hdfs is not None else HdfsSimulator()
+        self.namespaces = namespaces or NamespaceManager()
+        self.include_triples_table = include_triples_table
+        self.report: Optional[LayoutBuildReport] = None
+        #: predicate -> VP table name
+        self.vp_tables: Dict[IRI, str] = {}
+        #: predicate -> number of tuples in its VP table
+        self.vp_sizes: Dict[IRI, int] = {}
+
+    # ------------------------------------------------------------------ #
+    def build(self, graph: Graph) -> LayoutBuildReport:
+        start = time.perf_counter()
+        predicates = graph.predicates()
+        keys = build_unique_keys(predicates, self.namespaces)
+        tuple_count = 0
+        for predicate in predicates:
+            rows = list(graph.subject_object_pairs(predicate))
+            relation = Relation(("s", "o"), rows)
+            table_name = f"vp_{keys[predicate]}"
+            self.catalog.register(table_name, relation, selectivity=1.0)
+            self.hdfs.write(f"{self.name}/{table_name}.parquet", relation)
+            self.vp_tables[predicate] = table_name
+            self.vp_sizes[predicate] = len(relation)
+            tuple_count += len(relation)
+        if self.include_triples_table:
+            triples_relation = Relation(
+                ("s", "p", "o"), ((t.subject, t.predicate, t.object) for t in graph)
+            )
+            self.catalog.register(triples_table_name(), triples_relation)
+        elapsed = time.perf_counter() - start
+        self.report = LayoutBuildReport(
+            layout=self.name,
+            table_count=len(self.vp_tables),
+            tuple_count=tuple_count,
+            hdfs_bytes=self.hdfs.total_bytes(f"{self.name}/"),
+            build_seconds=elapsed,
+        )
+        return self.report
+
+    # ------------------------------------------------------------------ #
+    def predicates(self) -> List[IRI]:
+        return sorted(self.vp_tables, key=lambda p: p.value)
+
+    def table_name(self, predicate: IRI) -> Optional[str]:
+        """VP table name for ``predicate`` (``None`` when the predicate is absent)."""
+        return self.vp_tables.get(predicate)
+
+    def table(self, predicate: IRI) -> Relation:
+        name = self.vp_tables.get(predicate)
+        if name is None:
+            return Relation.empty(("s", "o"))
+        return self.catalog.table(name)
+
+    def size(self, predicate: IRI) -> int:
+        return self.vp_sizes.get(predicate, 0)
+
+    def total_tuples(self) -> int:
+        return sum(self.vp_sizes.values())

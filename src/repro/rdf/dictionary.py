@@ -1,0 +1,86 @@
+"""Dictionary encoding of RDF terms.
+
+Columnar RDF stores (and Parquet's dictionary encoding) replace repeated term
+strings with dense integer identifiers.  The reproduction uses the dictionary
+both to speed up the relational engine (integers hash and compare faster than
+IRIs) and to model storage sizes realistically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Term
+from repro.rdf.triple import Triple
+
+
+class TermDictionary:
+    """A bidirectional mapping between RDF terms and dense integer ids."""
+
+    def __init__(self) -> None:
+        self._term_to_id: Dict[Term, int] = {}
+        self._id_to_term: List[Term] = []
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._term_to_id
+
+    def encode(self, term: Term) -> int:
+        """Return the id of ``term``, assigning a new one if necessary."""
+        existing = self._term_to_id.get(term)
+        if existing is not None:
+            return existing
+        new_id = len(self._id_to_term)
+        self._term_to_id[term] = new_id
+        self._id_to_term.append(term)
+        return new_id
+
+    def lookup(self, term: Term) -> Optional[int]:
+        """Return the id of ``term`` or ``None`` when it is unknown."""
+        return self._term_to_id.get(term)
+
+    def decode(self, term_id: int) -> Term:
+        try:
+            return self._id_to_term[term_id]
+        except IndexError:
+            raise KeyError(f"unknown term id {term_id}") from None
+
+    def encode_triple(self, triple: Triple) -> Tuple[int, int, int]:
+        return (
+            self.encode(triple.subject),
+            self.encode(triple.predicate),
+            self.encode(triple.object),
+        )
+
+    def decode_triple(self, encoded: Tuple[int, int, int]) -> Triple:
+        subject, predicate, object_ = encoded
+        return Triple(self.decode(subject), self.decode(predicate), self.decode(object_))
+
+    def encode_graph(self, graph: Graph) -> List[Tuple[int, int, int]]:
+        """Encode a whole graph, returning a list of id triples."""
+        return [self.encode_triple(triple) for triple in graph]
+
+    def terms(self) -> Iterator[Term]:
+        return iter(self._id_to_term)
+
+    def average_term_length(self) -> float:
+        """Average N-Triples length of all terms (used by the storage model)."""
+        if not self._id_to_term:
+            return 0.0
+        return sum(len(term.n3()) for term in self._id_to_term) / len(self._id_to_term)
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "TermDictionary":
+        dictionary = cls()
+        dictionary.encode_graph(graph)
+        return dictionary
+
+    @classmethod
+    def from_terms(cls, terms: Iterable[Term]) -> "TermDictionary":
+        dictionary = cls()
+        for term in terms:
+            dictionary.encode(term)
+        return dictionary

@@ -1,0 +1,108 @@
+"""Namespace / prefix handling.
+
+WatDiv (and the paper's queries) use a fixed set of vocabularies; the
+:class:`NamespaceManager` expands prefixed names such as ``wsdbm:User0`` to
+full IRIs and shrinks IRIs back to prefixed names for display.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.rdf.terms import IRI
+
+
+@dataclass(frozen=True)
+class Namespace:
+    """A namespace is a prefix bound to a base IRI."""
+
+    prefix: str
+    base: str
+
+    def term(self, local_name: str) -> IRI:
+        return IRI(self.base + local_name)
+
+    def __getitem__(self, local_name: str) -> IRI:
+        return self.term(local_name)
+
+
+#: The vocabularies used by the WatDiv benchmark and the paper's queries.
+WATDIV_NAMESPACES: Dict[str, str] = {
+    "wsdbm": "http://db.uwaterloo.ca/~galuc/wsdbm/",
+    "sorg": "http://schema.org/",
+    "gr": "http://purl.org/goodrelations/",
+    "rev": "http://purl.org/stuff/rev#",
+    "foaf": "http://xmlns.com/foaf/",
+    "og": "http://ogp.me/ns#",
+    "mo": "http://purl.org/ontology/mo/",
+    "gn": "http://www.geonames.org/ontology#",
+    "dc": "http://purl.org/dc/terms/",
+    "rdf": "http://www.w3.org/1999/02/22-rdf-syntax-ns#",
+    "rdfs": "http://www.w3.org/2000/01/rdf-schema#",
+    "xsd": "http://www.w3.org/2001/XMLSchema#",
+}
+
+
+class NamespaceManager:
+    """Expands and compacts prefixed names."""
+
+    def __init__(self, namespaces: Optional[Dict[str, str]] = None) -> None:
+        self._prefix_to_base: Dict[str, str] = dict(namespaces or WATDIV_NAMESPACES)
+        self._base_to_prefix: Dict[str, str] = {base: prefix for prefix, base in self._prefix_to_base.items()}
+
+    def bind(self, prefix: str, base: str) -> None:
+        """Register (or overwrite) a prefix binding."""
+        self._prefix_to_base[prefix] = base
+        self._base_to_prefix[base] = prefix
+
+    def namespaces(self) -> Dict[str, str]:
+        return dict(self._prefix_to_base)
+
+    def namespace(self, prefix: str) -> Namespace:
+        if prefix not in self._prefix_to_base:
+            raise KeyError(f"unknown prefix: {prefix!r}")
+        return Namespace(prefix, self._prefix_to_base[prefix])
+
+    def expand(self, prefixed_name: str) -> IRI:
+        """Expand ``prefix:local`` to a full IRI."""
+        if ":" not in prefixed_name:
+            raise ValueError(f"not a prefixed name: {prefixed_name!r}")
+        prefix, local = prefixed_name.split(":", 1)
+        if prefix not in self._prefix_to_base:
+            raise KeyError(f"unknown prefix: {prefix!r} in {prefixed_name!r}")
+        return IRI(self._prefix_to_base[prefix] + local)
+
+    def try_expand(self, prefixed_name: str) -> Optional[IRI]:
+        """Like :meth:`expand` but returns ``None`` on unknown prefixes."""
+        try:
+            return self.expand(prefixed_name)
+        except (KeyError, ValueError):
+            return None
+
+    def compact(self, iri: IRI) -> str:
+        """Compact a full IRI back to a prefixed name when a binding matches."""
+        value = iri.value
+        best: Optional[Tuple[str, str]] = None
+        for base, prefix in self._base_to_prefix.items():
+            if value.startswith(base) and (best is None or len(base) > len(best[1])):
+                best = (prefix, base)
+        if best is None:
+            return iri.n3()
+        prefix, base = best
+        return f"{prefix}:{value[len(base):]}"
+
+
+#: A shared default manager used throughout the code base.
+DEFAULT_NAMESPACES = NamespaceManager()
+
+WSDBM = Namespace("wsdbm", WATDIV_NAMESPACES["wsdbm"])
+SORG = Namespace("sorg", WATDIV_NAMESPACES["sorg"])
+GR = Namespace("gr", WATDIV_NAMESPACES["gr"])
+REV = Namespace("rev", WATDIV_NAMESPACES["rev"])
+FOAF = Namespace("foaf", WATDIV_NAMESPACES["foaf"])
+OG = Namespace("og", WATDIV_NAMESPACES["og"])
+MO = Namespace("mo", WATDIV_NAMESPACES["mo"])
+GN = Namespace("gn", WATDIV_NAMESPACES["gn"])
+DC = Namespace("dc", WATDIV_NAMESPACES["dc"])
+RDF = Namespace("rdf", WATDIV_NAMESPACES["rdf"])

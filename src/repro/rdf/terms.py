@@ -1,0 +1,177 @@
+"""RDF term types.
+
+The paper uses a simplified RDF notation (``A follows B``) but the system has
+to handle real IRIs, literals and blank nodes, so the term model distinguishes
+the four kinds of nodes that can occur in data and queries:
+
+* :class:`IRI` — a global identifier (``<http://example.org/x>`` or a prefixed
+  name such as ``wsdbm:User0`` that has already been expanded).
+* :class:`Literal` — a lexical value with an optional datatype or language tag.
+* :class:`BlankNode` — an anonymous node with a document-scoped label.
+* :class:`Variable` — a query variable (``?x``); only valid inside queries.
+
+All terms are immutable and hashable so they can be used as dictionary keys,
+set members and columns of relational tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+XSD_STRING = "http://www.w3.org/2001/XMLSchema#string"
+XSD_INTEGER = "http://www.w3.org/2001/XMLSchema#integer"
+XSD_DECIMAL = "http://www.w3.org/2001/XMLSchema#decimal"
+XSD_DOUBLE = "http://www.w3.org/2001/XMLSchema#double"
+XSD_BOOLEAN = "http://www.w3.org/2001/XMLSchema#boolean"
+XSD_DATE = "http://www.w3.org/2001/XMLSchema#date"
+
+_NUMERIC_DATATYPES = frozenset({XSD_INTEGER, XSD_DECIMAL, XSD_DOUBLE})
+
+
+class Term:
+    """Abstract base class for all RDF terms."""
+
+    __slots__ = ()
+
+    def n3(self) -> str:
+        """Return the N-Triples / SPARQL surface syntax of the term."""
+        raise NotImplementedError
+
+    @property
+    def is_variable(self) -> bool:
+        return isinstance(self, Variable)
+
+    @property
+    def is_bound(self) -> bool:
+        """A term is bound when it is a concrete RDF term, not a variable."""
+        return not self.is_variable
+
+
+@dataclass(frozen=True)
+class IRI(Term):
+    """An IRI reference identifying a resource."""
+
+    value: str
+
+    def n3(self) -> str:
+        return f"<{self.value}>"
+
+    def local_name(self) -> str:
+        """Return the fragment / last path segment, useful for display."""
+        value = self.value
+        for separator in ("#", "/", ":"):
+            if separator in value:
+                value = value.rsplit(separator, 1)[1]
+                break
+        return value
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return self.value
+
+
+@dataclass(frozen=True)
+class Literal(Term):
+    """A literal value with optional datatype IRI or language tag."""
+
+    lexical: str
+    datatype: Optional[str] = None
+    language: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.datatype is not None and self.language is not None:
+            raise ValueError("a literal cannot have both a datatype and a language tag")
+
+    def n3(self) -> str:
+        escaped = (
+            self.lexical.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        )
+        if self.language:
+            return f'"{escaped}"@{self.language}'
+        if self.datatype and self.datatype != XSD_STRING:
+            return f'"{escaped}"^^<{self.datatype}>'
+        return f'"{escaped}"'
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.datatype in _NUMERIC_DATATYPES
+
+    def to_python(self) -> Union[str, int, float, bool]:
+        """Convert the literal to the closest Python value."""
+        if self.datatype == XSD_INTEGER:
+            return int(self.lexical)
+        if self.datatype in (XSD_DECIMAL, XSD_DOUBLE):
+            return float(self.lexical)
+        if self.datatype == XSD_BOOLEAN:
+            return self.lexical in ("true", "1")
+        return self.lexical
+
+    @classmethod
+    def from_python(cls, value: Union[str, int, float, bool]) -> "Literal":
+        """Build a typed literal from a native Python value."""
+        if isinstance(value, bool):
+            return cls("true" if value else "false", datatype=XSD_BOOLEAN)
+        if isinstance(value, int):
+            return cls(str(value), datatype=XSD_INTEGER)
+        if isinstance(value, float):
+            return cls(repr(value), datatype=XSD_DOUBLE)
+        return cls(str(value))
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return self.lexical
+
+
+@dataclass(frozen=True)
+class BlankNode(Term):
+    """An anonymous node, identified by a document-scoped label."""
+
+    label: str
+
+    def n3(self) -> str:
+        return f"_:{self.label}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return f"_:{self.label}"
+
+
+@dataclass(frozen=True)
+class Variable(Term):
+    """A SPARQL query variable such as ``?x``."""
+
+    name: str = field()
+
+    def __post_init__(self) -> None:
+        if self.name.startswith("?") or self.name.startswith("$"):
+            object.__setattr__(self, "name", self.name[1:])
+        if not self.name:
+            raise ValueError("variable name must not be empty")
+
+    def n3(self) -> str:
+        return f"?{self.name}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return f"?{self.name}"
+
+
+def term_from_string(text: str) -> Term:
+    """Parse a single term from its N-Triples / SPARQL surface form.
+
+    This is a convenience used by tests and examples; the full N-Triples parser
+    lives in :mod:`repro.rdf.ntriples`.
+    """
+    text = text.strip()
+    if not text:
+        raise ValueError("empty term")
+    if text.startswith("?") or text.startswith("$"):
+        return Variable(text[1:])
+    if text.startswith("<") and text.endswith(">"):
+        return IRI(text[1:-1])
+    if text.startswith("_:"):
+        return BlankNode(text[2:])
+    if text.startswith('"'):
+        from repro.rdf.ntriples import parse_literal
+
+        return parse_literal(text)
+    # Fall back to treating the token as an IRI in simplified notation,
+    # matching the paper's shorthand (e.g. "follows" or "wsdbm:User0").
+    return IRI(text)

@@ -1,0 +1,55 @@
+"""RDF triples.
+
+A triple ``(s, p, o)`` models the statement "s has property p with value o"
+and is interpreted as a labelled directed edge of the RDF graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.rdf.terms import BlankNode, IRI, Literal, Term, Variable
+
+
+@dataclass(frozen=True)
+class Triple:
+    """A concrete RDF triple (no variables allowed)."""
+
+    subject: Term
+    predicate: Term
+    object: Term
+
+    def __post_init__(self) -> None:
+        for position, term in (("subject", self.subject), ("predicate", self.predicate), ("object", self.object)):
+            if isinstance(term, Variable):
+                raise TypeError(f"triple {position} must be a concrete term, got variable {term}")
+        if isinstance(self.subject, Literal):
+            raise TypeError("triple subject must not be a literal")
+        if not isinstance(self.predicate, IRI):
+            raise TypeError("triple predicate must be an IRI")
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter((self.subject, self.predicate, self.object))
+
+    def as_tuple(self) -> Tuple[Term, Term, Term]:
+        return (self.subject, self.predicate, self.object)
+
+    def n3(self) -> str:
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    @classmethod
+    def of(cls, subject: str, predicate: str, object_: str) -> "Triple":
+        """Build a triple from simplified string notation (paper shorthand).
+
+        Strings are interpreted as IRIs unless they carry explicit N-Triples
+        markers; this mirrors the paper's ``(A, follows, B)`` notation.
+        """
+        from repro.rdf.terms import term_from_string
+
+        subject_term = term_from_string(subject)
+        predicate_term = term_from_string(predicate)
+        object_term = term_from_string(object_)
+        if isinstance(object_term, BlankNode) and object_.startswith('"'):
+            raise ValueError("object literal failed to parse")
+        return cls(subject_term, predicate_term, object_term)

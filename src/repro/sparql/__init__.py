@@ -1,0 +1,67 @@
+"""SPARQL substrate: parsing, algebra and structural analysis.
+
+The public entry point is :func:`parse_query`, which turns a SPARQL 1.0 query
+string into a :class:`~repro.sparql.algebra.Query` algebra tree.  The algebra
+mirrors the W3C algebra used by the paper (BGP, Filter, LeftJoin/Optional,
+Union, Projection, Distinct, OrderBy, Slice).
+"""
+
+from repro.sparql.algebra import (
+    BGP,
+    Distinct,
+    Filter,
+    Join,
+    LeftJoin,
+    OrderBy,
+    OrderCondition,
+    PatternNode,
+    Projection,
+    Query,
+    Slice,
+    TriplePattern,
+    Union,
+)
+from repro.sparql.expressions import (
+    And,
+    Bound,
+    Comparison,
+    Expression,
+    FunctionCall,
+    Not,
+    Or,
+    TermExpression,
+    VariableExpression,
+)
+from repro.sparql.parser import SparqlParseError, parse_query
+from repro.sparql.shapes import QueryShape, analyze_bgp, classify_shape, diameter
+
+__all__ = [
+    "BGP",
+    "Distinct",
+    "Filter",
+    "Join",
+    "LeftJoin",
+    "OrderBy",
+    "OrderCondition",
+    "PatternNode",
+    "Projection",
+    "Query",
+    "Slice",
+    "TriplePattern",
+    "Union",
+    "And",
+    "Bound",
+    "Comparison",
+    "Expression",
+    "FunctionCall",
+    "Not",
+    "Or",
+    "TermExpression",
+    "VariableExpression",
+    "SparqlParseError",
+    "parse_query",
+    "QueryShape",
+    "analyze_bgp",
+    "classify_shape",
+    "diameter",
+]

@@ -1,0 +1,239 @@
+"""SPARQL algebra.
+
+The algebra follows the W3C recommendation the paper references: a query is a
+tree of pattern operators whose leaves are basic graph patterns (sets of
+triple patterns).  S2RDF's compiler (``repro.core``) traverses this tree
+bottom-up to produce relational plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.rdf.terms import Term, Variable
+from repro.sparql.expressions import Expression
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """A triple pattern: each component is either a bound term or a variable."""
+
+    subject: Term
+    predicate: Term
+    object: Term
+
+    def variables(self) -> Set[Variable]:
+        """The set of variables occurring in this pattern (``vars(tp)``)."""
+        return {t for t in (self.subject, self.predicate, self.object) if isinstance(t, Variable)}
+
+    def bound_terms(self) -> Set[Term]:
+        return {t for t in (self.subject, self.predicate, self.object) if not isinstance(t, Variable)}
+
+    def bound_count(self) -> int:
+        """Number of bound (non-variable) components, used for join ordering."""
+        return 3 - len(self.variables())
+
+    @property
+    def has_bound_predicate(self) -> bool:
+        return not isinstance(self.predicate, Variable)
+
+    def n3(self) -> str:
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def __iter__(self):
+        return iter((self.subject, self.predicate, self.object))
+
+
+class PatternNode:
+    """Base class of all algebra operators."""
+
+    def variables(self) -> Set[Variable]:
+        raise NotImplementedError
+
+    def children(self) -> Sequence["PatternNode"]:
+        return ()
+
+
+@dataclass(frozen=True)
+class BGP(PatternNode):
+    """A basic graph pattern: a conjunction of triple patterns."""
+
+    patterns: Tuple[TriplePattern, ...]
+
+    def __init__(self, patterns: Sequence[TriplePattern]) -> None:
+        object.__setattr__(self, "patterns", tuple(patterns))
+
+    def variables(self) -> Set[Variable]:
+        result: Set[Variable] = set()
+        for pattern in self.patterns:
+            result |= pattern.variables()
+        return result
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self):
+        return iter(self.patterns)
+
+
+@dataclass(frozen=True)
+class Join(PatternNode):
+    """Join of two group graph patterns."""
+
+    left: PatternNode
+    right: PatternNode
+
+    def variables(self) -> Set[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def children(self) -> Sequence[PatternNode]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class LeftJoin(PatternNode):
+    """OPTIONAL: left outer join, optionally guarded by a filter expression."""
+
+    left: PatternNode
+    right: PatternNode
+    expression: Optional[Expression] = None
+
+    def variables(self) -> Set[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def children(self) -> Sequence[PatternNode]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Filter(PatternNode):
+    """FILTER: restrict the solutions of a pattern by an expression."""
+
+    expression: Expression
+    pattern: PatternNode
+
+    def variables(self) -> Set[Variable]:
+        return self.pattern.variables()
+
+    def children(self) -> Sequence[PatternNode]:
+        return (self.pattern,)
+
+
+@dataclass(frozen=True)
+class Union(PatternNode):
+    """UNION of two patterns (bag semantics)."""
+
+    left: PatternNode
+    right: PatternNode
+
+    def variables(self) -> Set[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def children(self) -> Sequence[PatternNode]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class OrderCondition:
+    """One ORDER BY criterion."""
+
+    expression: Expression
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class Projection(PatternNode):
+    """SELECT projection onto a list of variables (empty = ``SELECT *``)."""
+
+    pattern: PatternNode
+    variables_list: Tuple[Variable, ...]
+
+    def variables(self) -> Set[Variable]:
+        if self.variables_list:
+            return set(self.variables_list)
+        return self.pattern.variables()
+
+    def children(self) -> Sequence[PatternNode]:
+        return (self.pattern,)
+
+
+@dataclass(frozen=True)
+class Distinct(PatternNode):
+    pattern: PatternNode
+
+    def variables(self) -> Set[Variable]:
+        return self.pattern.variables()
+
+    def children(self) -> Sequence[PatternNode]:
+        return (self.pattern,)
+
+
+@dataclass(frozen=True)
+class OrderBy(PatternNode):
+    pattern: PatternNode
+    conditions: Tuple[OrderCondition, ...]
+
+    def variables(self) -> Set[Variable]:
+        return self.pattern.variables()
+
+    def children(self) -> Sequence[PatternNode]:
+        return (self.pattern,)
+
+
+@dataclass(frozen=True)
+class Slice(PatternNode):
+    """LIMIT / OFFSET."""
+
+    pattern: PatternNode
+    offset: int = 0
+    limit: Optional[int] = None
+
+    def variables(self) -> Set[Variable]:
+        return self.pattern.variables()
+
+    def children(self) -> Sequence[PatternNode]:
+        return (self.pattern,)
+
+
+@dataclass
+class Query:
+    """A complete parsed SPARQL SELECT query."""
+
+    pattern: PatternNode
+    select_variables: Tuple[Variable, ...] = ()
+    distinct: bool = False
+    order_by: Tuple[OrderCondition, ...] = ()
+    limit: Optional[int] = None
+    offset: int = 0
+    prefixes: dict = field(default_factory=dict)
+    text: str = ""
+
+    def variables(self) -> Set[Variable]:
+        if self.select_variables:
+            return set(self.select_variables)
+        return self.pattern.variables()
+
+    def projected_names(self) -> List[str]:
+        """Names of the projected variables, in declaration order."""
+        if self.select_variables:
+            return [v.name for v in self.select_variables]
+        return sorted(v.name for v in self.pattern.variables())
+
+
+def collect_bgps(node: PatternNode) -> List[BGP]:
+    """Collect every BGP leaf of an algebra tree (pre-order)."""
+    if isinstance(node, BGP):
+        return [node]
+    result: List[BGP] = []
+    for child in node.children():
+        result.extend(collect_bgps(child))
+    return result
+
+
+def collect_triple_patterns(node: PatternNode) -> List[TriplePattern]:
+    """Collect all triple patterns below ``node``."""
+    patterns: List[TriplePattern] = []
+    for bgp in collect_bgps(node):
+        patterns.extend(bgp.patterns)
+    return patterns

@@ -1,0 +1,265 @@
+"""SPARQL filter expressions.
+
+Only the fragment needed by the WatDiv workloads plus common comparison,
+boolean and arithmetic operators is supported.  Expressions evaluate against a
+solution mapping (a dict from variable name to RDF term) and follow SPARQL's
+error semantics loosely: evaluation errors make the filter reject the row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Set, Union as TypingUnion
+
+from repro.rdf.terms import IRI, Literal, Term, Variable
+
+SolutionMapping = Dict[str, Term]
+
+
+class ExpressionError(Exception):
+    """Raised when an expression cannot be evaluated for a given mapping."""
+
+
+class Expression:
+    """Base class for filter expressions."""
+
+    def evaluate(self, mapping: SolutionMapping):
+        raise NotImplementedError
+
+    def evaluate_truth(self, mapping: SolutionMapping) -> bool:
+        """Effective boolean value; errors count as ``False`` (row rejected)."""
+        try:
+            return bool(self.evaluate(mapping))
+        except ExpressionError:
+            return False
+
+    def variables(self) -> Set[Variable]:
+        raise NotImplementedError
+
+    def to_sql(self) -> str:
+        """Render the expression as a SQL-ish condition string."""
+        raise NotImplementedError
+
+
+def _term_value(term: Term):
+    """Convert an RDF term to a comparable Python value."""
+    if isinstance(term, Literal):
+        value = term.to_python()
+        if isinstance(value, str):
+            # Numeric-looking plain literals compare numerically, which matches
+            # how WatDiv encodes numbers without datatypes.
+            try:
+                return int(value)
+            except ValueError:
+                try:
+                    return float(value)
+                except ValueError:
+                    return value
+        return value
+    if isinstance(term, IRI):
+        return term.value
+    return str(term)
+
+
+@dataclass(frozen=True)
+class VariableExpression(Expression):
+    variable: Variable
+
+    def evaluate(self, mapping: SolutionMapping):
+        term = mapping.get(self.variable.name)
+        if term is None:
+            raise ExpressionError(f"unbound variable ?{self.variable.name}")
+        return _term_value(term)
+
+    def variables(self) -> Set[Variable]:
+        return {self.variable}
+
+    def to_sql(self) -> str:
+        return self.variable.name
+
+
+@dataclass(frozen=True)
+class TermExpression(Expression):
+    """A constant RDF term used inside an expression."""
+
+    term: Term
+
+    def evaluate(self, mapping: SolutionMapping):
+        return _term_value(self.term)
+
+    def variables(self) -> Set[Variable]:
+        return set()
+
+    def to_sql(self) -> str:
+        value = _term_value(self.term)
+        if isinstance(value, (int, float)):
+            return str(value)
+        return "'" + str(value).replace("'", "''") + "'"
+
+
+_COMPARISON_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_ARITHMETIC_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    operator: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.operator not in _COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {self.operator!r}")
+
+    def evaluate(self, mapping: SolutionMapping) -> bool:
+        left = self.left.evaluate(mapping)
+        right = self.right.evaluate(mapping)
+        try:
+            return _COMPARISON_OPS[self.operator](left, right)
+        except TypeError as exc:
+            raise ExpressionError(str(exc)) from exc
+
+    def variables(self) -> Set[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def to_sql(self) -> str:
+        op = "<>" if self.operator == "!=" else self.operator
+        return f"{self.left.to_sql()} {op} {self.right.to_sql()}"
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expression):
+    operator: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.operator not in _ARITHMETIC_OPS:
+            raise ValueError(f"unknown arithmetic operator {self.operator!r}")
+
+    def evaluate(self, mapping: SolutionMapping):
+        left = self.left.evaluate(mapping)
+        right = self.right.evaluate(mapping)
+        try:
+            return _ARITHMETIC_OPS[self.operator](left, right)
+        except (TypeError, ZeroDivisionError) as exc:
+            raise ExpressionError(str(exc)) from exc
+
+    def variables(self) -> Set[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.operator} {self.right.to_sql()})"
+
+
+@dataclass(frozen=True)
+class And(Expression):
+    left: Expression
+    right: Expression
+
+    def evaluate(self, mapping: SolutionMapping) -> bool:
+        return self.left.evaluate_truth(mapping) and self.right.evaluate_truth(mapping)
+
+    def variables(self) -> Set[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} AND {self.right.to_sql()})"
+
+
+@dataclass(frozen=True)
+class Or(Expression):
+    left: Expression
+    right: Expression
+
+    def evaluate(self, mapping: SolutionMapping) -> bool:
+        return self.left.evaluate_truth(mapping) or self.right.evaluate_truth(mapping)
+
+    def variables(self) -> Set[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} OR {self.right.to_sql()})"
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    operand: Expression
+
+    def evaluate(self, mapping: SolutionMapping) -> bool:
+        return not self.operand.evaluate_truth(mapping)
+
+    def variables(self) -> Set[Variable]:
+        return self.operand.variables()
+
+    def to_sql(self) -> str:
+        return f"NOT ({self.operand.to_sql()})"
+
+
+@dataclass(frozen=True)
+class Bound(Expression):
+    """``BOUND(?x)`` — true when the variable has a binding."""
+
+    variable: Variable
+
+    def evaluate(self, mapping: SolutionMapping) -> bool:
+        return mapping.get(self.variable.name) is not None
+
+    def variables(self) -> Set[Variable]:
+        return {self.variable}
+
+    def to_sql(self) -> str:
+        return f"{self.variable.name} IS NOT NULL"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A small set of SPARQL built-in functions (regex, str, lang, datatype)."""
+
+    name: str
+    arguments: Sequence[Expression]
+
+    def evaluate(self, mapping: SolutionMapping):
+        name = self.name.lower()
+        if name == "regex":
+            import re
+
+            if len(self.arguments) < 2:
+                raise ExpressionError("regex() needs at least two arguments")
+            text = str(self.arguments[0].evaluate(mapping))
+            pattern = str(self.arguments[1].evaluate(mapping))
+            flags = 0
+            if len(self.arguments) > 2 and "i" in str(self.arguments[2].evaluate(mapping)):
+                flags = re.IGNORECASE
+            return re.search(pattern, text, flags) is not None
+        if name == "str":
+            return str(self.arguments[0].evaluate(mapping))
+        if name == "bound":
+            argument = self.arguments[0]
+            if isinstance(argument, VariableExpression):
+                return Bound(argument.variable).evaluate(mapping)
+            raise ExpressionError("bound() needs a variable argument")
+        raise ExpressionError(f"unsupported function {self.name!r}")
+
+    def variables(self) -> Set[Variable]:
+        result: Set[Variable] = set()
+        for argument in self.arguments:
+            result |= argument.variables()
+        return result
+
+    def to_sql(self) -> str:
+        rendered = ", ".join(argument.to_sql() for argument in self.arguments)
+        return f"{self.name.upper()}({rendered})"

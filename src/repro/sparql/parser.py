@@ -1,0 +1,417 @@
+"""Recursive-descent parser for the SPARQL fragment used by the paper.
+
+Supported syntax: ``PREFIX`` declarations, ``SELECT [DISTINCT] (* | ?vars)``,
+group graph patterns with triple patterns (including ``;`` predicate lists and
+``,`` object lists), ``FILTER``, ``OPTIONAL``, ``UNION``, ``ORDER BY``,
+``LIMIT`` and ``OFFSET``.  This covers every query in the WatDiv Basic,
+Selectivity and Incremental Linear workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.rdf.namespaces import WATDIV_NAMESPACES
+from repro.rdf.ntriples import parse_literal
+from repro.rdf.terms import IRI, Literal, Term, Variable, XSD_DECIMAL, XSD_INTEGER
+from repro.sparql.algebra import (
+    BGP,
+    Filter,
+    Join,
+    LeftJoin,
+    OrderCondition,
+    PatternNode,
+    Query,
+    TriplePattern,
+    Union,
+)
+from repro.sparql.expressions import (
+    And,
+    Arithmetic,
+    Bound,
+    Comparison,
+    Expression,
+    FunctionCall,
+    Not,
+    Or,
+    TermExpression,
+    VariableExpression,
+)
+from repro.sparql.tokenizer import Token, TokenizeError, tokenize
+
+RDF_TYPE = IRI(WATDIV_NAMESPACES["rdf"] + "type")
+
+
+class SparqlParseError(ValueError):
+    """Raised when the query text is not valid (supported) SPARQL."""
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        try:
+            self.tokens = tokenize(text)
+        except TokenizeError as exc:
+            raise SparqlParseError(str(exc)) from exc
+        self.index = 0
+        self.prefixes: Dict[str, str] = dict(WATDIV_NAMESPACES)
+
+    # ------------------------------------------------------------------ #
+    # Token helpers
+    # ------------------------------------------------------------------ #
+    def _peek(self, offset: int = 0) -> Optional[Token]:
+        position = self.index + offset
+        if position < len(self.tokens):
+            return self.tokens[position]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise SparqlParseError("unexpected end of query")
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self._next()
+        if token.kind != kind or (value is not None and token.value != value):
+            expected = f"{kind} {value!r}" if value else kind
+            raise SparqlParseError(f"expected {expected} but found {token.kind} {token.value!r}")
+        return token
+
+    def _at_keyword(self, keyword: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "KEYWORD" and token.value == keyword
+
+    def _accept_keyword(self, keyword: str) -> bool:
+        if self._at_keyword(keyword):
+            self.index += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Grammar
+    # ------------------------------------------------------------------ #
+    def parse(self) -> Query:
+        self._parse_prologue()
+        if not self._accept_keyword("select"):
+            raise SparqlParseError("only SELECT queries are supported")
+        distinct = self._accept_keyword("distinct")
+        self._accept_keyword("reduced")
+        select_variables = self._parse_select_variables()
+        self._accept_keyword("where")
+        pattern = self._parse_group_graph_pattern()
+        order_by, limit, offset = self._parse_solution_modifiers()
+        if self._peek() is not None:
+            token = self._peek()
+            raise SparqlParseError(f"unexpected trailing token {token.value!r}")
+        return Query(
+            pattern=pattern,
+            select_variables=tuple(select_variables),
+            distinct=distinct,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+            prefixes=dict(self.prefixes),
+            text=self.text,
+        )
+
+    def _parse_prologue(self) -> None:
+        while self._at_keyword("prefix") or self._at_keyword("base"):
+            if self._accept_keyword("prefix"):
+                name_token = self._next()
+                if name_token.kind not in ("PNAME", "NAME"):
+                    raise SparqlParseError(f"expected prefix name, found {name_token.value!r}")
+                prefix = name_token.value.rstrip(":")
+                iri_token = self._expect("IRI")
+                self.prefixes[prefix] = iri_token.value[1:-1]
+            elif self._accept_keyword("base"):
+                self._expect("IRI")
+
+    def _parse_select_variables(self) -> List[Variable]:
+        variables: List[Variable] = []
+        token = self._peek()
+        if token is not None and token.kind == "STAR":
+            self.index += 1
+            return variables
+        while True:
+            token = self._peek()
+            if token is None or token.kind != "VAR":
+                break
+            variables.append(Variable(self._next().value))
+        if not variables:
+            raise SparqlParseError("SELECT clause must list variables or '*'")
+        return variables
+
+    def _parse_group_graph_pattern(self) -> PatternNode:
+        self._expect("LBRACE")
+        elements: List[PatternNode] = []
+        filters: List[Expression] = []
+        triple_patterns: List[TriplePattern] = []
+
+        def flush_bgp() -> None:
+            if triple_patterns:
+                elements.append(BGP(list(triple_patterns)))
+                triple_patterns.clear()
+
+        while True:
+            token = self._peek()
+            if token is None:
+                raise SparqlParseError("unterminated group graph pattern")
+            if token.kind == "RBRACE":
+                self.index += 1
+                break
+            if token.kind == "KEYWORD" and token.value == "filter":
+                self.index += 1
+                filters.append(self._parse_bracketted_expression())
+                continue
+            if token.kind == "KEYWORD" and token.value == "optional":
+                self.index += 1
+                optional_pattern = self._parse_group_graph_pattern()
+                flush_bgp()
+                left = self._combine(elements)
+                elements = [LeftJoin(left, optional_pattern)]
+                continue
+            if token.kind == "LBRACE":
+                group = self._parse_group_graph_pattern()
+                while self._at_keyword("union"):
+                    self.index += 1
+                    right = self._parse_group_graph_pattern()
+                    group = Union(group, right)
+                flush_bgp()
+                elements.append(group)
+                continue
+            if token.kind == "DOT":
+                self.index += 1
+                continue
+            # Otherwise this must start a triple pattern.
+            triple_patterns.extend(self._parse_triples_same_subject())
+            token = self._peek()
+            if token is not None and token.kind == "DOT":
+                self.index += 1
+        flush_bgp()
+        pattern = self._combine(elements)
+        for expression in filters:
+            pattern = Filter(expression, pattern)
+        return pattern
+
+    @staticmethod
+    def _combine(elements: List[PatternNode]) -> PatternNode:
+        if not elements:
+            return BGP([])
+        result = elements[0]
+        for element in elements[1:]:
+            if isinstance(result, BGP) and isinstance(element, BGP):
+                result = BGP(list(result.patterns) + list(element.patterns))
+            else:
+                result = Join(result, element)
+        return result
+
+    def _parse_triples_same_subject(self) -> List[TriplePattern]:
+        subject = self._parse_term(position="subject")
+        patterns: List[TriplePattern] = []
+        while True:
+            predicate = self._parse_verb()
+            while True:
+                object_ = self._parse_term(position="object")
+                patterns.append(TriplePattern(subject, predicate, object_))
+                token = self._peek()
+                if token is not None and token.kind == "COMMA":
+                    self.index += 1
+                    continue
+                break
+            token = self._peek()
+            if token is not None and token.kind == "SEMICOLON":
+                self.index += 1
+                # A trailing semicolon before '.' or '}' is legal.
+                token = self._peek()
+                if token is not None and token.kind in ("DOT", "RBRACE"):
+                    break
+                continue
+            break
+        return patterns
+
+    def _parse_verb(self) -> Term:
+        token = self._peek()
+        if token is not None and token.kind == "KEYWORD" and token.value == "a":
+            self.index += 1
+            return RDF_TYPE
+        return self._parse_term(position="predicate")
+
+    def _parse_term(self, position: str) -> Term:
+        token = self._next()
+        if token.kind == "VAR":
+            return Variable(token.value)
+        if token.kind == "IRI":
+            return IRI(token.value[1:-1])
+        if token.kind == "PNAME":
+            return self._expand_pname(token.value)
+        if token.kind == "STRING":
+            return self._parse_string_literal(token.value)
+        if token.kind == "NUMBER":
+            datatype = XSD_INTEGER if "." not in token.value and "e" not in token.value.lower() else XSD_DECIMAL
+            return Literal(token.value, datatype=datatype)
+        if token.kind == "NAME":
+            # Simplified notation (paper running example): bare name as IRI.
+            return IRI(token.value)
+        raise SparqlParseError(f"unexpected token {token.value!r} in {position} position")
+
+    def _expand_pname(self, pname: str) -> IRI:
+        prefix, _, local = pname.partition(":")
+        if prefix not in self.prefixes:
+            raise SparqlParseError(f"undeclared prefix {prefix!r} in {pname!r}")
+        return IRI(self.prefixes[prefix] + local)
+
+    def _parse_string_literal(self, token_value: str) -> Literal:
+        if "^^" in token_value and not token_value.endswith(">"):
+            lexical, _, datatype = token_value.rpartition("^^")
+            expanded = self._expand_pname(datatype)
+            return Literal(parse_literal(lexical).lexical, datatype=expanded.value)
+        return parse_literal(token_value)
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+    def _parse_bracketted_expression(self) -> Expression:
+        self._expect("LPAREN")
+        expression = self._parse_or_expression()
+        self._expect("RPAREN")
+        return expression
+
+    def _parse_or_expression(self) -> Expression:
+        left = self._parse_and_expression()
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "OROR":
+                self.index += 1
+                right = self._parse_and_expression()
+                left = Or(left, right)
+            else:
+                return left
+
+    def _parse_and_expression(self) -> Expression:
+        left = self._parse_relational_expression()
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "ANDAND":
+                self.index += 1
+                right = self._parse_relational_expression()
+                left = And(left, right)
+            else:
+                return left
+
+    _RELATIONAL = {"EQ": "=", "NEQ": "!=", "LT": "<", "GT": ">", "LE": "<=", "GE": ">="}
+
+    def _parse_relational_expression(self) -> Expression:
+        left = self._parse_additive_expression()
+        token = self._peek()
+        if token is not None and token.kind in self._RELATIONAL:
+            self.index += 1
+            right = self._parse_additive_expression()
+            return Comparison(self._RELATIONAL[token.kind], left, right)
+        return left
+
+    def _parse_additive_expression(self) -> Expression:
+        left = self._parse_multiplicative_expression()
+        while True:
+            token = self._peek()
+            if token is not None and token.kind in ("PLUS", "MINUS"):
+                self.index += 1
+                right = self._parse_multiplicative_expression()
+                left = Arithmetic("+" if token.kind == "PLUS" else "-", left, right)
+            else:
+                return left
+
+    def _parse_multiplicative_expression(self) -> Expression:
+        left = self._parse_unary_expression()
+        while True:
+            token = self._peek()
+            if token is not None and token.kind in ("STAR", "SLASH"):
+                self.index += 1
+                right = self._parse_unary_expression()
+                left = Arithmetic("*" if token.kind == "STAR" else "/", left, right)
+            else:
+                return left
+
+    def _parse_unary_expression(self) -> Expression:
+        token = self._peek()
+        if token is not None and token.kind == "NOT":
+            self.index += 1
+            return Not(self._parse_unary_expression())
+        return self._parse_primary_expression()
+
+    def _parse_primary_expression(self) -> Expression:
+        token = self._next()
+        if token.kind == "LPAREN":
+            expression = self._parse_or_expression()
+            self._expect("RPAREN")
+            return expression
+        if token.kind == "VAR":
+            return VariableExpression(Variable(token.value))
+        if token.kind == "NUMBER":
+            datatype = XSD_INTEGER if "." not in token.value and "e" not in token.value.lower() else XSD_DECIMAL
+            return TermExpression(Literal(token.value, datatype=datatype))
+        if token.kind == "STRING":
+            return TermExpression(self._parse_string_literal(token.value))
+        if token.kind == "IRI":
+            return TermExpression(IRI(token.value[1:-1]))
+        if token.kind == "PNAME":
+            return TermExpression(self._expand_pname(token.value))
+        if token.kind in ("NAME", "KEYWORD"):
+            # Function call such as regex(...), bound(...), str(...).
+            name = token.value
+            next_token = self._peek()
+            if next_token is not None and next_token.kind == "LPAREN":
+                self.index += 1
+                arguments: List[Expression] = []
+                if self._peek() is not None and self._peek().kind != "RPAREN":
+                    arguments.append(self._parse_or_expression())
+                    while self._peek() is not None and self._peek().kind == "COMMA":
+                        self.index += 1
+                        arguments.append(self._parse_or_expression())
+                self._expect("RPAREN")
+                if name.lower() == "bound" and arguments and isinstance(arguments[0], VariableExpression):
+                    return Bound(arguments[0].variable)
+                return FunctionCall(name, tuple(arguments))
+            return TermExpression(IRI(name))
+        raise SparqlParseError(f"unexpected token {token.value!r} in expression")
+
+    # ------------------------------------------------------------------ #
+    # Solution modifiers
+    # ------------------------------------------------------------------ #
+    def _parse_solution_modifiers(self) -> Tuple[List[OrderCondition], Optional[int], int]:
+        order_conditions: List[OrderCondition] = []
+        limit: Optional[int] = None
+        offset = 0
+        while True:
+            if self._accept_keyword("order"):
+                if not self._accept_keyword("by"):
+                    raise SparqlParseError("ORDER must be followed by BY")
+                while True:
+                    token = self._peek()
+                    if token is None:
+                        break
+                    if token.kind == "KEYWORD" and token.value in ("asc", "desc"):
+                        ascending = token.value == "asc"
+                        self.index += 1
+                        expression = self._parse_bracketted_expression()
+                        order_conditions.append(OrderCondition(expression, ascending))
+                    elif token.kind == "VAR":
+                        self.index += 1
+                        order_conditions.append(OrderCondition(VariableExpression(Variable(token.value)), True))
+                    else:
+                        break
+                continue
+            if self._accept_keyword("limit"):
+                limit = int(self._expect("NUMBER").value)
+                continue
+            if self._accept_keyword("offset"):
+                offset = int(self._expect("NUMBER").value)
+                continue
+            break
+        return order_conditions, limit, offset
+
+
+def parse_query(text: str) -> Query:
+    """Parse a SPARQL SELECT query into its algebra representation."""
+    return _Parser(text).parse()

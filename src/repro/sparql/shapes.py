@@ -1,0 +1,239 @@
+"""Query-shape analysis.
+
+Sec. 2.1 of the paper classifies BGPs by shape (star, linear, snowflake,
+complex) and defines the *diameter* as the longest connected sequence of triple
+patterns, ignoring edge direction.  The benchmark harness uses this analysis to
+group queries the way the paper's figures do, and the baselines use it to
+decide which queries they handle well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from itertools import combinations
+from typing import Dict, List, Set, Tuple
+
+from repro.rdf.terms import Variable
+from repro.sparql.algebra import BGP, TriplePattern
+
+
+class QueryShape(str, Enum):
+    """The fundamental BGP shapes of Fig. 3."""
+
+    STAR = "star"
+    LINEAR = "linear"
+    SNOWFLAKE = "snowflake"
+    COMPLEX = "complex"
+    SINGLE = "single"
+    DISCONNECTED = "disconnected"
+
+
+class CorrelationType(str, Enum):
+    """The four join-variable positions of Fig. 9."""
+
+    SUBJECT_SUBJECT = "SS"
+    SUBJECT_OBJECT = "SO"
+    OBJECT_SUBJECT = "OS"
+    OBJECT_OBJECT = "OO"
+
+
+@dataclass(frozen=True)
+class Correlation:
+    """A shared variable between two triple patterns."""
+
+    first: int
+    second: int
+    variable: Variable
+    kind: CorrelationType
+
+
+@dataclass
+class BGPAnalysis:
+    """Structural summary of a BGP."""
+
+    shape: QueryShape
+    diameter: int
+    correlations: List[Correlation]
+    join_variable_degrees: Dict[Variable, int]
+
+    @property
+    def is_connected(self) -> bool:
+        return self.shape != QueryShape.DISCONNECTED
+
+
+def _shared_variables(a: TriplePattern, b: TriplePattern) -> Set[Variable]:
+    return a.variables() & b.variables()
+
+
+def correlations_between(index_a: int, a: TriplePattern, index_b: int, b: TriplePattern) -> List[Correlation]:
+    """All correlations (shared-variable positions) between two patterns."""
+    found: List[Correlation] = []
+    positions_a = (("s", a.subject), ("o", a.object))
+    positions_b = (("s", b.subject), ("o", b.object))
+    kind_map = {
+        ("s", "s"): CorrelationType.SUBJECT_SUBJECT,
+        ("s", "o"): CorrelationType.SUBJECT_OBJECT,
+        ("o", "s"): CorrelationType.OBJECT_SUBJECT,
+        ("o", "o"): CorrelationType.OBJECT_OBJECT,
+    }
+    for pos_a, term_a in positions_a:
+        if not isinstance(term_a, Variable):
+            continue
+        for pos_b, term_b in positions_b:
+            if isinstance(term_b, Variable) and term_a == term_b:
+                found.append(Correlation(index_a, index_b, term_a, kind_map[(pos_a, pos_b)]))
+    return found
+
+
+def find_correlations(bgp: BGP) -> List[Correlation]:
+    """Enumerate all pairwise correlations of a BGP (both directions)."""
+    result: List[Correlation] = []
+    patterns = list(bgp.patterns)
+    for (i, a), (j, b) in combinations(enumerate(patterns), 2):
+        result.extend(correlations_between(i, a, j, b))
+        result.extend(correlations_between(j, b, i, a))
+    return result
+
+
+def _adjacency(bgp: BGP) -> Dict[int, Set[int]]:
+    """Triple-pattern adjacency graph: patterns are adjacent when they share a variable."""
+    adjacency: Dict[int, Set[int]] = {i: set() for i in range(len(bgp.patterns))}
+    for (i, a), (j, b) in combinations(enumerate(bgp.patterns), 2):
+        if _shared_variables(a, b):
+            adjacency[i].add(j)
+            adjacency[j].add(i)
+    return adjacency
+
+
+def _connected_components(adjacency: Dict[int, Set[int]]) -> List[Set[int]]:
+    components: List[Set[int]] = []
+    remaining = set(adjacency)
+    while remaining:
+        seed = remaining.pop()
+        component = {seed}
+        frontier = [seed]
+        while frontier:
+            node = frontier.pop()
+            for neighbour in adjacency[node]:
+                if neighbour not in component:
+                    component.add(neighbour)
+                    frontier.append(neighbour)
+        remaining -= component
+        components.append(component)
+    return components
+
+
+def diameter(bgp: BGP) -> int:
+    """Longest shortest path (in triple patterns) of the BGP adjacency graph.
+
+    A single triple pattern has diameter 1, matching the paper's convention
+    that a star has diameter 1 and a chain of n patterns has diameter n.
+    """
+    n = len(bgp.patterns)
+    if n == 0:
+        return 0
+    if n == 1:
+        return 1
+    adjacency = _adjacency(bgp)
+    best = 1
+
+    for start in range(n):
+        # BFS from each pattern.
+        distances = {start: 0}
+        frontier = [start]
+        while frontier:
+            next_frontier: List[int] = []
+            for node in frontier:
+                for neighbour in adjacency[node]:
+                    if neighbour not in distances:
+                        distances[neighbour] = distances[node] + 1
+                        next_frontier.append(neighbour)
+            frontier = next_frontier
+        if distances:
+            best = max(best, max(distances.values()) + 1)
+    return best
+
+
+def _variable_degrees(bgp: BGP) -> Dict[Variable, int]:
+    """Number of triple patterns each variable occurs in."""
+    degrees: Dict[Variable, int] = {}
+    for pattern in bgp.patterns:
+        for variable in pattern.variables():
+            degrees[variable] = degrees.get(variable, 0) + 1
+    return degrees
+
+
+def classify_shape(bgp: BGP) -> QueryShape:
+    """Classify a BGP as star, linear, snowflake or complex (Fig. 3)."""
+    n = len(bgp.patterns)
+    if n == 0:
+        return QueryShape.DISCONNECTED
+    if n == 1:
+        return QueryShape.SINGLE
+    adjacency = _adjacency(bgp)
+    components = _connected_components(adjacency)
+    if len(components) > 1:
+        return QueryShape.DISCONNECTED
+
+    degrees = _variable_degrees(bgp)
+    join_variables = {v: d for v, d in degrees.items() if d >= 2}
+
+    # Star: a single join variable shared by all triple patterns on the
+    # subject side (diameter 1 in the paper's terms).
+    subject_variables = {p.subject for p in bgp.patterns if isinstance(p.subject, Variable)}
+    if len(join_variables) == 1:
+        variable, degree = next(iter(join_variables.items()))
+        if degree == n and variable in subject_variables:
+            return QueryShape.STAR
+
+    # Linear: every join variable connects exactly two patterns through
+    # subject-object (or object-subject) correlations and the adjacency graph
+    # is a simple path.
+    degree_counts = sorted(len(neigh) for neigh in adjacency.values())
+    is_path = degree_counts.count(1) == 2 and all(d <= 2 for d in degree_counts)
+    correlations = find_correlations(bgp)
+    has_ss_hub = any(
+        c.kind == CorrelationType.SUBJECT_SUBJECT for c in correlations
+    )
+    if is_path and not has_ss_hub:
+        return QueryShape.LINEAR
+
+    # Snowflake vs complex: build the *variable* multigraph (one edge per
+    # pattern whose subject and object are both variables).  A snowflake is a
+    # tree of at least two subject-side hubs; any cycle (like the running
+    # example Q1) makes the pattern complex.
+    hub_variables = {
+        v
+        for v, d in join_variables.items()
+        if d >= 2 and any(p.subject == v for p in bgp.patterns)
+    }
+    variable_nodes: Set[Variable] = set()
+    variable_edges = 0
+    for pattern in bgp.patterns:
+        variable_nodes |= pattern.variables()
+        if isinstance(pattern.subject, Variable) and isinstance(pattern.object, Variable):
+            variable_edges += 1
+    # Connected components of the variable graph.
+    neighbours: Dict[Variable, Set[Variable]] = {v: set() for v in variable_nodes}
+    for pattern in bgp.patterns:
+        if isinstance(pattern.subject, Variable) and isinstance(pattern.object, Variable):
+            neighbours[pattern.subject].add(pattern.object)
+            neighbours[pattern.object].add(pattern.subject)
+    components = _connected_components({v: neighbours[v] for v in variable_nodes}) if variable_nodes else []
+    acyclic = variable_edges <= max(0, len(variable_nodes) - len(components))
+    if len(hub_variables) >= 2 and acyclic:
+        return QueryShape.SNOWFLAKE
+    if is_path:
+        return QueryShape.LINEAR
+    return QueryShape.COMPLEX
+
+
+def analyze_bgp(bgp: BGP) -> BGPAnalysis:
+    """Full structural analysis of a BGP."""
+    return BGPAnalysis(
+        shape=classify_shape(bgp),
+        diameter=diameter(bgp),
+        correlations=find_correlations(bgp),
+        join_variable_degrees={v: d for v, d in _variable_degrees(bgp).items() if d >= 2},
+    )

@@ -1,0 +1,101 @@
+"""Tokenizer for the supported SPARQL fragment."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class TokenizeError(ValueError):
+    """Raised when the query text contains a character we cannot tokenize."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Token({self.kind}, {self.value!r})"
+
+
+_KEYWORDS = {
+    "select",
+    "distinct",
+    "reduced",
+    "where",
+    "filter",
+    "optional",
+    "union",
+    "order",
+    "by",
+    "asc",
+    "desc",
+    "limit",
+    "offset",
+    "prefix",
+    "base",
+    "a",
+}
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"#[^\n]*"),
+    ("WS", r"\s+"),
+    ("IRI", r"<[^<>\"{}|^`\\\s]*>"),
+    ("STRING", r'"(?:[^"\\]|\\.)*"(?:@[A-Za-z0-9\-]+|\^\^<[^>]*>|\^\^[A-Za-z_][\w\-]*:[\w\-.]*)?'),
+    ("VAR", r"[?$][A-Za-z_][A-Za-z_0-9]*"),
+    ("NUMBER", r"[+-]?\d+\.\d*(?:[eE][+-]?\d+)?|[+-]?\.\d+(?:[eE][+-]?\d+)?|[+-]?\d+"),
+    ("PNAME", r"[A-Za-z_][\w\-]*:[\w\-.%]*"),
+    ("NAME", r"[A-Za-z_][\w\-]*"),
+    ("NEQ", r"!="),
+    ("LE", r"<="),
+    ("GE", r">="),
+    ("ANDAND", r"&&"),
+    ("OROR", r"\|\|"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("DOT", r"\."),
+    ("SEMICOLON", r";"),
+    ("COMMA", r","),
+    ("STAR", r"\*"),
+    ("EQ", r"="),
+    ("LT", r"<"),
+    ("GT", r">"),
+    ("NOT", r"!"),
+    ("PLUS", r"\+"),
+    ("MINUS", r"-"),
+    ("SLASH", r"/"),
+]
+
+_MASTER_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize a SPARQL query string into a list of tokens (EOF excluded)."""
+    tokens: List[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        match = _MASTER_RE.match(text, position)
+        if match is None:
+            raise TokenizeError(f"unexpected character {text[position]!r} at offset {position}")
+        kind = match.lastgroup or ""
+        value = match.group()
+        position = match.end()
+        if kind in ("WS", "COMMENT"):
+            continue
+        if kind == "NAME" and value.lower() in _KEYWORDS:
+            kind = "KEYWORD"
+            tokens.append(Token(kind, value.lower(), match.start()))
+            continue
+        tokens.append(Token(kind, value, match.start()))
+    return tokens
+
+
+def iter_tokens(text: str) -> Iterator[Token]:
+    """Generator variant of :func:`tokenize`."""
+    yield from tokenize(text)

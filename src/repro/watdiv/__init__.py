@@ -1,0 +1,36 @@
+"""WatDiv-like benchmark substrate.
+
+The Waterloo SPARQL Diversity Test Suite (WatDiv) provides a scalable data
+generator and query templates covering all BGP shapes.  The original generator
+is a C++ tool; this package re-implements a generator with the same entity
+classes and a comparable predicate mix, plus the three workloads the paper
+evaluates:
+
+* Basic Testing (L1–L5, S1–S7, F1–F5, C1–C3) — Appendix A.
+* Selectivity Testing (ST-1-1 … ST-8-2) — Appendix B, designed by the authors.
+* Incremental Linear Testing (IL-1/2/3, diameters 5–10) — Appendix C.
+"""
+
+from repro.watdiv.schema import EntityClass, PredicateSpec, WATDIV_SCHEMA, entity_iri
+from repro.watdiv.generator import WatDivDataset, WatDivGenerator, generate_dataset
+from repro.watdiv.template import QueryTemplate, instantiate_template
+from repro.watdiv.basic_queries import BASIC_TEMPLATES, basic_templates_by_category
+from repro.watdiv.selectivity_queries import SELECTIVITY_TEMPLATES
+from repro.watdiv.incremental_queries import INCREMENTAL_TEMPLATES, incremental_templates_by_type
+
+__all__ = [
+    "EntityClass",
+    "PredicateSpec",
+    "WATDIV_SCHEMA",
+    "entity_iri",
+    "WatDivDataset",
+    "WatDivGenerator",
+    "generate_dataset",
+    "QueryTemplate",
+    "instantiate_template",
+    "BASIC_TEMPLATES",
+    "basic_templates_by_category",
+    "SELECTIVITY_TEMPLATES",
+    "INCREMENTAL_TEMPLATES",
+    "incremental_templates_by_type",
+]

@@ -1,0 +1,277 @@
+"""WatDiv Basic Testing use case (Appendix A of the paper).
+
+Twenty query templates grouped by shape: linear (L1–L5), star (S1–S7),
+snowflake (F1–F5) and complex (C1–C3).  The template texts follow the paper's
+appendix verbatim (modulo whitespace).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.watdiv.schema import EntityClass
+from repro.watdiv.template import QueryTemplate
+
+
+BASIC_TEMPLATES: List[QueryTemplate] = [
+    # ------------------------------ linear ------------------------------ #
+    QueryTemplate(
+        name="L1",
+        category="L",
+        mappings={"v1": EntityClass.WEBSITE},
+        text="""SELECT ?v0 ?v2 ?v3 WHERE {
+  ?v0 wsdbm:subscribes %v1% .
+  ?v2 sorg:caption ?v3 .
+  ?v0 wsdbm:likes ?v2 .
+}""",
+    ),
+    QueryTemplate(
+        name="L2",
+        category="L",
+        mappings={"v0": EntityClass.CITY},
+        text="""SELECT ?v1 ?v2 WHERE {
+  %v0% gn:parentCountry ?v1 .
+  ?v2 wsdbm:likes wsdbm:Product0 .
+  ?v2 sorg:nationality ?v1 .
+}""",
+    ),
+    QueryTemplate(
+        name="L3",
+        category="L",
+        mappings={"v2": EntityClass.WEBSITE},
+        text="""SELECT ?v0 ?v1 WHERE {
+  ?v0 wsdbm:likes ?v1 .
+  ?v0 wsdbm:subscribes %v2% .
+}""",
+    ),
+    QueryTemplate(
+        name="L4",
+        category="L",
+        mappings={"v1": EntityClass.TOPIC},
+        text="""SELECT ?v0 ?v2 WHERE {
+  ?v0 og:tag %v1% .
+  ?v0 sorg:caption ?v2 .
+}""",
+    ),
+    QueryTemplate(
+        name="L5",
+        category="L",
+        mappings={"v2": EntityClass.CITY},
+        text="""SELECT ?v0 ?v1 ?v3 WHERE {
+  ?v0 sorg:jobTitle ?v1 .
+  %v2% gn:parentCountry ?v3 .
+  ?v0 sorg:nationality ?v3 .
+}""",
+    ),
+    # ------------------------------- star ------------------------------- #
+    QueryTemplate(
+        name="S1",
+        category="S",
+        mappings={"v2": EntityClass.RETAILER},
+        text="""SELECT ?v0 ?v1 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 ?v9 WHERE {
+  ?v0 gr:includes ?v1 .
+  %v2% gr:offers ?v0 .
+  ?v0 gr:price ?v3 .
+  ?v0 gr:serialNumber ?v4 .
+  ?v0 gr:validFrom ?v5 .
+  ?v0 gr:validThrough ?v6 .
+  ?v0 sorg:eligibleQuantity ?v7 .
+  ?v0 sorg:eligibleRegion ?v8 .
+  ?v0 sorg:priceValidUntil ?v9 .
+}""",
+    ),
+    QueryTemplate(
+        name="S2",
+        category="S",
+        mappings={"v2": EntityClass.COUNTRY},
+        text="""SELECT ?v0 ?v1 ?v3 WHERE {
+  ?v0 dc:Location ?v1 .
+  ?v0 sorg:nationality %v2% .
+  ?v0 wsdbm:gender ?v3 .
+  ?v0 rdf:type wsdbm:Role2 .
+}""",
+    ),
+    QueryTemplate(
+        name="S3",
+        category="S",
+        mappings={"v1": EntityClass.PRODUCT_CATEGORY},
+        text="""SELECT ?v0 ?v2 ?v3 ?v4 WHERE {
+  ?v0 rdf:type %v1% .
+  ?v0 sorg:caption ?v2 .
+  ?v0 wsdbm:hasGenre ?v3 .
+  ?v0 sorg:publisher ?v4 .
+}""",
+    ),
+    QueryTemplate(
+        name="S4",
+        category="S",
+        mappings={"v1": EntityClass.AGE_GROUP},
+        text="""SELECT ?v0 ?v2 ?v3 WHERE {
+  ?v0 foaf:age %v1% .
+  ?v0 foaf:familyName ?v2 .
+  ?v3 mo:artist ?v0 .
+  ?v0 sorg:nationality wsdbm:Country1 .
+}""",
+    ),
+    QueryTemplate(
+        name="S5",
+        category="S",
+        mappings={"v1": EntityClass.PRODUCT_CATEGORY},
+        text="""SELECT ?v0 ?v2 ?v3 WHERE {
+  ?v0 rdf:type %v1% .
+  ?v0 sorg:description ?v2 .
+  ?v0 sorg:keywords ?v3 .
+  ?v0 sorg:language wsdbm:Language0 .
+}""",
+    ),
+    QueryTemplate(
+        name="S6",
+        category="S",
+        mappings={"v3": EntityClass.SUB_GENRE},
+        text="""SELECT ?v0 ?v1 ?v2 WHERE {
+  ?v0 mo:conductor ?v1 .
+  ?v0 rdf:type ?v2 .
+  ?v0 wsdbm:hasGenre %v3% .
+}""",
+    ),
+    QueryTemplate(
+        name="S7",
+        category="S",
+        mappings={"v3": EntityClass.USER},
+        text="""SELECT ?v0 ?v1 ?v2 WHERE {
+  ?v0 rdf:type ?v1 .
+  ?v0 sorg:text ?v2 .
+  %v3% wsdbm:likes ?v0 .
+}""",
+    ),
+    # ----------------------------- snowflake ----------------------------- #
+    QueryTemplate(
+        name="F1",
+        category="F",
+        mappings={"v1": EntityClass.TOPIC},
+        text="""SELECT ?v0 ?v2 ?v3 ?v4 ?v5 WHERE {
+  ?v0 og:tag %v1% .
+  ?v0 rdf:type ?v2 .
+  ?v3 sorg:trailer ?v4 .
+  ?v3 sorg:keywords ?v5 .
+  ?v3 wsdbm:hasGenre ?v0 .
+  ?v3 rdf:type wsdbm:ProductCategory2 .
+}""",
+    ),
+    QueryTemplate(
+        name="F2",
+        category="F",
+        mappings={"v8": EntityClass.SUB_GENRE},
+        text="""SELECT ?v0 ?v1 ?v2 ?v4 ?v5 ?v6 ?v7 WHERE {
+  ?v0 foaf:homepage ?v1 .
+  ?v0 og:title ?v2 .
+  ?v0 rdf:type ?v3 .
+  ?v0 sorg:caption ?v4 .
+  ?v0 sorg:description ?v5 .
+  ?v1 sorg:url ?v6 .
+  ?v1 wsdbm:hits ?v7 .
+  ?v0 wsdbm:hasGenre %v8% .
+}""",
+    ),
+    QueryTemplate(
+        name="F3",
+        category="F",
+        mappings={"v3": EntityClass.SUB_GENRE},
+        text="""SELECT ?v0 ?v1 ?v2 ?v4 ?v5 ?v6 WHERE {
+  ?v0 sorg:contentRating ?v1 .
+  ?v0 sorg:contentSize ?v2 .
+  ?v0 wsdbm:hasGenre %v3% .
+  ?v4 wsdbm:makesPurchase ?v5 .
+  ?v5 wsdbm:purchaseDate ?v6 .
+  ?v5 wsdbm:purchaseFor ?v0 .
+}""",
+    ),
+    QueryTemplate(
+        name="F4",
+        category="F",
+        mappings={"v3": EntityClass.TOPIC},
+        text="""SELECT ?v0 ?v1 ?v2 ?v4 ?v5 ?v6 ?v7 ?v8 WHERE {
+  ?v0 foaf:homepage ?v1 .
+  ?v2 gr:includes ?v0 .
+  ?v0 og:tag %v3% .
+  ?v0 sorg:description ?v4 .
+  ?v0 sorg:contentSize ?v8 .
+  ?v1 sorg:url ?v5 .
+  ?v1 wsdbm:hits ?v6 .
+  ?v1 sorg:language wsdbm:Language0 .
+  ?v7 wsdbm:likes ?v0 .
+}""",
+    ),
+    QueryTemplate(
+        name="F5",
+        category="F",
+        mappings={"v2": EntityClass.RETAILER},
+        text="""SELECT ?v0 ?v1 ?v3 ?v4 ?v5 ?v6 WHERE {
+  ?v0 gr:includes ?v1 .
+  %v2% gr:offers ?v0 .
+  ?v0 gr:price ?v3 .
+  ?v0 gr:validThrough ?v4 .
+  ?v1 og:title ?v5 .
+  ?v1 rdf:type ?v6 .
+}""",
+    ),
+    # ------------------------------ complex ------------------------------ #
+    QueryTemplate(
+        name="C1",
+        category="C",
+        text="""SELECT ?v0 ?v4 ?v6 ?v7 WHERE {
+  ?v0 sorg:caption ?v1 .
+  ?v0 sorg:text ?v2 .
+  ?v0 sorg:contentRating ?v3 .
+  ?v0 rev:hasReview ?v4 .
+  ?v4 rev:title ?v5 .
+  ?v4 rev:reviewer ?v6 .
+  ?v7 sorg:actor ?v6 .
+  ?v7 sorg:language ?v8 .
+}""",
+    ),
+    QueryTemplate(
+        name="C2",
+        category="C",
+        text="""SELECT ?v0 ?v3 ?v4 ?v8 WHERE {
+  ?v0 sorg:legalName ?v1 .
+  ?v0 gr:offers ?v2 .
+  ?v2 sorg:eligibleRegion wsdbm:Country5 .
+  ?v2 gr:includes ?v3 .
+  ?v4 sorg:jobTitle ?v5 .
+  ?v4 foaf:homepage ?v6 .
+  ?v4 wsdbm:makesPurchase ?v7 .
+  ?v7 wsdbm:purchaseFor ?v3 .
+  ?v3 rev:hasReview ?v8 .
+  ?v8 rev:totalVotes ?v9 .
+}""",
+    ),
+    QueryTemplate(
+        name="C3",
+        category="C",
+        text="""SELECT ?v0 WHERE {
+  ?v0 wsdbm:likes ?v1 .
+  ?v0 wsdbm:friendOf ?v2 .
+  ?v0 dc:Location ?v3 .
+  ?v0 foaf:age ?v4 .
+  ?v0 wsdbm:gender ?v5 .
+  ?v0 foaf:givenName ?v6 .
+}""",
+    ),
+]
+
+
+def basic_templates_by_category() -> Dict[str, List[QueryTemplate]]:
+    """Group the Basic Testing templates by shape category (L, S, F, C)."""
+    grouped: Dict[str, List[QueryTemplate]] = {}
+    for template in BASIC_TEMPLATES:
+        grouped.setdefault(template.category, []).append(template)
+    return grouped
+
+
+def basic_template(name: str) -> QueryTemplate:
+    """Look up a Basic Testing template by name (e.g. ``"S3"``)."""
+    for template in BASIC_TEMPLATES:
+        if template.name == name:
+            return template
+    raise KeyError(f"unknown Basic Testing template {name!r}")

@@ -1,0 +1,175 @@
+"""WatDiv-like data generator.
+
+``generate_dataset(scale_factor, seed)`` builds a reproducible RDF graph whose
+entity classes and predicate mix follow :mod:`repro.watdiv.schema`.  One scale
+factor unit yields roughly 2.5 k triples, so the paper's SF10/SF100/… datasets
+map to laptop-friendly sizes while preserving the relative table sizes and
+selectivities that drive the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal, Term
+from repro.rdf.triple import Triple
+from repro.watdiv.schema import (
+    ENTITY_COUNTS,
+    HAS_REVIEW,
+    OFFERS,
+    WATDIV_SCHEMA,
+    EntityClass,
+    PredicateSpec,
+    entity_iri,
+)
+
+
+@dataclass
+class WatDivDataset:
+    """A generated graph plus the entity inventory needed to instantiate queries."""
+
+    graph: Graph
+    scale_factor: float
+    seed: int
+    entity_counts: Dict[EntityClass, int] = field(default_factory=dict)
+
+    def entities(self, entity_class: EntityClass) -> List[IRI]:
+        """All instance IRIs of one entity class."""
+        count = self.entity_counts.get(entity_class, 0)
+        return [entity_iri(entity_class, index) for index in range(count)]
+
+    def sample_entity(self, entity_class: EntityClass, rng: np.random.Generator) -> IRI:
+        count = self.entity_counts.get(entity_class, 0)
+        if count == 0:
+            raise ValueError(f"no instances of {entity_class} in this dataset")
+        return entity_iri(entity_class, int(rng.integers(0, count)))
+
+    def __len__(self) -> int:
+        return len(self.graph)
+
+
+class WatDivGenerator:
+    """Scalable generator for the WatDiv-like universe."""
+
+    def __init__(self, scale_factor: float = 1.0, seed: int = 42) -> None:
+        if scale_factor <= 0:
+            raise ValueError("scale_factor must be positive")
+        self.scale_factor = scale_factor
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    def entity_counts(self) -> Dict[EntityClass, int]:
+        """Number of instances of every entity class at this scale factor."""
+        counts: Dict[EntityClass, int] = {}
+        for entity_class, (per_unit, minimum) in ENTITY_COUNTS.items():
+            scaled = int(round(per_unit * self.scale_factor))
+            counts[entity_class] = max(minimum, scaled)
+        return counts
+
+    def generate(self) -> WatDivDataset:
+        rng = np.random.default_rng(self.seed)
+        counts = self.entity_counts()
+        graph = Graph(name=f"watdiv-sf{self.scale_factor:g}")
+
+        for spec in WATDIV_SCHEMA:
+            self._generate_predicate(graph, spec, counts, rng)
+
+        # Structural one-to-one links that the plain predicate specs cannot
+        # express: every offer belongs to exactly one retailer and every
+        # review to exactly one product.
+        self._generate_ownership(graph, OFFERS, EntityClass.RETAILER, EntityClass.OFFER, counts, rng)
+        self._generate_ownership(graph, HAS_REVIEW, EntityClass.PRODUCT, EntityClass.REVIEW, counts, rng)
+
+        return WatDivDataset(
+            graph=graph,
+            scale_factor=self.scale_factor,
+            seed=self.seed,
+            entity_counts=counts,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _generate_predicate(
+        self,
+        graph: Graph,
+        spec: PredicateSpec,
+        counts: Dict[EntityClass, int],
+        rng: np.random.Generator,
+    ) -> None:
+        source_count = counts[spec.source]
+        target_count = counts.get(spec.target, 0) if spec.target is not None else 0
+        for index in range(source_count):
+            subject = entity_iri(spec.source, index)
+            if spec.probability is not None:
+                if rng.random() >= spec.probability:
+                    continue
+                degree = 1
+            else:
+                degree = int(rng.poisson(spec.mean_degree))
+                if degree == 0:
+                    continue
+            for _ in range(degree):
+                object_ = self._make_object(spec, index, target_count, rng)
+                if object_ is None:
+                    continue
+                graph.add(Triple(subject, spec.predicate, object_))
+
+    def _make_object(
+        self,
+        spec: PredicateSpec,
+        subject_index: int,
+        target_count: int,
+        rng: np.random.Generator,
+    ) -> Optional[Term]:
+        if spec.target is not None:
+            if target_count == 0:
+                return None
+            target_index = int(rng.integers(0, target_count))
+            if spec.target == spec.source and target_index == subject_index:
+                target_index = (target_index + 1) % target_count
+            return entity_iri(spec.target, target_index)
+        return self._make_literal(spec, subject_index, rng)
+
+    @staticmethod
+    def _make_literal(spec: PredicateSpec, subject_index: int, rng: np.random.Generator) -> Literal:
+        local = spec.predicate.local_name()
+        if spec.literal_kind == "integer":
+            return Literal(str(int(rng.integers(1, 10_000))), datatype="http://www.w3.org/2001/XMLSchema#integer")
+        if spec.literal_kind == "date":
+            year = 2000 + int(rng.integers(0, 22))
+            month = 1 + int(rng.integers(0, 12))
+            day = 1 + int(rng.integers(0, 28))
+            return Literal(f"{year:04d}-{month:02d}-{day:02d}", datatype="http://www.w3.org/2001/XMLSchema#date")
+        token = int(rng.integers(0, 1_000_000))
+        return Literal(f"{local}_{subject_index}_{token}")
+
+    @staticmethod
+    def _generate_ownership(
+        graph: Graph,
+        predicate: IRI,
+        owner_class: EntityClass,
+        owned_class: EntityClass,
+        counts: Dict[EntityClass, int],
+        rng: np.random.Generator,
+    ) -> None:
+        owner_count = counts[owner_class]
+        owned_count = counts[owned_class]
+        if owner_count == 0:
+            return
+        for owned_index in range(owned_count):
+            owner_index = int(rng.integers(0, owner_count))
+            graph.add(
+                Triple(
+                    entity_iri(owner_class, owner_index),
+                    predicate,
+                    entity_iri(owned_class, owned_index),
+                )
+            )
+
+
+def generate_dataset(scale_factor: float = 1.0, seed: int = 42) -> WatDivDataset:
+    """Convenience wrapper around :class:`WatDivGenerator`."""
+    return WatDivGenerator(scale_factor=scale_factor, seed=seed).generate()

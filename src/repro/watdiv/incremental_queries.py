@@ -1,0 +1,123 @@
+"""WatDiv Incremental Linear Testing workload (Appendix C of the paper).
+
+Linear (path) queries of increasing diameter (5 to 10 triple patterns), in
+three flavours: bound to a user (IL-1), bound to a retailer (IL-2) and
+completely unbound (IL-3).  The paths are built by incrementally appending one
+triple pattern to the previous query, following the appendix verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.watdiv.schema import EntityClass
+from repro.watdiv.template import QueryTemplate
+
+#: The predicate chain of the user-bound queries (IL-1-5 … IL-1-10).
+_IL1_CHAIN = [
+    "wsdbm:follows",
+    "wsdbm:likes",
+    "rev:hasReview",
+    "rev:reviewer",
+    "wsdbm:friendOf",
+    "wsdbm:makesPurchase",
+    "wsdbm:purchaseFor",
+    "sorg:author",
+    "dc:Location",
+    "gn:parentCountry",
+]
+
+#: The predicate chain of the retailer-bound queries (IL-2-5 … IL-2-10).
+_IL2_CHAIN = [
+    "gr:offers",
+    "gr:includes",
+    "sorg:director",
+    "wsdbm:friendOf",
+    "wsdbm:friendOf",
+    "wsdbm:likes",
+    "sorg:editor",
+    "wsdbm:makesPurchase",
+    "wsdbm:purchaseFor",
+    "sorg:caption",
+]
+
+#: The predicate chain of the unbound queries (IL-3-5 … IL-3-10).
+_IL3_CHAIN = [
+    "gr:offers",
+    "gr:includes",
+    "rev:hasReview",
+    "rev:reviewer",
+    "wsdbm:friendOf",
+    "wsdbm:likes",
+    "sorg:author",
+    "wsdbm:follows",
+    "foaf:homepage",
+    "sorg:language",
+]
+
+
+def _build_chain_query(chain: List[str], length: int, bound_start: Optional[str]) -> str:
+    """Build the SPARQL text for the first ``length`` predicates of a chain."""
+    patterns: List[str] = []
+    for position in range(length):
+        subject = "?v0" if position == 0 else f"?v{position}"
+        if position == 0 and bound_start is not None:
+            subject = bound_start
+        patterns.append(f"  {subject} {chain[position]} ?v{position + 1} .")
+    if bound_start is not None:
+        variables = " ".join(f"?v{i}" for i in range(1, length + 1))
+    else:
+        variables = " ".join(f"?v{i}" for i in range(0, length + 1))
+    body = "\n".join(patterns)
+    return f"SELECT {variables} WHERE {{\n{body}\n}}"
+
+
+def _make_templates() -> List[QueryTemplate]:
+    templates: List[QueryTemplate] = []
+    for length in range(5, 11):
+        templates.append(
+            QueryTemplate(
+                name=f"IL-1-{length}",
+                category="IL-1",
+                mappings={"v0": EntityClass.USER},
+                description=f"user-bound linear query with diameter {length}",
+                text=_build_chain_query(_IL1_CHAIN, length, "%v0%"),
+            )
+        )
+    for length in range(5, 11):
+        templates.append(
+            QueryTemplate(
+                name=f"IL-2-{length}",
+                category="IL-2",
+                mappings={"v0": EntityClass.RETAILER},
+                description=f"retailer-bound linear query with diameter {length}",
+                text=_build_chain_query(_IL2_CHAIN, length, "%v0%"),
+            )
+        )
+    for length in range(5, 11):
+        templates.append(
+            QueryTemplate(
+                name=f"IL-3-{length}",
+                category="IL-3",
+                description=f"unbound linear query with diameter {length}",
+                text=_build_chain_query(_IL3_CHAIN, length, None),
+            )
+        )
+    return templates
+
+
+INCREMENTAL_TEMPLATES: List[QueryTemplate] = _make_templates()
+
+
+def incremental_templates_by_type() -> Dict[str, List[QueryTemplate]]:
+    grouped: Dict[str, List[QueryTemplate]] = {}
+    for template in INCREMENTAL_TEMPLATES:
+        grouped.setdefault(template.category, []).append(template)
+    return grouped
+
+
+def incremental_template(name: str) -> QueryTemplate:
+    for template in INCREMENTAL_TEMPLATES:
+        if template.name == name:
+            return template
+    raise KeyError(f"unknown Incremental Linear template {name!r}")

@@ -1,0 +1,224 @@
+"""WatDiv-like schema: entity classes and predicate specifications.
+
+The schema mirrors the WatDiv e-commerce / social-network domain: users follow
+and befriend each other, like and purchase products, write reviews; retailers
+publish offers that include products; products carry descriptive attributes
+and belong to categories, genres and topics.
+
+Each :class:`PredicateSpec` describes how the generator attaches one predicate
+to the instances of its source class: either with a probability (at most one
+triple per subject) or with a mean out-degree (Poisson-distributed number of
+triples per subject).  The values were chosen so the key selectivities the
+paper's Selectivity Testing workload relies on roughly hold (e.g. ~90 % of
+users have an e-mail, ~50 % an age, ~5 % a job title, friendOf and follows are
+the two dominant predicates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.rdf.namespaces import WATDIV_NAMESPACES
+from repro.rdf.terms import IRI
+
+
+class EntityClass(str, Enum):
+    """Entity classes of the WatDiv universe."""
+
+    USER = "User"
+    PRODUCT = "Product"
+    REVIEW = "Review"
+    OFFER = "Offer"
+    RETAILER = "Retailer"
+    PURCHASE = "Purchase"
+    WEBSITE = "Website"
+    CITY = "City"
+    COUNTRY = "Country"
+    TOPIC = "Topic"
+    SUB_GENRE = "SubGenre"
+    LANGUAGE = "Language"
+    AGE_GROUP = "AgeGroup"
+    PRODUCT_CATEGORY = "ProductCategory"
+    ROLE = "Role"
+
+    @property
+    def iri_prefix(self) -> str:
+        return WATDIV_NAMESPACES["wsdbm"] + self.value
+
+
+def entity_iri(entity_class: EntityClass, index: int) -> IRI:
+    """The IRI of the ``index``-th instance of ``entity_class`` (``wsdbm:User7``)."""
+    return IRI(f"{entity_class.iri_prefix}{index}")
+
+
+def _iri(prefix: str, local: str) -> IRI:
+    return IRI(WATDIV_NAMESPACES[prefix] + local)
+
+
+# Frequently used predicate IRIs (exported for tests and examples).
+FOLLOWS = _iri("wsdbm", "follows")
+FRIEND_OF = _iri("wsdbm", "friendOf")
+LIKES = _iri("wsdbm", "likes")
+SUBSCRIBES = _iri("wsdbm", "subscribes")
+MAKES_PURCHASE = _iri("wsdbm", "makesPurchase")
+PURCHASE_FOR = _iri("wsdbm", "purchaseFor")
+PURCHASE_DATE = _iri("wsdbm", "purchaseDate")
+GENDER = _iri("wsdbm", "gender")
+HITS = _iri("wsdbm", "hits")
+HAS_GENRE = _iri("wsdbm", "hasGenre")
+HAS_REVIEW = _iri("rev", "hasReview")
+REVIEWER = _iri("rev", "reviewer")
+REVIEW_TITLE = _iri("rev", "title")
+TOTAL_VOTES = _iri("rev", "totalVotes")
+RDF_TYPE = _iri("rdf", "type")
+DC_LOCATION = _iri("dc", "Location")
+PARENT_COUNTRY = _iri("gn", "parentCountry")
+OFFERS = _iri("gr", "offers")
+INCLUDES = _iri("gr", "includes")
+PRICE = _iri("gr", "price")
+SERIAL_NUMBER = _iri("gr", "serialNumber")
+VALID_FROM = _iri("gr", "validFrom")
+VALID_THROUGH = _iri("gr", "validThrough")
+EMAIL = _iri("sorg", "email")
+AGE = _iri("foaf", "age")
+JOB_TITLE = _iri("sorg", "jobTitle")
+NATIONALITY = _iri("sorg", "nationality")
+CAPTION = _iri("sorg", "caption")
+DESCRIPTION = _iri("sorg", "description")
+KEYWORDS = _iri("sorg", "keywords")
+CONTENT_RATING = _iri("sorg", "contentRating")
+CONTENT_SIZE = _iri("sorg", "contentSize")
+LANGUAGE_PRED = _iri("sorg", "language")
+TRAILER = _iri("sorg", "trailer")
+PUBLISHER = _iri("sorg", "publisher")
+AUTHOR = _iri("sorg", "author")
+EDITOR = _iri("sorg", "editor")
+DIRECTOR = _iri("sorg", "director")
+ACTOR = _iri("sorg", "actor")
+TEXT = _iri("sorg", "text")
+LEGAL_NAME = _iri("sorg", "legalName")
+ELIGIBLE_QUANTITY = _iri("sorg", "eligibleQuantity")
+ELIGIBLE_REGION = _iri("sorg", "eligibleRegion")
+PRICE_VALID_UNTIL = _iri("sorg", "priceValidUntil")
+URL = _iri("sorg", "url")
+FAX_NUMBER = _iri("sorg", "faxNumber")
+HOMEPAGE = _iri("foaf", "homepage")
+FAMILY_NAME = _iri("foaf", "familyName")
+GIVEN_NAME = _iri("foaf", "givenName")
+OG_TAG = _iri("og", "tag")
+OG_TITLE = _iri("og", "title")
+ARTIST = _iri("mo", "artist")
+CONDUCTOR = _iri("mo", "conductor")
+
+
+@dataclass(frozen=True)
+class PredicateSpec:
+    """How one predicate is generated for the instances of its source class.
+
+    Exactly one of ``probability`` (single-valued predicate attached with this
+    probability) or ``mean_degree`` (multi-valued predicate with a Poisson
+    out-degree) is used.  ``target`` is an :class:`EntityClass` for object
+    properties or ``None`` for literal-valued predicates.
+    """
+
+    predicate: IRI
+    source: EntityClass
+    target: Optional[EntityClass] = None
+    probability: Optional[float] = None
+    mean_degree: Optional[float] = None
+    literal_kind: str = "string"  # "string", "integer", "date"
+
+    def __post_init__(self) -> None:
+        if (self.probability is None) == (self.mean_degree is None):
+            raise ValueError("specify exactly one of probability or mean_degree")
+
+
+#: Number of instances per entity class: either triples-scaled (per scale
+#: factor unit) or a fixed count for the small "dictionary" classes.
+ENTITY_COUNTS: Dict[EntityClass, Tuple[float, int]] = {
+    # (instances per scale-factor unit, minimum count)
+    EntityClass.USER: (100.0, 30),
+    EntityClass.PRODUCT: (25.0, 12),
+    EntityClass.REVIEW: (30.0, 10),
+    EntityClass.OFFER: (40.0, 10),
+    EntityClass.RETAILER: (1.0, 3),
+    EntityClass.PURCHASE: (30.0, 8),
+    EntityClass.WEBSITE: (5.0, 4),
+    EntityClass.CITY: (2.0, 5),
+    EntityClass.COUNTRY: (0.0, 25),
+    EntityClass.TOPIC: (0.0, 25),
+    EntityClass.SUB_GENRE: (0.0, 21),
+    EntityClass.LANGUAGE: (0.0, 10),
+    EntityClass.AGE_GROUP: (0.0, 9),
+    EntityClass.PRODUCT_CATEGORY: (0.0, 15),
+    EntityClass.ROLE: (0.0, 3),
+}
+
+
+#: The complete predicate schema.
+WATDIV_SCHEMA: List[PredicateSpec] = [
+    # ----------------------------- users ------------------------------- #
+    PredicateSpec(FRIEND_OF, EntityClass.USER, EntityClass.USER, mean_degree=8.0),
+    PredicateSpec(FOLLOWS, EntityClass.USER, EntityClass.USER, mean_degree=6.0),
+    PredicateSpec(LIKES, EntityClass.USER, EntityClass.PRODUCT, mean_degree=0.35),
+    PredicateSpec(SUBSCRIBES, EntityClass.USER, EntityClass.WEBSITE, mean_degree=0.4),
+    PredicateSpec(MAKES_PURCHASE, EntityClass.USER, EntityClass.PURCHASE, mean_degree=0.3),
+    PredicateSpec(EMAIL, EntityClass.USER, None, probability=0.9),
+    PredicateSpec(AGE, EntityClass.USER, EntityClass.AGE_GROUP, probability=0.5),
+    PredicateSpec(JOB_TITLE, EntityClass.USER, None, probability=0.05),
+    PredicateSpec(FAX_NUMBER, EntityClass.USER, None, probability=0.04),
+    PredicateSpec(GENDER, EntityClass.USER, None, probability=0.6),
+    PredicateSpec(FAMILY_NAME, EntityClass.USER, None, probability=0.6),
+    PredicateSpec(GIVEN_NAME, EntityClass.USER, None, probability=0.6),
+    PredicateSpec(NATIONALITY, EntityClass.USER, EntityClass.COUNTRY, probability=0.6),
+    PredicateSpec(DC_LOCATION, EntityClass.USER, EntityClass.CITY, probability=0.4),
+    PredicateSpec(HOMEPAGE, EntityClass.USER, EntityClass.WEBSITE, probability=0.08),
+    PredicateSpec(RDF_TYPE, EntityClass.USER, EntityClass.ROLE, probability=1.0),
+    # ---------------------------- products ----------------------------- #
+    PredicateSpec(RDF_TYPE, EntityClass.PRODUCT, EntityClass.PRODUCT_CATEGORY, probability=1.0),
+    PredicateSpec(CAPTION, EntityClass.PRODUCT, None, probability=0.8),
+    PredicateSpec(DESCRIPTION, EntityClass.PRODUCT, None, probability=0.7),
+    PredicateSpec(KEYWORDS, EntityClass.PRODUCT, None, probability=0.6),
+    PredicateSpec(TEXT, EntityClass.PRODUCT, None, probability=0.5),
+    PredicateSpec(CONTENT_RATING, EntityClass.PRODUCT, None, probability=0.4),
+    PredicateSpec(CONTENT_SIZE, EntityClass.PRODUCT, None, probability=0.4, literal_kind="integer"),
+    PredicateSpec(LANGUAGE_PRED, EntityClass.PRODUCT, EntityClass.LANGUAGE, probability=0.4),
+    PredicateSpec(OG_TITLE, EntityClass.PRODUCT, None, probability=0.6),
+    PredicateSpec(OG_TAG, EntityClass.PRODUCT, EntityClass.TOPIC, mean_degree=1.5),
+    PredicateSpec(HAS_GENRE, EntityClass.PRODUCT, EntityClass.SUB_GENRE, mean_degree=1.2),
+    PredicateSpec(PUBLISHER, EntityClass.PRODUCT, None, probability=0.3),
+    PredicateSpec(AUTHOR, EntityClass.PRODUCT, EntityClass.USER, probability=0.3),
+    PredicateSpec(EDITOR, EntityClass.PRODUCT, EntityClass.USER, probability=0.2),
+    PredicateSpec(DIRECTOR, EntityClass.PRODUCT, EntityClass.USER, probability=0.2),
+    PredicateSpec(ACTOR, EntityClass.PRODUCT, EntityClass.USER, mean_degree=0.5),
+    PredicateSpec(TRAILER, EntityClass.PRODUCT, None, probability=0.1),
+    PredicateSpec(ARTIST, EntityClass.PRODUCT, EntityClass.USER, probability=0.3),
+    PredicateSpec(CONDUCTOR, EntityClass.PRODUCT, EntityClass.USER, probability=0.1),
+    PredicateSpec(HOMEPAGE, EntityClass.PRODUCT, EntityClass.WEBSITE, probability=0.2),
+    # ----------------------------- reviews ----------------------------- #
+    PredicateSpec(REVIEWER, EntityClass.REVIEW, EntityClass.USER, probability=1.0),
+    PredicateSpec(REVIEW_TITLE, EntityClass.REVIEW, None, probability=0.8),
+    PredicateSpec(TOTAL_VOTES, EntityClass.REVIEW, None, probability=0.6, literal_kind="integer"),
+    # ------------------------------ offers ------------------------------ #
+    PredicateSpec(INCLUDES, EntityClass.OFFER, EntityClass.PRODUCT, probability=1.0),
+    PredicateSpec(PRICE, EntityClass.OFFER, None, probability=1.0, literal_kind="integer"),
+    PredicateSpec(SERIAL_NUMBER, EntityClass.OFFER, None, probability=0.7, literal_kind="integer"),
+    PredicateSpec(VALID_FROM, EntityClass.OFFER, None, probability=0.6, literal_kind="date"),
+    PredicateSpec(VALID_THROUGH, EntityClass.OFFER, None, probability=0.6, literal_kind="date"),
+    PredicateSpec(ELIGIBLE_QUANTITY, EntityClass.OFFER, None, probability=0.5, literal_kind="integer"),
+    PredicateSpec(ELIGIBLE_REGION, EntityClass.OFFER, EntityClass.COUNTRY, probability=0.5),
+    PredicateSpec(PRICE_VALID_UNTIL, EntityClass.OFFER, None, probability=0.4, literal_kind="date"),
+    # ---------------------------- retailers ----------------------------- #
+    PredicateSpec(LEGAL_NAME, EntityClass.RETAILER, None, probability=1.0),
+    # ---------------------------- purchases ----------------------------- #
+    PredicateSpec(PURCHASE_FOR, EntityClass.PURCHASE, EntityClass.PRODUCT, probability=1.0),
+    PredicateSpec(PURCHASE_DATE, EntityClass.PURCHASE, None, probability=1.0, literal_kind="date"),
+    # ----------------------------- websites ----------------------------- #
+    PredicateSpec(URL, EntityClass.WEBSITE, None, probability=1.0),
+    PredicateSpec(HITS, EntityClass.WEBSITE, None, probability=0.8, literal_kind="integer"),
+    PredicateSpec(LANGUAGE_PRED, EntityClass.WEBSITE, EntityClass.LANGUAGE, probability=0.3),
+    # ------------------------------ cities ------------------------------ #
+    PredicateSpec(PARENT_COUNTRY, EntityClass.CITY, EntityClass.COUNTRY, probability=1.0),
+]

@@ -1,0 +1,227 @@
+"""WatDiv Selectivity Testing workload (Appendix B of the paper).
+
+Twenty queries designed by the S2RDF authors to probe the effect of ExtVP
+table selectivities: varying OS (ST-1/2), SO (ST-3/4) and SS (ST-5)
+selectivity, high-selectivity queries (ST-6), OS-versus-SO choice (ST-7) and
+empty-result queries (ST-8).
+
+Note on fidelity: the paper's appendix writes ``wsdbm:reviewer`` /
+``wsdbm:author`` in ST-4-2 and ST-4-3 although the vocabulary defines these
+predicates as ``rev:reviewer`` and ``sorg:author`` (as used everywhere else in
+the appendix).  We follow the vocabulary so the queries exercise the intended
+SO-selectivity comparison rather than returning trivially empty results; this
+substitution is recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.watdiv.template import QueryTemplate
+
+
+SELECTIVITY_TEMPLATES: List[QueryTemplate] = [
+    # -------------------- varying OS selectivity ----------------------- #
+    QueryTemplate(
+        name="ST-1-1",
+        category="ST-OS",
+        description="friendOf -> email (high OS selectivity factor, large VP input)",
+        text="""SELECT ?v0 ?v1 ?v2 WHERE {
+  ?v0 wsdbm:friendOf ?v1 .
+  ?v1 sorg:email ?v2 .
+}""",
+    ),
+    QueryTemplate(
+        name="ST-1-2",
+        category="ST-OS",
+        description="friendOf -> age (medium OS selectivity factor)",
+        text="""SELECT ?v0 ?v1 ?v2 WHERE {
+  ?v0 wsdbm:friendOf ?v1 .
+  ?v1 foaf:age ?v2 .
+}""",
+    ),
+    QueryTemplate(
+        name="ST-1-3",
+        category="ST-OS",
+        description="friendOf -> jobTitle (low OS selectivity factor)",
+        text="""SELECT ?v0 ?v1 ?v2 WHERE {
+  ?v0 wsdbm:friendOf ?v1 .
+  ?v1 sorg:jobTitle ?v2 .
+}""",
+    ),
+    QueryTemplate(
+        name="ST-2-1",
+        category="ST-OS",
+        description="reviewer -> email (small VP input, high OS selectivity)",
+        text="""SELECT ?v0 ?v1 ?v2 WHERE {
+  ?v0 rev:reviewer ?v1 .
+  ?v1 sorg:email ?v2 .
+}""",
+    ),
+    QueryTemplate(
+        name="ST-2-2",
+        category="ST-OS",
+        description="reviewer -> age (small VP input, medium OS selectivity)",
+        text="""SELECT ?v0 ?v1 ?v2 WHERE {
+  ?v0 rev:reviewer ?v1 .
+  ?v1 foaf:age ?v2 .
+}""",
+    ),
+    QueryTemplate(
+        name="ST-2-3",
+        category="ST-OS",
+        description="reviewer -> jobTitle (small VP input, low OS selectivity)",
+        text="""SELECT ?v0 ?v1 ?v2 WHERE {
+  ?v0 rev:reviewer ?v1 .
+  ?v1 sorg:jobTitle ?v2 .
+}""",
+    ),
+    # -------------------- varying SO selectivity ----------------------- #
+    QueryTemplate(
+        name="ST-3-1",
+        category="ST-SO",
+        description="follows -> friendOf (high SO selectivity factor)",
+        text="""SELECT ?v0 ?v1 ?v2 WHERE {
+  ?v0 wsdbm:follows ?v1 .
+  ?v1 wsdbm:friendOf ?v2 .
+}""",
+    ),
+    QueryTemplate(
+        name="ST-3-2",
+        category="ST-SO",
+        description="reviewer -> friendOf (medium SO selectivity factor)",
+        text="""SELECT ?v0 ?v1 ?v2 WHERE {
+  ?v0 rev:reviewer ?v1 .
+  ?v1 wsdbm:friendOf ?v2 .
+}""",
+    ),
+    QueryTemplate(
+        name="ST-3-3",
+        category="ST-SO",
+        description="author -> friendOf (low SO selectivity factor)",
+        text="""SELECT ?v0 ?v1 ?v2 WHERE {
+  ?v0 sorg:author ?v1 .
+  ?v1 wsdbm:friendOf ?v2 .
+}""",
+    ),
+    QueryTemplate(
+        name="ST-4-1",
+        category="ST-SO",
+        description="follows -> likes (small VP input, high SO selectivity)",
+        text="""SELECT ?v0 ?v1 ?v2 WHERE {
+  ?v0 wsdbm:follows ?v1 .
+  ?v1 wsdbm:likes ?v2 .
+}""",
+    ),
+    QueryTemplate(
+        name="ST-4-2",
+        category="ST-SO",
+        description="reviewer -> likes (small VP input, medium SO selectivity)",
+        text="""SELECT ?v0 ?v1 ?v2 WHERE {
+  ?v0 rev:reviewer ?v1 .
+  ?v1 wsdbm:likes ?v2 .
+}""",
+    ),
+    QueryTemplate(
+        name="ST-4-3",
+        category="ST-SO",
+        description="author -> likes (small VP input, low SO selectivity)",
+        text="""SELECT ?v0 ?v1 ?v2 WHERE {
+  ?v0 sorg:author ?v1 .
+  ?v1 wsdbm:likes ?v2 .
+}""",
+    ),
+    # -------------------- varying SS selectivity ----------------------- #
+    QueryTemplate(
+        name="ST-5-1",
+        category="ST-SS",
+        description="friendOf / email share the subject (high SS selectivity)",
+        text="""SELECT ?v0 ?v1 ?v2 WHERE {
+  ?v0 wsdbm:friendOf ?v1 .
+  ?v0 sorg:email ?v2 .
+}""",
+    ),
+    QueryTemplate(
+        name="ST-5-2",
+        category="ST-SS",
+        description="friendOf / follows share the subject (medium SS selectivity)",
+        text="""SELECT ?v0 ?v1 ?v2 WHERE {
+  ?v0 wsdbm:friendOf ?v1 .
+  ?v0 wsdbm:follows ?v2 .
+}""",
+    ),
+    # -------------------- high selectivity queries --------------------- #
+    QueryTemplate(
+        name="ST-6-1",
+        category="ST-HIGH",
+        description="likes -> trailer: linear query over two tiny tables",
+        text="""SELECT ?v0 ?v1 ?v2 WHERE {
+  ?v0 wsdbm:likes ?v1 .
+  ?v1 sorg:trailer ?v2 .
+}""",
+    ),
+    QueryTemplate(
+        name="ST-6-2",
+        category="ST-HIGH",
+        description="email / faxNumber star query over two tiny tables",
+        text="""SELECT ?v0 ?v1 ?v2 WHERE {
+  ?v0 sorg:email ?v1 .
+  ?v0 sorg:faxNumber ?v2 .
+}""",
+    ),
+    # -------------------- OS vs SO selectivity ------------------------- #
+    QueryTemplate(
+        name="ST-7-1",
+        category="ST-OSSO",
+        description="friendOf -> follows -> homepage: OS table better than SO",
+        text="""SELECT ?v0 ?v1 ?v2 ?v3 WHERE {
+  ?v0 wsdbm:friendOf ?v1 .
+  ?v1 wsdbm:follows ?v2 .
+  ?v2 foaf:homepage ?v3 .
+}""",
+    ),
+    QueryTemplate(
+        name="ST-7-2",
+        category="ST-OSSO",
+        description="artist -> friendOf -> follows: SO table better than OS",
+        text="""SELECT ?v0 ?v1 ?v2 ?v3 WHERE {
+  ?v0 mo:artist ?v1 .
+  ?v1 wsdbm:friendOf ?v2 .
+  ?v2 wsdbm:follows ?v3 .
+}""",
+    ),
+    # -------------------- empty result queries -------------------------- #
+    QueryTemplate(
+        name="ST-8-1",
+        category="ST-EMPTY",
+        description="friendOf -> language: correlation does not exist in the data",
+        text="""SELECT ?v0 ?v1 ?v2 WHERE {
+  ?v0 wsdbm:friendOf ?v1 .
+  ?v1 sorg:language ?v2 .
+}""",
+    ),
+    QueryTemplate(
+        name="ST-8-2",
+        category="ST-EMPTY",
+        description="friendOf -> follows -> language: large intermediate result discarded",
+        text="""SELECT ?v0 ?v1 ?v2 ?v3 WHERE {
+  ?v0 wsdbm:friendOf ?v1 .
+  ?v1 wsdbm:follows ?v2 .
+  ?v2 sorg:language ?v3 .
+}""",
+    ),
+]
+
+
+def selectivity_templates_by_category() -> Dict[str, List[QueryTemplate]]:
+    grouped: Dict[str, List[QueryTemplate]] = {}
+    for template in SELECTIVITY_TEMPLATES:
+        grouped.setdefault(template.category, []).append(template)
+    return grouped
+
+
+def selectivity_template(name: str) -> QueryTemplate:
+    for template in SELECTIVITY_TEMPLATES:
+        if template.name == name:
+            return template
+    raise KeyError(f"unknown Selectivity Testing template {name!r}")

@@ -1,0 +1,83 @@
+"""Query templates with ``%vN%`` placeholder instantiation.
+
+WatDiv templates contain placeholders such as ``%v2%`` together with a
+``#mapping v2 wsdbm:Retailer uniform`` directive.  ``instantiate_template``
+replaces each placeholder with a uniformly sampled instance IRI of the mapped
+entity class, exactly like the WatDiv query generator does.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.rdf.namespaces import NamespaceManager
+from repro.watdiv.generator import WatDivDataset
+from repro.watdiv.schema import EntityClass
+
+_PLACEHOLDER_RE = re.compile(r"%(v\d+)%")
+
+#: Prefix declarations prepended to every instantiated query so they are
+#: self-contained SPARQL documents.
+PREFIX_HEADER = "\n".join(
+    f"PREFIX {prefix}: <{base}>"
+    for prefix, base in sorted(NamespaceManager().namespaces().items())
+)
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """One WatDiv query template."""
+
+    name: str
+    category: str
+    text: str
+    #: placeholder variable -> entity class sampled uniformly.
+    mappings: Dict[str, EntityClass] = field(default_factory=dict)
+    description: str = ""
+
+    @property
+    def placeholders(self) -> List[str]:
+        return sorted(set(_PLACEHOLDER_RE.findall(self.text)))
+
+    def is_parameterized(self) -> bool:
+        return bool(self.placeholders)
+
+
+def instantiate_template(
+    template: QueryTemplate,
+    dataset: WatDivDataset,
+    rng: Optional[np.random.Generator] = None,
+    include_prefixes: bool = True,
+) -> str:
+    """Instantiate a template against a generated dataset.
+
+    Raises :class:`KeyError` when the template references a placeholder that
+    has no ``#mapping`` entry.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    text = template.text
+    for placeholder in template.placeholders:
+        if placeholder not in template.mappings:
+            raise KeyError(f"template {template.name} has no mapping for %{placeholder}%")
+        entity_class = template.mappings[placeholder]
+        entity = dataset.sample_entity(entity_class, rng)
+        text = text.replace(f"%{placeholder}%", entity.n3())
+    if include_prefixes:
+        return PREFIX_HEADER + "\n" + text
+    return text
+
+
+def instantiate_many(
+    template: QueryTemplate,
+    dataset: WatDivDataset,
+    count: int,
+    seed: int = 0,
+    include_prefixes: bool = True,
+) -> List[str]:
+    """Instantiate a template ``count`` times with a deterministic seed."""
+    rng = np.random.default_rng(seed)
+    return [instantiate_template(template, dataset, rng, include_prefixes) for _ in range(count)]

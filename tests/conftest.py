@@ -1,0 +1,57 @@
+"""Shared fixtures: the paper's running-example graph G1, query Q1, and a
+small WatDiv-like dataset reused across integration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI
+from repro.rdf.triple import Triple
+from repro.watdiv.generator import generate_dataset
+
+
+def iri(name: str) -> IRI:
+    return IRI(name)
+
+
+@pytest.fixture(scope="session")
+def example_graph() -> Graph:
+    """The paper's running-example graph G1 (Fig. 1)."""
+    triples = [
+        Triple(iri("A"), iri("follows"), iri("B")),
+        Triple(iri("B"), iri("follows"), iri("C")),
+        Triple(iri("B"), iri("follows"), iri("D")),
+        Triple(iri("C"), iri("follows"), iri("D")),
+        Triple(iri("A"), iri("likes"), iri("I1")),
+        Triple(iri("A"), iri("likes"), iri("I2")),
+        Triple(iri("C"), iri("likes"), iri("I2")),
+    ]
+    return Graph(triples, name="G1")
+
+
+#: The paper's running-example query Q1 (Fig. 2), in simplified notation.
+QUERY_Q1 = """
+SELECT * WHERE {
+  ?x <likes> ?w .
+  ?x <follows> ?y .
+  ?y <follows> ?z .
+  ?z <likes> ?w .
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def query_q1() -> str:
+    return QUERY_Q1
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small WatDiv-like dataset shared by the integration tests."""
+    return generate_dataset(scale_factor=1.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_graph(small_dataset):
+    return small_dataset.graph

@@ -1,0 +1,168 @@
+"""Unit tests for table selection (Alg. 1), TP2SQL (Alg. 2) and BGP2SQL (Alg. 3/4)."""
+
+import pytest
+
+from repro.core.bgp import compile_bgp
+from repro.core.table_selection import TableSelector
+from repro.core.translation import triple_pattern_to_subquery
+from repro.engine.plan import EmptyNode, NaturalJoinNode, PlanExecutor, SubqueryNode, count_joins
+from repro.mappings.extvp import ExtVPLayout
+from repro.rdf.terms import IRI, Variable
+from repro.sparql.algebra import BGP, TriplePattern
+
+
+def tp(s, p, o):
+    def term(x):
+        return Variable(x[1:]) if x.startswith("?") else IRI(x)
+
+    return TriplePattern(term(s), term(p), term(o))
+
+
+@pytest.fixture(scope="module")
+def layout(example_graph):
+    layout = ExtVPLayout()
+    layout.build(example_graph)
+    return layout
+
+
+@pytest.fixture(scope="module")
+def selector(layout):
+    return TableSelector(layout)
+
+
+class TestTableSelection:
+    """The examples follow Fig. 11 of the paper (query Q1 over graph G1)."""
+
+    Q1 = [
+        tp("?x", "likes", "?w"),
+        tp("?x", "follows", "?y"),
+        tp("?y", "follows", "?z"),
+        tp("?z", "likes", "?w"),
+    ]
+
+    def test_tp1_keeps_vp_table(self, selector):
+        # TP1 (?x likes ?w): candidate SS likes|follows has SF 1, so VP wins.
+        choice = selector.select(self.Q1[0], self.Q1)
+        assert choice.source == "vp"
+        assert choice.table_name == "vp_likes"
+
+    def test_tp3_picks_best_selectivity(self, selector):
+        # TP3 (?y follows ?z): candidates are SO follows|follows (0.75) and
+        # OS follows|likes (0.25) -> the OS table wins.
+        choice = selector.select(self.Q1[2], self.Q1)
+        assert choice.source == "extvp"
+        assert choice.selectivity == pytest.approx(0.25)
+        assert "os" in choice.table_name
+
+    def test_tp4_picks_so_table(self, selector):
+        choice = selector.select(self.Q1[3], self.Q1)
+        assert choice.source == "extvp"
+        assert choice.selectivity == pytest.approx(1 / 3)
+
+    def test_unbound_predicate_uses_triples_table(self, selector):
+        pattern = tp("?s", "?p", "?o")
+        choice = selector.select(pattern, [pattern])
+        assert choice.is_triples_table
+
+    def test_missing_predicate_is_statically_empty(self, selector):
+        pattern = tp("?s", "missing", "?o")
+        choice = selector.select(pattern, [pattern])
+        assert choice.is_empty
+
+    def test_empty_correlation_detected_from_statistics(self, selector):
+        # likes -> follows OS correlation is empty in G1 (nobody follows an item).
+        patterns = [tp("?a", "likes", "?b"), tp("?b", "follows", "?c")]
+        choice = selector.select(patterns[0], patterns)
+        assert choice.is_empty
+
+    def test_vp_only_selector_ignores_extvp(self, layout):
+        vp_selector = TableSelector(layout, use_extvp=False)
+        choice = vp_selector.select(self.Q1[2], self.Q1)
+        assert choice.source == "vp"
+
+    def test_candidates_listing(self, selector):
+        candidates = selector.candidates(self.Q1[2], self.Q1)
+        kinds = {c.kind.value for c in candidates}
+        assert kinds == {"so", "os"}
+
+
+class TestTP2SQL:
+    def test_two_variables(self, selector):
+        pattern = tp("?x", "likes", "?w")
+        choice = selector.select(pattern, [pattern])
+        node = triple_pattern_to_subquery(pattern, choice)
+        assert node.projections == (("s", "x"), ("o", "w"))
+        assert node.conditions == ()
+
+    def test_bound_subject_becomes_condition(self, selector):
+        pattern = tp("A", "likes", "?w")
+        choice = selector.select(pattern, [pattern])
+        node = triple_pattern_to_subquery(pattern, choice)
+        assert node.projections == (("o", "w"),)
+        assert node.conditions == (("s", IRI("A")),)
+
+    def test_unbound_predicate_adds_condition_on_p(self, selector):
+        pattern = tp("?s", "?p", "?o")
+        choice = selector.select(pattern, [pattern])
+        node = triple_pattern_to_subquery(pattern, choice)
+        assert ("p", "p") in node.projections
+        assert node.table_name == "triples"
+
+    def test_fully_bound_pattern(self, selector):
+        pattern = tp("A", "likes", "I1")
+        choice = selector.select(pattern, [pattern])
+        node = triple_pattern_to_subquery(pattern, choice)
+        assert node.conditions == (("s", IRI("A")), ("o", IRI("I1")))
+        assert node.projections  # keeps a schema
+
+
+class TestBGP2SQL:
+    def test_q1_produces_three_joins(self, selector, layout):
+        result = compile_bgp(BGP(TestTableSelection.Q1), selector)
+        assert count_joins(result.plan) == 3
+        assert not result.statically_empty
+        executed = PlanExecutor(layout.catalog).execute(result.plan)
+        assert len(executed) == 1  # the single solution of the running example
+
+    def test_empty_bgp(self, selector):
+        result = compile_bgp(BGP([]), selector)
+        assert isinstance(result.plan, EmptyNode)
+
+    def test_single_pattern_is_a_subquery(self, selector):
+        result = compile_bgp(BGP([tp("?x", "likes", "?w")]), selector)
+        assert isinstance(result.plan, SubqueryNode)
+
+    def test_statically_empty_short_circuit(self, selector):
+        result = compile_bgp(BGP([tp("?a", "likes", "?b"), tp("?b", "follows", "?c")]), selector)
+        assert result.statically_empty
+        assert isinstance(result.plan, EmptyNode)
+
+    def test_join_order_prefers_bound_patterns(self, selector):
+        patterns = [tp("?x", "follows", "?y"), tp("A", "likes", "?w"), tp("?x", "likes", "?w")]
+        result = compile_bgp(BGP(patterns), selector, optimize_join_order=True)
+        assert result.join_order[0].bound_count() == 2
+
+    def test_join_order_starts_with_smallest_table(self, selector):
+        result = compile_bgp(BGP(TestTableSelection.Q1), selector, optimize_join_order=True)
+        first_choice = result.choices[0][1]
+        assert first_choice.row_count == min(choice.row_count for _, choice in result.choices)
+
+    def test_unoptimized_preserves_textual_order(self, selector):
+        result = compile_bgp(BGP(TestTableSelection.Q1), selector, optimize_join_order=False)
+        assert result.join_order == list(TestTableSelection.Q1)
+
+    def test_optimization_does_not_change_results(self, selector, layout):
+        executor = PlanExecutor(layout.catalog)
+        optimized = compile_bgp(BGP(TestTableSelection.Q1), selector, optimize_join_order=True)
+        unoptimized = compile_bgp(BGP(TestTableSelection.Q1), selector, optimize_join_order=False)
+        left = executor.execute(optimized.plan)
+        right = executor.execute(unoptimized.plan)
+        assert sorted(map(repr, left.project(sorted(left.columns)).rows)) == sorted(
+            map(repr, right.project(sorted(left.columns)).rows)
+        )
+
+    def test_sql_rendering_mentions_selected_tables(self, selector):
+        result = compile_bgp(BGP(TestTableSelection.Q1), selector)
+        sql = result.plan.to_sql()
+        for table in result.selected_tables:
+            assert table in sql

@@ -1,0 +1,138 @@
+"""Integration tests for the S2RDF session (the paper's running example plus
+SPARQL operator coverage)."""
+
+import pytest
+
+from repro.core.session import S2RDFSession
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal
+from repro.rdf.triple import Triple
+
+
+@pytest.fixture(scope="module")
+def session(example_graph):
+    return S2RDFSession.from_graph(example_graph)
+
+
+class TestRunningExample:
+    def test_q1_single_solution(self, session, query_q1):
+        result = session.query(query_q1)
+        assert len(result) == 1
+        binding = result.bindings[0]
+        assert binding["x"] == IRI("A")
+        assert binding["y"] == IRI("B")
+        assert binding["z"] == IRI("C")
+        assert binding["w"] == IRI("I2")
+
+    def test_q1_uses_extvp_tables(self, session, query_q1):
+        result = session.query(query_q1)
+        assert any(name.startswith("extvp_") for name in result.selected_tables)
+
+    def test_q1_sql_is_generated(self, session, query_q1):
+        sql = session.explain(query_q1)
+        assert "SELECT" in sql and "JOIN" in sql
+
+    def test_metrics_populated(self, session, query_q1):
+        result = session.query(query_q1)
+        assert result.metrics.joins == 3
+        assert result.metrics.input_tuples > 0
+        assert result.simulated_runtime_ms > 0
+        assert result.wallclock_ms >= 0
+
+    def test_statistics_short_circuit(self, session):
+        result = session.query("SELECT * WHERE { ?a <likes> ?b . ?b <likes> ?c }")
+        assert result.statically_empty
+        assert len(result) == 0
+        assert result.metrics.input_tuples == 0
+
+    def test_vp_only_session_same_result(self, example_graph, query_q1):
+        vp_session = S2RDFSession.from_graph(example_graph, use_extvp=False)
+        result = vp_session.query(query_q1)
+        assert len(result) == 1
+        assert all(not name.startswith("extvp_") for name in result.selected_tables)
+
+
+class TestSparqlOperators:
+    @pytest.fixture(scope="class")
+    def rich_session(self):
+        graph = Graph(
+            [
+                Triple(IRI("A"), IRI("follows"), IRI("B")),
+                Triple(IRI("B"), IRI("follows"), IRI("C")),
+                Triple(IRI("A"), IRI("age"), Literal("30")),
+                Triple(IRI("B"), IRI("age"), Literal("15")),
+                Triple(IRI("A"), IRI("name"), Literal("ada")),
+            ]
+        )
+        return S2RDFSession.from_graph(graph)
+
+    def test_projection(self, rich_session):
+        result = rich_session.query("SELECT ?x WHERE { ?x <follows> ?y }")
+        assert result.variables == ("x",)
+        assert len(result) == 2
+
+    def test_distinct(self, rich_session):
+        result = rich_session.query("SELECT DISTINCT ?p WHERE { ?s ?p ?o }")
+        assert len(result) == 3
+
+    def test_filter(self, rich_session):
+        result = rich_session.query("SELECT ?x WHERE { ?x <age> ?a . FILTER(?a > 20) }")
+        assert result.values("x") == [IRI("A")]
+
+    def test_optional(self, rich_session):
+        result = rich_session.query(
+            "SELECT ?x ?n WHERE { ?x <follows> ?y . OPTIONAL { ?x <name> ?n } }"
+        )
+        by_subject = {b["x"]: b.get("n") for b in result.bindings}
+        assert by_subject[IRI("A")] == Literal("ada")
+        assert by_subject.get(IRI("B")) is None
+
+    def test_union(self, rich_session):
+        result = rich_session.query(
+            "SELECT ?x WHERE { { ?x <age> ?a } UNION { ?x <name> ?n } }"
+        )
+        assert len(result) == 3
+
+    def test_order_by_and_limit(self, rich_session):
+        result = rich_session.query(
+            "SELECT ?x ?a WHERE { ?x <age> ?a } ORDER BY ?a LIMIT 1"
+        )
+        assert len(result) == 1
+        assert result.bindings[0]["x"] == IRI("B")
+
+    def test_offset(self, rich_session):
+        result = rich_session.query("SELECT ?x WHERE { ?x <age> ?a } ORDER BY ?x LIMIT 5 OFFSET 1")
+        assert len(result) == 1
+
+    def test_bound_object_pattern(self, rich_session):
+        result = rich_session.query("SELECT ?x WHERE { ?x <follows> <C> }")
+        assert result.values("x") == [IRI("B")]
+
+    def test_unbound_predicate_query(self, rich_session):
+        result = rich_session.query("SELECT ?p WHERE { <A> ?p ?o }")
+        assert len(result) == 3
+
+    def test_result_as_table_rendering(self, rich_session):
+        result = rich_session.query("SELECT ?x ?a WHERE { ?x <age> ?a }")
+        rendered = result.as_table()
+        assert "x" in rendered and "|" in rendered
+
+
+class TestSessionConstruction:
+    def test_from_ntriples(self):
+        document = "<A> <p> <B> .\n<B> <p> <C> ."
+        session = S2RDFSession.from_ntriples(document)
+        assert len(session.query("SELECT * WHERE { ?x <p> ?y }")) == 2
+
+    def test_storage_summary_keys(self, session):
+        summary = session.storage_summary()
+        assert {"vp_tuples", "extvp_tuples", "total_tuples", "hdfs_bytes", "table_counts"} <= set(summary)
+
+    def test_work_scale_scales_runtime(self, example_graph, query_q1):
+        base = S2RDFSession.from_graph(example_graph, work_scale=1.0)
+        scaled = S2RDFSession.from_graph(example_graph, work_scale=1e6)
+        assert scaled.query(query_q1).simulated_runtime_ms > base.query(query_q1).simulated_runtime_ms
+
+    def test_threshold_session_still_correct(self, example_graph, query_q1):
+        session = S2RDFSession.from_graph(example_graph, selectivity_threshold=0.25)
+        assert len(session.query(query_q1)) == 1

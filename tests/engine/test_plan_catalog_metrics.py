@@ -1,0 +1,226 @@
+"""Unit tests for logical plans, the catalog, metrics and cost models."""
+
+import pytest
+
+from repro.engine.catalog import Catalog, TableNotFoundError
+from repro.engine.cluster import (
+    CentralizedCostModel,
+    ClusterConfig,
+    HBaseCostModel,
+    MapReduceCostModel,
+    SparkCostModel,
+)
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.plan import (
+    DistinctNode,
+    EmptyNode,
+    FilterNode,
+    LeftOuterJoinNode,
+    LimitNode,
+    NaturalJoinNode,
+    OrderByNode,
+    PlanExecutor,
+    ProjectNode,
+    SubqueryNode,
+    TableScanNode,
+    UnionNode,
+    count_joins,
+    plan_depth,
+)
+from repro.engine.relation import Relation
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.sparql.expressions import Comparison, TermExpression, VariableExpression
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.register("follows", Relation(("s", "o"), [(IRI("A"), IRI("B")), (IRI("B"), IRI("C"))]))
+    catalog.register("likes", Relation(("s", "o"), [(IRI("A"), IRI("I1")), (IRI("C"), IRI("I2"))]))
+    catalog.register(
+        "ages", Relation(("s", "o"), [(IRI("A"), Literal("30")), (IRI("B"), Literal("10"))])
+    )
+    return catalog
+
+
+@pytest.fixture
+def executor(catalog):
+    return PlanExecutor(catalog)
+
+
+class TestCatalog:
+    def test_register_and_lookup(self, catalog):
+        assert "follows" in catalog
+        assert len(catalog.table("follows")) == 2
+
+    def test_missing_table(self, catalog):
+        with pytest.raises(TableNotFoundError):
+            catalog.table("nope")
+
+    def test_statistics(self, catalog):
+        statistics = catalog.statistics("follows")
+        assert statistics.row_count == 2
+        assert statistics.distinct_subjects == 2
+
+    def test_statistics_only_registration(self, catalog):
+        catalog.register_statistics_only("ghost", 0, 0.0)
+        assert "ghost" not in catalog
+        assert catalog.statistics("ghost").is_empty
+
+    def test_totals(self, catalog):
+        assert catalog.total_tuples() == 6
+        assert catalog.table_count() == 3
+
+    def test_drop(self, catalog):
+        catalog.drop("ages")
+        assert "ages" not in catalog
+
+
+class TestPlanExecution:
+    def test_table_scan(self, executor):
+        result = executor.execute(TableScanNode("follows", ("s", "o")))
+        assert len(result) == 2
+
+    def test_subquery_projection_and_rename(self, executor):
+        node = SubqueryNode("follows", projections=(("s", "x"), ("o", "y")))
+        result = executor.execute(node)
+        assert result.columns == ("x", "y")
+
+    def test_subquery_condition(self, executor):
+        node = SubqueryNode("follows", projections=(("o", "y"),), conditions=(("s", IRI("A")),))
+        result = executor.execute(node)
+        assert result.rows == [(IRI("B"),)]
+
+    def test_natural_join_node(self, executor):
+        left = SubqueryNode("follows", projections=(("s", "x"), ("o", "y")))
+        right = SubqueryNode("likes", projections=(("s", "y"), ("o", "w")))
+        result = executor.execute(NaturalJoinNode(left, right))
+        assert set(result.columns) == {"x", "y", "w"}
+
+    def test_left_outer_join_node(self, executor):
+        left = SubqueryNode("follows", projections=(("s", "x"), ("o", "y")))
+        right = SubqueryNode("ages", projections=(("s", "y"), ("o", "age")))
+        result = executor.execute(LeftOuterJoinNode(left, right))
+        assert len(result) == 2
+        ages = dict(zip(result.column_values("y"), result.column_values("age")))
+        assert ages[IRI("C")] is None
+
+    def test_left_outer_join_with_filter_expression(self, executor):
+        left = SubqueryNode("follows", projections=(("s", "x"), ("o", "y")))
+        right = SubqueryNode("ages", projections=(("s", "y"), ("o", "age")))
+        expression = Comparison(">", VariableExpression(Variable("age")), TermExpression(Literal("20")))
+        result = executor.execute(LeftOuterJoinNode(left, right, expression))
+        ages = dict(zip(result.column_values("y"), result.column_values("age")))
+        # B's age (10) fails the filter so the optional part is dropped but the row survives?
+        # No: per SPARQL semantics the row is removed because the optional matched and the filter failed.
+        assert IRI("C") in ages  # unmatched optional stays
+        assert all(a is None or a == Literal("30") for a in ages.values())
+
+    def test_filter_node(self, executor):
+        scan = SubqueryNode("ages", projections=(("s", "x"), ("o", "age")))
+        expression = Comparison(">", VariableExpression(Variable("age")), TermExpression(Literal("20")))
+        result = executor.execute(FilterNode(scan, expression))
+        assert len(result) == 1
+
+    def test_union_distinct_order_limit(self, executor):
+        scan = SubqueryNode("follows", projections=(("s", "x"),))
+        union = UnionNode(scan, scan)
+        distinct = DistinctNode(union)
+        ordered = OrderByNode(distinct, (("x", True),))
+        limited = LimitNode(ordered, 1)
+        assert len(executor.execute(union)) == 4
+        assert len(executor.execute(distinct)) == 2
+        assert executor.execute(limited).rows == [(IRI("A"),)]
+
+    def test_project_node_pads_missing_columns(self, executor):
+        scan = SubqueryNode("follows", projections=(("s", "x"),))
+        result = executor.execute(ProjectNode(scan, ("x", "missing")))
+        assert result.columns == ("x", "missing")
+        assert all(row[1] is None for row in result.rows)
+
+    def test_empty_node(self, executor):
+        result = executor.execute(EmptyNode(("a", "b")))
+        assert len(result) == 0
+        assert result.columns == ("a", "b")
+
+    def test_metrics_recorded(self, executor):
+        metrics = ExecutionMetrics()
+        left = SubqueryNode("follows", projections=(("s", "x"), ("o", "y")))
+        right = SubqueryNode("likes", projections=(("s", "y"), ("o", "w")))
+        executor.execute(NaturalJoinNode(left, right), metrics)
+        assert metrics.table_scans == 2
+        assert metrics.joins == 1
+        assert metrics.input_tuples == 4
+
+    def test_plan_helpers(self):
+        left = SubqueryNode("follows", projections=(("s", "x"),))
+        right = SubqueryNode("likes", projections=(("s", "x"),))
+        plan = NaturalJoinNode(left, right)
+        assert count_joins(plan) == 1
+        assert plan_depth(plan) == 2
+
+    def test_to_sql_contains_tables_and_aliases(self):
+        node = SubqueryNode("vp_likes", projections=(("s", "x"), ("o", "w")), conditions=(("o", IRI("I2")),))
+        sql = node.to_sql()
+        assert "FROM vp_likes" in sql
+        assert "s AS x" in sql
+        assert "WHERE" in sql
+
+
+class TestMetrics:
+    def test_merge(self):
+        first = ExecutionMetrics(input_tuples=5, joins=1)
+        second = ExecutionMetrics(input_tuples=3, joins=2)
+        first.merge(second)
+        assert first.input_tuples == 8
+        assert first.joins == 3
+
+    def test_scaled(self):
+        metrics = ExecutionMetrics(input_tuples=10, shuffled_tuples=4, join_comparisons=2, joins=3, stages=5)
+        scaled = metrics.scaled(10.0)
+        assert scaled.input_tuples == 100
+        assert scaled.shuffled_tuples == 40
+        assert scaled.joins == 3  # structural counters unchanged
+        assert scaled.stages == 5
+
+    def test_as_dict_keys(self):
+        keys = set(ExecutionMetrics().as_dict())
+        assert {"input_tuples", "shuffled_tuples", "join_comparisons", "output_tuples"} <= keys
+
+
+class TestCostModels:
+    def test_spark_cost_monotone_in_input(self):
+        model = SparkCostModel()
+        small = ExecutionMetrics(input_tuples=1000, stages=2)
+        large = ExecutionMetrics(input_tuples=100_000_000, stages=2)
+        assert model.runtime_ms(large) > model.runtime_ms(small)
+
+    def test_spark_latency_floor(self):
+        model = SparkCostModel()
+        assert model.runtime_ms(ExecutionMetrics()) >= model.query_overhead_ms
+
+    def test_mapreduce_job_overhead_dominates(self):
+        model = MapReduceCostModel()
+        metrics = ExecutionMetrics(input_tuples=10)
+        assert model.runtime_ms(metrics, jobs=3) >= 3 * model.job_overhead_ms
+
+    def test_centralized_timeout(self):
+        model = CentralizedCostModel(timeout_ms=1000.0)
+        metrics = ExecutionMetrics(output_tuples=10_000_000_000)
+        assert model.runtime_ms(metrics) == float("inf")
+
+    def test_centralized_warm_cache_faster(self):
+        model = CentralizedCostModel()
+        metrics = ExecutionMetrics(input_tuples=1_000_000)
+        assert model.runtime_ms(metrics, warm=True) < model.runtime_ms(metrics)
+
+    def test_hbase_adaptive_switch(self):
+        model = HBaseCostModel(centralized_threshold_tuples=100)
+        selective = ExecutionMetrics(input_tuples=50)
+        unselective = ExecutionMetrics(input_tuples=10_000)
+        assert model.is_centralized(selective)
+        assert not model.is_centralized(unselective)
+        assert model.runtime_ms(unselective) > model.runtime_ms(selective)
+
+    def test_cluster_config_cores(self):
+        assert ClusterConfig(worker_nodes=9, cores_per_node=6).total_cores == 54

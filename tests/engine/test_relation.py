@@ -1,0 +1,189 @@
+"""Unit and property tests for the Relation operators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.relation import Relation, SchemaError
+
+
+@pytest.fixture
+def people():
+    return Relation(("name", "city"), [("ada", "london"), ("alan", "cambridge"), ("grace", "nyc")])
+
+
+@pytest.fixture
+def jobs():
+    return Relation(("name", "job"), [("ada", "math"), ("alan", "cs"), ("alan", "crypto")])
+
+
+class TestBasics:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(("a", "a"), [])
+
+    def test_row_arity_checked(self):
+        with pytest.raises(SchemaError):
+            Relation(("a", "b"), [(1,)])
+
+    def test_len_and_iter(self, people):
+        assert len(people) == 3
+        assert ("ada", "london") in list(people)
+
+    def test_column_values_and_distinct(self, jobs):
+        assert jobs.column_values("name") == ["ada", "alan", "alan"]
+        assert jobs.distinct_count("name") == 2
+
+    def test_unknown_column(self, people):
+        with pytest.raises(SchemaError):
+            people.column_index("nope")
+
+    def test_to_dicts(self, people):
+        assert {"name": "ada", "city": "london"} in people.to_dicts()
+
+    def test_from_dicts(self):
+        relation = Relation.from_dicts(("a", "b"), [{"a": 1}, {"a": 2, "b": 3}])
+        assert relation.rows == [(1, None), (2, 3)]
+
+    def test_equality_is_bag_equality(self):
+        left = Relation(("a",), [(1,), (2,)])
+        right = Relation(("a",), [(2,), (1,)])
+        assert left == right
+
+
+class TestUnaryOperators:
+    def test_project_reorders_and_drops(self, people):
+        projected = people.project(["city"])
+        assert projected.columns == ("city",)
+        assert len(projected) == 3
+
+    def test_project_duplicates_collapse(self, people):
+        assert people.project(["name", "name"]).columns == ("name",)
+
+    def test_rename(self, people):
+        renamed = people.rename({"name": "person"})
+        assert renamed.columns == ("person", "city")
+
+    def test_rename_unknown_column(self, people):
+        with pytest.raises(SchemaError):
+            people.rename({"nope": "x"})
+
+    def test_select_predicate(self, people):
+        assert len(people.select(lambda row: row["city"] == "london")) == 1
+
+    def test_select_eq(self, jobs):
+        assert len(jobs.select_eq({"name": "alan"})) == 2
+
+    def test_distinct(self):
+        relation = Relation(("a",), [(1,), (1,), (2,)])
+        assert len(relation.distinct()) == 2
+
+    def test_order_by_ascending_and_descending(self, people):
+        ascending = people.order_by([("name", True)]).column_values("name")
+        assert ascending == ["ada", "alan", "grace"]
+        descending = people.order_by([("name", False)]).column_values("name")
+        assert descending == ["grace", "alan", "ada"]
+
+    def test_order_by_none_sorts_last(self):
+        relation = Relation(("a",), [(None,), (1,), (2,)])
+        assert relation.order_by([("a", True)]).column_values("a") == [1, 2, None]
+
+    def test_limit_and_offset(self, people):
+        assert len(people.limit(2)) == 2
+        assert len(people.limit(2, offset=2)) == 1
+        assert len(people.limit(None, offset=1)) == 2
+
+
+class TestJoins:
+    def test_natural_join(self, people, jobs):
+        joined = people.natural_join(jobs)
+        assert set(joined.columns) == {"name", "city", "job"}
+        assert len(joined) == 3  # ada x1, alan x2
+
+    def test_natural_join_metrics(self, people, jobs):
+        metrics = ExecutionMetrics()
+        people.natural_join(jobs, metrics)
+        assert metrics.joins == 1
+        assert metrics.shuffled_tuples == len(people) + len(jobs)
+        assert metrics.join_comparisons >= 3
+
+    def test_cross_join_when_no_shared_columns(self):
+        left = Relation(("a",), [(1,), (2,)])
+        right = Relation(("b",), [(3,)])
+        assert len(left.natural_join(right)) == 2
+
+    def test_left_outer_join_keeps_unmatched(self, people, jobs):
+        joined = people.left_outer_join(jobs)
+        grace_rows = [row for row in joined.to_dicts() if row["name"] == "grace"]
+        assert grace_rows and grace_rows[0]["job"] is None
+
+    def test_semi_join(self, people, jobs):
+        reduced = people.semi_join(jobs, on=[("name", "name")])
+        assert {row[0] for row in reduced} == {"ada", "alan"}
+
+    def test_anti_join(self, people, jobs):
+        reduced = people.anti_join(jobs, on=[("name", "name")])
+        assert {row[0] for row in reduced} == {"grace"}
+
+    def test_semi_join_is_subset(self, people, jobs):
+        reduced = people.semi_join(jobs, on=[("name", "name")])
+        assert all(row in people.rows for row in reduced.rows)
+
+    def test_union_same_schema(self, people):
+        doubled = people.union(people)
+        assert len(doubled) == 6
+
+    def test_union_different_schema_pads_with_none(self):
+        left = Relation(("a",), [(1,)])
+        right = Relation(("b",), [(2,)])
+        merged = left.union(right)
+        assert set(merged.columns) == {"a", "b"}
+        assert len(merged) == 2
+
+
+_values = st.integers(min_value=0, max_value=5)
+_rows = st.lists(st.tuples(_values, _values), max_size=25)
+
+
+class TestJoinProperties:
+    @given(left_rows=_rows, right_rows=_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_natural_join_matches_nested_loop(self, left_rows, right_rows):
+        """Hash join must agree with a naive nested-loop join."""
+        left = Relation(("a", "b"), left_rows)
+        right = Relation(("b", "c"), right_rows)
+        joined = left.natural_join(right)
+        expected = sorted(
+            (la, lb, rc) for (la, lb) in left_rows for (rb, rc) in right_rows if lb == rb
+        )
+        assert sorted(joined.rows) == expected
+
+    @given(left_rows=_rows, right_rows=_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_semi_join_equivalent_to_filtered_join(self, left_rows, right_rows):
+        """x ⋉ y == rows of x that appear in the join (paper's decomposition)."""
+        left = Relation(("a", "b"), left_rows)
+        right = Relation(("b", "c"), right_rows)
+        semi = left.semi_join(right, on=[("b", "b")])
+        right_keys = {rb for (rb, _) in right_rows}
+        expected = [row for row in left_rows if row[1] in right_keys]
+        assert sorted(semi.rows) == sorted(expected)
+
+    @given(left_rows=_rows, right_rows=_rows)
+    @settings(max_examples=40, deadline=None)
+    def test_left_outer_join_preserves_left_cardinality_lower_bound(self, left_rows, right_rows):
+        left = Relation(("a", "b"), left_rows)
+        right = Relation(("b", "c"), right_rows)
+        joined = left.left_outer_join(right)
+        assert len(joined) >= len(left)
+        # Every left row key must still be present.
+        assert {row[0] for row in joined.rows} >= {row[0] for row in left_rows}
+
+    @given(rows=_rows)
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_idempotent(self, rows):
+        relation = Relation(("a", "b"), rows)
+        once = relation.distinct()
+        assert once == once.distinct()
+        assert len(once) == len(set(rows))

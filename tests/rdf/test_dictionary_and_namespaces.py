@@ -1,0 +1,109 @@
+"""Unit tests for dictionary encoding and namespace handling."""
+
+import pytest
+
+from repro.rdf.dictionary import TermDictionary
+from repro.rdf.namespaces import Namespace, NamespaceManager, WATDIV_NAMESPACES
+from repro.rdf.terms import IRI, Literal
+
+
+class TestTermDictionary:
+    def test_encode_assigns_dense_ids(self):
+        dictionary = TermDictionary()
+        assert dictionary.encode(IRI("a")) == 0
+        assert dictionary.encode(IRI("b")) == 1
+        assert dictionary.encode(IRI("a")) == 0
+        assert len(dictionary) == 2
+
+    def test_decode_round_trip(self):
+        dictionary = TermDictionary()
+        term = Literal("hello")
+        term_id = dictionary.encode(term)
+        assert dictionary.decode(term_id) == term
+
+    def test_decode_unknown_id(self):
+        with pytest.raises(KeyError):
+            TermDictionary().decode(3)
+
+    def test_lookup_without_insert(self):
+        dictionary = TermDictionary()
+        assert dictionary.lookup(IRI("a")) is None
+        dictionary.encode(IRI("a"))
+        assert dictionary.lookup(IRI("a")) == 0
+
+    def test_contains(self):
+        dictionary = TermDictionary()
+        dictionary.encode(IRI("a"))
+        assert IRI("a") in dictionary
+        assert IRI("b") not in dictionary
+
+    def test_encode_triple_round_trip(self, example_graph):
+        dictionary = TermDictionary()
+        triple = next(iter(example_graph))
+        encoded = dictionary.encode_triple(triple)
+        assert dictionary.decode_triple(encoded) == triple
+
+    def test_from_graph_covers_all_terms(self, example_graph):
+        dictionary = TermDictionary.from_graph(example_graph)
+        for triple in example_graph:
+            assert triple.subject in dictionary
+            assert triple.predicate in dictionary
+            assert triple.object in dictionary
+
+    def test_average_term_length(self):
+        dictionary = TermDictionary.from_terms([IRI("ab"), IRI("abcd")])
+        # n3 adds the angle brackets: <ab> is 4 chars, <abcd> is 6.
+        assert dictionary.average_term_length() == pytest.approx(5.0)
+
+    def test_empty_dictionary_average(self):
+        assert TermDictionary().average_term_length() == 0.0
+
+
+class TestNamespace:
+    def test_term_building(self):
+        ns = Namespace("ex", "http://example.org/")
+        assert ns.term("Thing") == IRI("http://example.org/Thing")
+        assert ns["Thing"] == IRI("http://example.org/Thing")
+
+
+class TestNamespaceManager:
+    def test_expand_known_prefix(self):
+        manager = NamespaceManager()
+        assert manager.expand("wsdbm:User0") == IRI(WATDIV_NAMESPACES["wsdbm"] + "User0")
+
+    def test_expand_unknown_prefix(self):
+        with pytest.raises(KeyError):
+            NamespaceManager().expand("nope:User0")
+
+    def test_expand_without_colon(self):
+        with pytest.raises(ValueError):
+            NamespaceManager().expand("User0")
+
+    def test_try_expand_returns_none(self):
+        assert NamespaceManager().try_expand("nope:x") is None
+
+    def test_compact_round_trip(self):
+        manager = NamespaceManager()
+        iri = manager.expand("sorg:email")
+        assert manager.compact(iri) == "sorg:email"
+
+    def test_compact_unknown_base(self):
+        manager = NamespaceManager()
+        assert manager.compact(IRI("urn:something")) == "<urn:something>"
+
+    def test_bind_new_prefix(self):
+        manager = NamespaceManager()
+        manager.bind("ex", "http://example.org/")
+        assert manager.expand("ex:a") == IRI("http://example.org/a")
+        assert manager.compact(IRI("http://example.org/a")) == "ex:a"
+
+    def test_namespace_accessor(self):
+        manager = NamespaceManager()
+        assert manager.namespace("gr").base == WATDIV_NAMESPACES["gr"]
+        with pytest.raises(KeyError):
+            manager.namespace("unknown")
+
+    def test_watdiv_prefixes_present(self):
+        prefixes = NamespaceManager().namespaces()
+        for prefix in ("wsdbm", "sorg", "gr", "rev", "foaf", "og", "mo", "gn", "dc", "rdf"):
+            assert prefix in prefixes

@@ -1,0 +1,117 @@
+"""Unit and property tests for N-Triples parsing and serialisation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf.graph import Graph
+from repro.rdf.ntriples import (
+    NTriplesParseError,
+    parse_literal,
+    parse_ntriples,
+    parse_ntriples_line,
+    serialize_ntriples,
+)
+from repro.rdf.terms import IRI, BlankNode, Literal
+from repro.rdf.triple import Triple
+
+
+class TestParseLine:
+    def test_simple_statement(self):
+        triple = parse_ntriples_line("<http://a> <http://p> <http://b> .")
+        assert triple == Triple(IRI("http://a"), IRI("http://p"), IRI("http://b"))
+
+    def test_literal_object(self):
+        triple = parse_ntriples_line('<a> <p> "hello world" .')
+        assert triple.object == Literal("hello world")
+
+    def test_typed_literal(self):
+        triple = parse_ntriples_line('<a> <p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .')
+        assert triple.object.to_python() == 5
+
+    def test_language_literal(self):
+        triple = parse_ntriples_line('<a> <p> "bonjour"@fr .')
+        assert triple.object.language == "fr"
+
+    def test_blank_node_subject(self):
+        triple = parse_ntriples_line("_:b1 <p> <o> .")
+        assert triple.subject == BlankNode("b1")
+
+    def test_comment_returns_none(self):
+        assert parse_ntriples_line("# a comment") is None
+
+    def test_blank_line_returns_none(self):
+        assert parse_ntriples_line("   ") is None
+
+    def test_simplified_notation(self):
+        triple = parse_ntriples_line("A follows B .")
+        assert triple == Triple(IRI("A"), IRI("follows"), IRI("B"))
+
+    def test_literal_with_escaped_quote(self):
+        triple = parse_ntriples_line('<a> <p> "say \\"hi\\"" .')
+        assert triple.object.lexical == 'say "hi"'
+
+    def test_missing_term_raises(self):
+        with pytest.raises(NTriplesParseError):
+            parse_ntriples_line("<a> <p> .")
+
+    def test_unterminated_iri_raises(self):
+        with pytest.raises(NTriplesParseError):
+            parse_ntriples_line("<a <p> <o> .")
+
+
+class TestParseDocument:
+    def test_multi_line_document(self):
+        document = "<a> <p> <b> .\n# comment\n<b> <p> <c> .\n"
+        graph = parse_ntriples(document)
+        assert len(graph) == 2
+
+    def test_duplicates_collapse(self):
+        graph = parse_ntriples("<a> <p> <b> .\n<a> <p> <b> .")
+        assert len(graph) == 1
+
+    def test_round_trip(self, example_graph):
+        document = serialize_ntriples(example_graph)
+        parsed = parse_ntriples(document)
+        assert parsed == example_graph
+
+    def test_serialize_deterministic(self, example_graph):
+        assert serialize_ntriples(example_graph) == serialize_ntriples(example_graph.copy())
+
+    def test_empty_graph_serialisation(self):
+        assert serialize_ntriples(Graph()) == ""
+
+
+class TestParseLiteral:
+    def test_plain(self):
+        assert parse_literal('"x"') == Literal("x")
+
+    def test_malformed(self):
+        with pytest.raises(NTriplesParseError):
+            parse_literal('"unterminated')
+
+
+_iri_text = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789/._-", min_size=1, max_size=20)
+_literal_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), min_size=0, max_size=30
+)
+
+
+@st.composite
+def triples(draw):
+    subject = IRI("http://ex.org/" + draw(_iri_text))
+    predicate = IRI("http://ex.org/p/" + draw(_iri_text))
+    if draw(st.booleans()):
+        object_ = IRI("http://ex.org/" + draw(_iri_text))
+    else:
+        object_ = Literal(draw(_literal_text))
+    return Triple(subject, predicate, object_)
+
+
+class TestRoundTripProperties:
+    @given(st.lists(triples(), max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_serialize_parse_round_trip(self, triple_list):
+        graph = Graph(triple_list)
+        recovered = parse_ntriples(serialize_ntriples(graph))
+        assert recovered == graph

@@ -1,0 +1,122 @@
+"""Unit tests for RDF term types."""
+
+import pytest
+
+from repro.rdf.terms import (
+    IRI,
+    BlankNode,
+    Literal,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    term_from_string,
+)
+
+
+class TestIRI:
+    def test_n3_syntax(self):
+        assert IRI("http://example.org/x").n3() == "<http://example.org/x>"
+
+    def test_equality_and_hash(self):
+        assert IRI("a") == IRI("a")
+        assert IRI("a") != IRI("b")
+        assert len({IRI("a"), IRI("a"), IRI("b")}) == 2
+
+    def test_local_name_hash_fragment(self):
+        assert IRI("http://example.org/ns#Person").local_name() == "Person"
+
+    def test_local_name_path_segment(self):
+        assert IRI("http://db.uwaterloo.ca/~galuc/wsdbm/User7").local_name() == "User7"
+
+    def test_is_bound(self):
+        assert IRI("a").is_bound
+        assert not IRI("a").is_variable
+
+
+class TestLiteral:
+    def test_plain_literal_n3(self):
+        assert Literal("hello").n3() == '"hello"'
+
+    def test_typed_literal_n3(self):
+        rendered = Literal("5", datatype=XSD_INTEGER).n3()
+        assert rendered == f'"5"^^<{XSD_INTEGER}>'
+
+    def test_language_tagged_n3(self):
+        assert Literal("hallo", language="de").n3() == '"hallo"@de'
+
+    def test_datatype_and_language_conflict(self):
+        with pytest.raises(ValueError):
+            Literal("x", datatype=XSD_INTEGER, language="en")
+
+    def test_escaping_in_n3(self):
+        assert Literal('say "hi"').n3() == '"say \\"hi\\""'
+
+    def test_to_python_integer(self):
+        assert Literal("42", datatype=XSD_INTEGER).to_python() == 42
+
+    def test_to_python_double(self):
+        assert Literal("1.5", datatype=XSD_DOUBLE).to_python() == pytest.approx(1.5)
+
+    def test_to_python_boolean(self):
+        assert Literal("true", datatype=XSD_BOOLEAN).to_python() is True
+        assert Literal("false", datatype=XSD_BOOLEAN).to_python() is False
+
+    def test_from_python_round_trip(self):
+        assert Literal.from_python(7).to_python() == 7
+        assert Literal.from_python(True).to_python() is True
+        assert Literal.from_python("text").to_python() == "text"
+
+    def test_is_numeric(self):
+        assert Literal("1", datatype=XSD_INTEGER).is_numeric
+        assert not Literal("1").is_numeric
+
+
+class TestVariable:
+    def test_strips_question_mark(self):
+        assert Variable("?x").name == "x"
+        assert Variable("x").name == "x"
+
+    def test_dollar_prefix(self):
+        assert Variable("$y").name == "y"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("?")
+
+    def test_is_variable_flag(self):
+        assert Variable("x").is_variable
+        assert not Variable("x").is_bound
+
+    def test_n3(self):
+        assert Variable("v0").n3() == "?v0"
+
+
+class TestBlankNode:
+    def test_n3(self):
+        assert BlankNode("b1").n3() == "_:b1"
+
+    def test_equality(self):
+        assert BlankNode("b") == BlankNode("b")
+        assert BlankNode("b") != BlankNode("c")
+
+
+class TestTermFromString:
+    def test_variable(self):
+        assert term_from_string("?x") == Variable("x")
+
+    def test_full_iri(self):
+        assert term_from_string("<http://ex.org/a>") == IRI("http://ex.org/a")
+
+    def test_blank_node(self):
+        assert term_from_string("_:n1") == BlankNode("n1")
+
+    def test_plain_literal(self):
+        assert term_from_string('"abc"') == Literal("abc")
+
+    def test_bare_name_is_iri(self):
+        assert term_from_string("follows") == IRI("follows")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            term_from_string("   ")

@@ -1,0 +1,116 @@
+"""Unit tests for triples and the in-memory graph."""
+
+import pytest
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.rdf.triple import Triple
+
+
+def t(s, p, o):
+    return Triple(IRI(s), IRI(p), IRI(o))
+
+
+class TestTriple:
+    def test_basic_construction(self):
+        triple = t("A", "follows", "B")
+        assert triple.subject == IRI("A")
+        assert triple.predicate == IRI("follows")
+        assert triple.object == IRI("B")
+
+    def test_literal_object_allowed(self):
+        triple = Triple(IRI("A"), IRI("age"), Literal("25"))
+        assert isinstance(triple.object, Literal)
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(Literal("x"), IRI("p"), IRI("o"))
+
+    def test_variable_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(Variable("x"), IRI("p"), IRI("o"))
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(IRI("s"), Literal("p"), IRI("o"))
+
+    def test_iteration_and_tuple(self):
+        triple = t("A", "p", "B")
+        assert list(triple) == [IRI("A"), IRI("p"), IRI("B")]
+        assert triple.as_tuple() == (IRI("A"), IRI("p"), IRI("B"))
+
+    def test_of_shorthand(self):
+        triple = Triple.of("A", "follows", "B")
+        assert triple == t("A", "follows", "B")
+
+    def test_n3(self):
+        assert t("A", "p", "B").n3() == "<A> <p> <B> ."
+
+
+class TestGraph:
+    def test_add_and_len(self, example_graph):
+        assert len(example_graph) == 7
+
+    def test_add_duplicate_ignored(self):
+        graph = Graph()
+        assert graph.add(t("A", "p", "B")) is True
+        assert graph.add(t("A", "p", "B")) is False
+        assert len(graph) == 1
+
+    def test_discard(self):
+        graph = Graph([t("A", "p", "B")])
+        assert graph.discard(t("A", "p", "B")) is True
+        assert graph.discard(t("A", "p", "B")) is False
+        assert len(graph) == 0
+
+    def test_contains(self, example_graph):
+        assert t("A", "follows", "B") in example_graph
+        assert t("A", "follows", "D") not in example_graph
+
+    def test_predicates_sorted(self, example_graph):
+        assert example_graph.predicates() == [IRI("follows"), IRI("likes")]
+
+    def test_predicate_count(self, example_graph):
+        assert example_graph.predicate_count(IRI("follows")) == 4
+        assert example_graph.predicate_count(IRI("likes")) == 3
+        assert example_graph.predicate_count(IRI("missing")) == 0
+
+    def test_predicate_histogram(self, example_graph):
+        histogram = example_graph.predicate_histogram()
+        assert histogram[IRI("follows")] == 4
+        assert histogram[IRI("likes")] == 3
+
+    def test_triples_wildcard_match(self, example_graph):
+        assert len(list(example_graph.triples())) == 7
+
+    def test_triples_by_subject(self, example_graph):
+        matches = list(example_graph.triples(subject=IRI("A")))
+        assert len(matches) == 3
+
+    def test_triples_by_predicate_and_object(self, example_graph):
+        matches = list(example_graph.triples(predicate=IRI("likes"), object=IRI("I2")))
+        assert {m.subject for m in matches} == {IRI("A"), IRI("C")}
+
+    def test_triples_unknown_bound_value(self, example_graph):
+        assert list(example_graph.triples(subject=IRI("nope"))) == []
+
+    def test_subject_object_pairs(self, example_graph):
+        pairs = set(example_graph.subject_object_pairs(IRI("likes")))
+        assert pairs == {(IRI("A"), IRI("I1")), (IRI("A"), IRI("I2")), (IRI("C"), IRI("I2"))}
+
+    def test_subjects_and_objects(self, example_graph):
+        assert IRI("A") in example_graph.subjects()
+        assert IRI("I1") in example_graph.objects()
+
+    def test_union(self):
+        left = Graph([t("A", "p", "B")])
+        right = Graph([t("B", "p", "C")])
+        merged = left.union(right)
+        assert len(merged) == 2
+        assert len(left) == 1
+
+    def test_copy_and_equality(self, example_graph):
+        clone = example_graph.copy()
+        assert clone == example_graph
+        clone.add(t("X", "p", "Y"))
+        assert clone != example_graph

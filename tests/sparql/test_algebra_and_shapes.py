@@ -1,0 +1,170 @@
+"""Unit tests for the SPARQL algebra, expressions and shape analysis."""
+
+import pytest
+
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.sparql.algebra import BGP, TriplePattern, collect_bgps, collect_triple_patterns
+from repro.sparql.expressions import (
+    And,
+    Arithmetic,
+    Bound,
+    Comparison,
+    Not,
+    Or,
+    TermExpression,
+    VariableExpression,
+)
+from repro.sparql.parser import parse_query
+from repro.sparql.shapes import CorrelationType, QueryShape, analyze_bgp, classify_shape, diameter, find_correlations
+
+
+def tp(s, p, o):
+    def term(x):
+        return Variable(x[1:]) if x.startswith("?") else IRI(x)
+
+    return TriplePattern(term(s), term(p), term(o))
+
+
+class TestTriplePattern:
+    def test_variables(self):
+        pattern = tp("?x", "likes", "?y")
+        assert pattern.variables() == {Variable("x"), Variable("y")}
+
+    def test_bound_count(self):
+        assert tp("?x", "likes", "?y").bound_count() == 1
+        assert tp("A", "likes", "?y").bound_count() == 2
+        assert tp("A", "likes", "B").bound_count() == 3
+
+    def test_has_bound_predicate(self):
+        assert tp("?x", "likes", "?y").has_bound_predicate
+        assert not tp("?x", "?p", "?y").has_bound_predicate
+
+
+class TestExpressions:
+    def test_comparison_evaluation(self):
+        expression = Comparison(">", VariableExpression(Variable("a")), TermExpression(Literal("5")))
+        assert expression.evaluate_truth({"a": Literal("10")})
+        assert not expression.evaluate_truth({"a": Literal("3")})
+
+    def test_unbound_variable_is_error_false(self):
+        expression = Comparison("=", VariableExpression(Variable("a")), TermExpression(Literal("5")))
+        assert expression.evaluate_truth({}) is False
+
+    def test_and_or_not(self):
+        a_positive = Comparison(">", VariableExpression(Variable("a")), TermExpression(Literal("0")))
+        a_small = Comparison("<", VariableExpression(Variable("a")), TermExpression(Literal("10")))
+        mapping = {"a": Literal("5")}
+        assert And(a_positive, a_small).evaluate_truth(mapping)
+        assert Or(Not(a_positive), a_small).evaluate_truth(mapping)
+        assert not Not(a_positive).evaluate_truth(mapping)
+
+    def test_arithmetic(self):
+        expression = Comparison(
+            "=",
+            Arithmetic("+", VariableExpression(Variable("a")), TermExpression(Literal("2"))),
+            TermExpression(Literal("7")),
+        )
+        assert expression.evaluate_truth({"a": Literal("5")})
+
+    def test_bound(self):
+        assert Bound(Variable("x")).evaluate_truth({"x": IRI("a")})
+        assert not Bound(Variable("x")).evaluate_truth({})
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison("~", VariableExpression(Variable("a")), TermExpression(Literal("1")))
+
+    def test_to_sql_rendering(self):
+        expression = Comparison("!=", VariableExpression(Variable("a")), TermExpression(Literal("x")))
+        assert expression.to_sql() == "a <> 'x'"
+
+    def test_iri_comparison(self):
+        expression = Comparison("=", VariableExpression(Variable("a")), TermExpression(IRI("urn:x")))
+        assert expression.evaluate_truth({"a": IRI("urn:x")})
+
+
+class TestCollectHelpers:
+    def test_collect_bgps_and_patterns(self):
+        query = parse_query("SELECT * WHERE { ?x <p> ?y . OPTIONAL { ?y <q> ?z } }")
+        bgps = collect_bgps(query.pattern)
+        assert len(bgps) == 2
+        assert len(collect_triple_patterns(query.pattern)) == 2
+
+
+class TestCorrelations:
+    def test_ss_correlation(self):
+        bgp = BGP([tp("?x", "likes", "?y"), tp("?x", "follows", "?z")])
+        kinds = {c.kind for c in find_correlations(bgp)}
+        assert kinds == {CorrelationType.SUBJECT_SUBJECT}
+
+    def test_os_and_so_correlation(self):
+        bgp = BGP([tp("?x", "follows", "?y"), tp("?y", "likes", "?z")])
+        kinds = {c.kind for c in find_correlations(bgp)}
+        assert CorrelationType.OBJECT_SUBJECT in kinds
+        assert CorrelationType.SUBJECT_OBJECT in kinds
+
+    def test_oo_correlation(self):
+        bgp = BGP([tp("?x", "follows", "?y"), tp("?z", "follows", "?y")])
+        kinds = {c.kind for c in find_correlations(bgp)}
+        assert CorrelationType.OBJECT_OBJECT in kinds
+
+
+class TestShapes:
+    def test_star_shape(self):
+        bgp = BGP([tp("?x", "a", "?y1"), tp("?x", "b", "?y2"), tp("?x", "c", "?y3")])
+        assert classify_shape(bgp) == QueryShape.STAR
+        assert diameter(bgp) == 2  # adjacency path through the hub
+
+    def test_linear_shape(self):
+        bgp = BGP([tp("?x", "p", "?y"), tp("?y", "q", "?z"), tp("?z", "r", "?w")])
+        assert classify_shape(bgp) == QueryShape.LINEAR
+        assert diameter(bgp) == 3
+
+    def test_snowflake_shape(self):
+        bgp = BGP(
+            [
+                tp("?x", "a", "?y1"),
+                tp("?x", "b", "?y2"),
+                tp("?x", "link", "?z"),
+                tp("?z", "c", "?w1"),
+                tp("?z", "d", "?w2"),
+            ]
+        )
+        assert classify_shape(bgp) == QueryShape.SNOWFLAKE
+
+    def test_single_pattern(self):
+        bgp = BGP([tp("?x", "p", "?y")])
+        assert classify_shape(bgp) == QueryShape.SINGLE
+        assert diameter(bgp) == 1
+
+    def test_disconnected(self):
+        bgp = BGP([tp("?x", "p", "?y"), tp("?a", "q", "?b")])
+        assert classify_shape(bgp) == QueryShape.DISCONNECTED
+
+    def test_empty_bgp(self):
+        assert diameter(BGP([])) == 0
+        assert classify_shape(BGP([])) == QueryShape.DISCONNECTED
+
+    def test_running_example_is_complex_cycle(self, query_q1):
+        query = parse_query(query_q1)
+        analysis = analyze_bgp(query.pattern)
+        assert analysis.shape in (QueryShape.COMPLEX, QueryShape.LINEAR)
+        assert analysis.is_connected
+        assert len(analysis.join_variable_degrees) == 4
+
+    def test_basic_templates_have_expected_shapes(self, small_dataset):
+        from repro.watdiv.basic_queries import basic_template
+        from repro.watdiv.template import instantiate_template
+
+        star = parse_query(instantiate_template(basic_template("S1"), small_dataset))
+        assert classify_shape(star.pattern) == QueryShape.STAR
+        linear = parse_query(instantiate_template(basic_template("L4"), small_dataset))
+        assert classify_shape(linear.pattern) in (QueryShape.LINEAR, QueryShape.STAR)
+
+    def test_incremental_queries_are_linear(self, small_dataset):
+        from repro.watdiv.incremental_queries import incremental_template
+        from repro.watdiv.template import instantiate_template
+
+        query = parse_query(instantiate_template(incremental_template("IL-3-7"), small_dataset))
+        assert classify_shape(query.pattern) == QueryShape.LINEAR
+        assert diameter(query.pattern) == 7

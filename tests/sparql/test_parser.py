@@ -1,0 +1,177 @@
+"""Unit tests for the SPARQL tokenizer and parser."""
+
+import pytest
+
+from repro.rdf.namespaces import WATDIV_NAMESPACES
+from repro.rdf.terms import IRI, Literal, Variable
+from repro.sparql.algebra import BGP, Filter, LeftJoin, Union
+from repro.sparql.parser import SparqlParseError, parse_query
+from repro.sparql.tokenizer import TokenizeError, tokenize
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT ?x WHERE { ?x <p> ?y }")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["KEYWORD", "VAR", "KEYWORD", "LBRACE", "VAR", "IRI", "VAR", "RBRACE"]
+
+    def test_keywords_lowercased(self):
+        tokens = tokenize("SELECT")
+        assert tokens[0].value == "select"
+
+    def test_prefixed_name(self):
+        tokens = tokenize("wsdbm:User0")
+        assert tokens[0].kind == "PNAME"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("?x # comment here\n?y")
+        assert [t.value for t in tokens] == ["?x", "?y"]
+
+    def test_string_with_datatype(self):
+        tokens = tokenize('"5"^^<http://www.w3.org/2001/XMLSchema#integer>')
+        assert tokens[0].kind == "STRING"
+
+    def test_comparison_operators(self):
+        kinds = [t.kind for t in tokenize("?x >= 5 && ?y != 3")]
+        assert "GE" in kinds and "ANDAND" in kinds and "NEQ" in kinds
+
+    def test_unexpected_character(self):
+        with pytest.raises(TokenizeError):
+            tokenize("SELECT ?x WHERE § { }")
+
+
+class TestBasicParsing:
+    def test_select_star_single_pattern(self):
+        query = parse_query("SELECT * WHERE { ?s ?p ?o }")
+        assert isinstance(query.pattern, BGP)
+        assert len(query.pattern) == 1
+        assert query.select_variables == ()
+
+    def test_select_specific_variables(self):
+        query = parse_query("SELECT ?s ?o WHERE { ?s <p> ?o }")
+        assert [v.name for v in query.select_variables] == ["s", "o"]
+
+    def test_multiple_patterns(self, query_q1):
+        query = parse_query(query_q1)
+        assert len(query.pattern) == 4
+
+    def test_prefixed_names_expanded(self):
+        query = parse_query("SELECT * WHERE { ?x wsdbm:likes wsdbm:Product0 }")
+        pattern = query.pattern.patterns[0]
+        assert pattern.predicate == IRI(WATDIV_NAMESPACES["wsdbm"] + "likes")
+        assert pattern.object == IRI(WATDIV_NAMESPACES["wsdbm"] + "Product0")
+
+    def test_explicit_prefix_declaration(self):
+        query = parse_query(
+            "PREFIX ex: <http://example.org/> SELECT * WHERE { ?x ex:knows ?y }"
+        )
+        assert query.pattern.patterns[0].predicate == IRI("http://example.org/knows")
+
+    def test_a_keyword_is_rdf_type(self):
+        query = parse_query("SELECT * WHERE { ?x a wsdbm:Role2 }")
+        assert query.pattern.patterns[0].predicate == IRI(WATDIV_NAMESPACES["rdf"] + "type")
+
+    def test_predicate_object_list(self):
+        query = parse_query("SELECT * WHERE { ?x <p> ?a ; <q> ?b , ?c . }")
+        patterns = query.pattern.patterns
+        assert len(patterns) == 3
+        assert all(p.subject == Variable("x") for p in patterns)
+
+    def test_numeric_literal_object(self):
+        query = parse_query("SELECT * WHERE { ?x <age> 42 }")
+        assert isinstance(query.pattern.patterns[0].object, Literal)
+
+    def test_string_literal_object(self):
+        query = parse_query('SELECT * WHERE { ?x <name> "Ada" }')
+        assert query.pattern.patterns[0].object == Literal("Ada")
+
+    def test_undeclared_prefix_raises(self):
+        with pytest.raises(SparqlParseError):
+            parse_query("SELECT * WHERE { ?x nope:p ?y }")
+
+    def test_non_select_rejected(self):
+        with pytest.raises(SparqlParseError):
+            parse_query("ASK { ?s ?p ?o }")
+
+    def test_missing_brace_rejected(self):
+        with pytest.raises(SparqlParseError):
+            parse_query("SELECT * WHERE { ?s ?p ?o ")
+
+    def test_empty_select_rejected(self):
+        with pytest.raises(SparqlParseError):
+            parse_query("SELECT WHERE { ?s ?p ?o }")
+
+    def test_query_text_preserved(self, query_q1):
+        assert parse_query(query_q1).text == query_q1
+
+
+class TestSolutionModifiers:
+    def test_distinct(self):
+        assert parse_query("SELECT DISTINCT ?x WHERE { ?x ?p ?o }").distinct
+
+    def test_limit_and_offset(self):
+        query = parse_query("SELECT ?x WHERE { ?x ?p ?o } LIMIT 10 OFFSET 5")
+        assert query.limit == 10
+        assert query.offset == 5
+
+    def test_order_by_variable(self):
+        query = parse_query("SELECT ?x WHERE { ?x ?p ?o } ORDER BY ?x")
+        assert len(query.order_by) == 1
+        assert query.order_by[0].ascending
+
+    def test_order_by_desc(self):
+        query = parse_query("SELECT ?x WHERE { ?x ?p ?o } ORDER BY DESC(?x)")
+        assert not query.order_by[0].ascending
+
+
+class TestComplexPatterns:
+    def test_filter(self):
+        query = parse_query("SELECT * WHERE { ?x <age> ?a . FILTER(?a > 18) }")
+        assert isinstance(query.pattern, Filter)
+
+    def test_optional(self):
+        query = parse_query("SELECT * WHERE { ?x <p> ?y . OPTIONAL { ?y <q> ?z } }")
+        assert isinstance(query.pattern, LeftJoin)
+
+    def test_union(self):
+        query = parse_query("SELECT * WHERE { { ?x <p> ?y } UNION { ?x <q> ?y } }")
+        assert isinstance(query.pattern, Union)
+
+    def test_filter_with_boolean_connectives(self):
+        query = parse_query("SELECT * WHERE { ?x <age> ?a . FILTER(?a > 18 && ?a < 65) }")
+        assert isinstance(query.pattern, Filter)
+
+    def test_nested_group(self):
+        query = parse_query("SELECT * WHERE { { ?x <p> ?y . ?y <q> ?z } }")
+        assert len(query.pattern.patterns) == 2
+
+    def test_variables_collected(self, query_q1):
+        names = {v.name for v in parse_query(query_q1).variables()}
+        assert names == {"x", "y", "z", "w"}
+
+
+class TestWorkloadQueriesParse:
+    def test_all_basic_templates_parse(self, small_dataset):
+        from repro.watdiv.basic_queries import BASIC_TEMPLATES
+        from repro.watdiv.template import instantiate_template
+
+        for template in BASIC_TEMPLATES:
+            query = parse_query(instantiate_template(template, small_dataset))
+            assert len(query.pattern.patterns) >= 2
+
+    def test_all_selectivity_templates_parse(self, small_dataset):
+        from repro.watdiv.selectivity_queries import SELECTIVITY_TEMPLATES
+        from repro.watdiv.template import instantiate_template
+
+        for template in SELECTIVITY_TEMPLATES:
+            query = parse_query(instantiate_template(template, small_dataset))
+            assert len(query.pattern.patterns) >= 2
+
+    def test_all_incremental_templates_parse(self, small_dataset):
+        from repro.watdiv.incremental_queries import INCREMENTAL_TEMPLATES
+        from repro.watdiv.template import instantiate_template
+
+        for template in INCREMENTAL_TEMPLATES:
+            query = parse_query(instantiate_template(template, small_dataset))
+            expected = int(template.name.rsplit("-", 1)[1])
+            assert len(query.pattern.patterns) == expected

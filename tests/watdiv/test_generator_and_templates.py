@@ -1,0 +1,159 @@
+"""Tests for the WatDiv-like schema, generator and query templates."""
+
+import numpy as np
+import pytest
+
+from repro.rdf.terms import IRI
+from repro.watdiv.basic_queries import BASIC_TEMPLATES, basic_template, basic_templates_by_category
+from repro.watdiv.generator import WatDivGenerator, generate_dataset
+from repro.watdiv.incremental_queries import INCREMENTAL_TEMPLATES, incremental_templates_by_type
+from repro.watdiv.schema import (
+    ENTITY_COUNTS,
+    FOLLOWS,
+    FRIEND_OF,
+    LIKES,
+    WATDIV_SCHEMA,
+    EntityClass,
+    PredicateSpec,
+    entity_iri,
+)
+from repro.watdiv.selectivity_queries import SELECTIVITY_TEMPLATES
+from repro.watdiv.template import QueryTemplate, instantiate_many, instantiate_template
+
+
+class TestSchema:
+    def test_entity_iri(self):
+        assert entity_iri(EntityClass.USER, 7).value.endswith("User7")
+
+    def test_spec_requires_exactly_one_mode(self):
+        with pytest.raises(ValueError):
+            PredicateSpec(FOLLOWS, EntityClass.USER, EntityClass.USER, probability=0.5, mean_degree=2.0)
+        with pytest.raises(ValueError):
+            PredicateSpec(FOLLOWS, EntityClass.USER, EntityClass.USER)
+
+    def test_every_entity_class_has_counts(self):
+        assert set(ENTITY_COUNTS) == set(EntityClass)
+
+    def test_schema_references_known_classes(self):
+        for spec in WATDIV_SCHEMA:
+            assert spec.source in ENTITY_COUNTS
+            if spec.target is not None:
+                assert spec.target in ENTITY_COUNTS
+
+
+class TestGenerator:
+    def test_deterministic_for_same_seed(self):
+        first = generate_dataset(scale_factor=0.5, seed=3).graph
+        second = generate_dataset(scale_factor=0.5, seed=3).graph
+        assert first == second
+
+    def test_different_seed_changes_data(self):
+        first = generate_dataset(scale_factor=0.5, seed=3).graph
+        second = generate_dataset(scale_factor=0.5, seed=4).graph
+        assert first != second
+
+    def test_scale_factor_grows_graph(self):
+        small = generate_dataset(scale_factor=0.5, seed=3).graph
+        large = generate_dataset(scale_factor=2.0, seed=3).graph
+        assert len(large) > 2 * len(small)
+
+    def test_invalid_scale_factor(self):
+        with pytest.raises(ValueError):
+            WatDivGenerator(scale_factor=0)
+
+    def test_predicate_mix_dominated_by_social_edges(self, small_graph):
+        histogram = small_graph.predicate_histogram()
+        total = len(small_graph)
+        assert histogram[FRIEND_OF] / total > 0.2
+        assert histogram[FOLLOWS] / total > 0.15
+        assert histogram[LIKES] / total < 0.05
+
+    def test_selectivity_structure_for_st_queries(self, small_graph):
+        """~90 % of users have an email, ~5 % a job title (drives ST-1-x)."""
+        from repro.watdiv.schema import EMAIL, JOB_TITLE
+
+        user_count = len({t.subject for t in small_graph.triples(predicate=FRIEND_OF)})
+        email_count = small_graph.predicate_count(EMAIL)
+        job_count = small_graph.predicate_count(JOB_TITLE)
+        assert email_count > 3 * job_count
+        assert user_count > 0
+
+    def test_entities_listing_and_sampling(self, small_dataset):
+        users = small_dataset.entities(EntityClass.USER)
+        assert len(users) == small_dataset.entity_counts[EntityClass.USER]
+        rng = np.random.default_rng(0)
+        sample = small_dataset.sample_entity(EntityClass.RETAILER, rng)
+        assert sample in small_dataset.entities(EntityClass.RETAILER)
+
+    def test_every_review_has_reviewer_and_product(self, small_graph):
+        from repro.watdiv.schema import HAS_REVIEW, REVIEWER
+
+        reviews_with_product = {t.object for t in small_graph.triples(predicate=HAS_REVIEW)}
+        reviews_with_reviewer = {t.subject for t in small_graph.triples(predicate=REVIEWER)}
+        assert reviews_with_reviewer <= reviews_with_product | reviews_with_reviewer
+        assert len(reviews_with_product) > 0
+
+    def test_constants_used_by_queries_exist(self, small_dataset):
+        # wsdbm:Product0, wsdbm:Country1/5, wsdbm:Language0, wsdbm:Role2, wsdbm:ProductCategory2
+        counts = small_dataset.entity_counts
+        assert counts[EntityClass.PRODUCT] > 0
+        assert counts[EntityClass.COUNTRY] > 5
+        assert counts[EntityClass.LANGUAGE] > 0
+        assert counts[EntityClass.ROLE] > 2
+        assert counts[EntityClass.PRODUCT_CATEGORY] > 2
+
+
+class TestTemplates:
+    def test_basic_template_inventory(self):
+        assert len(BASIC_TEMPLATES) == 20
+        grouped = basic_templates_by_category()
+        assert len(grouped["L"]) == 5
+        assert len(grouped["S"]) == 7
+        assert len(grouped["F"]) == 5
+        assert len(grouped["C"]) == 3
+
+    def test_selectivity_template_inventory(self):
+        assert len(SELECTIVITY_TEMPLATES) == 20
+
+    def test_incremental_template_inventory(self):
+        assert len(INCREMENTAL_TEMPLATES) == 18
+        grouped = incremental_templates_by_type()
+        assert set(grouped) == {"IL-1", "IL-2", "IL-3"}
+        assert all(len(templates) == 6 for templates in grouped.values())
+
+    def test_unknown_template_lookup(self):
+        with pytest.raises(KeyError):
+            basic_template("S99")
+
+    def test_placeholders_detected(self):
+        template = basic_template("S1")
+        assert template.placeholders == ["v2"]
+        assert template.is_parameterized()
+
+    def test_unbound_templates_have_no_placeholders(self):
+        assert not basic_template("C1").is_parameterized()
+
+    def test_instantiation_replaces_all_placeholders(self, small_dataset):
+        text = instantiate_template(basic_template("S1"), small_dataset)
+        assert "%" not in text
+        assert "PREFIX wsdbm:" in text
+
+    def test_instantiation_without_prefixes(self, small_dataset):
+        text = instantiate_template(basic_template("L4"), small_dataset, include_prefixes=False)
+        assert "PREFIX" not in text
+
+    def test_instantiate_many_deterministic(self, small_dataset):
+        first = instantiate_many(basic_template("S1"), small_dataset, 3, seed=5)
+        second = instantiate_many(basic_template("S1"), small_dataset, 3, seed=5)
+        assert first == second
+        assert len(set(first)) >= 1
+
+    def test_missing_mapping_raises(self, small_dataset):
+        broken = QueryTemplate(name="X", category="L", text="SELECT * WHERE { %v9% <p> ?x }")
+        with pytest.raises(KeyError):
+            instantiate_template(broken, small_dataset)
+
+    def test_incremental_chain_grows_by_one_pattern(self):
+        shorter = next(t for t in INCREMENTAL_TEMPLATES if t.name == "IL-1-5")
+        longer = next(t for t in INCREMENTAL_TEMPLATES if t.name == "IL-1-6")
+        assert longer.text.count(" .") == shorter.text.count(" .") + 1
