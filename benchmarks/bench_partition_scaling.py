@@ -1,0 +1,22 @@
+"""Benchmark for the partitioned parallel runtime: join scaling vs. partitions."""
+
+import pytest
+
+from repro.bench import run_partition_scaling
+
+
+@pytest.mark.benchmark(group="partition-scaling")
+def test_partition_scaling_report(benchmark, bench_dataset, report_sink):
+    """Critical-path speedup must exceed 1.3x at 8 partitions (acceptance bar)."""
+    report = benchmark.pedantic(
+        run_partition_scaling,
+        kwargs={"dataset": bench_dataset, "partition_counts": (1, 2, 4, 8)},
+        rounds=1,
+        iterations=1,
+    )
+    report_sink("partition_scaling", report)
+    serial = report.row_for(partitions=1)
+    eight = report.row_for(partitions=8)
+    assert serial["speedup"] == 1
+    assert eight["speedup"] > 1.3
+    assert eight["shuffled_bytes"] > 0

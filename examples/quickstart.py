@@ -57,6 +57,13 @@ def main() -> None:
     for table in result.selected_tables:
         print(f"  {table}")
 
+    # The runtime's physical-planning step annotates every join with a
+    # Spark-style strategy: broadcast when one side is small enough, shuffle
+    # otherwise.  Tune with num_partitions / broadcast_threshold.
+    print("\nPhysical join strategies (Spark-style shuffle vs. broadcast):")
+    for strategy in result.join_strategies:
+        print(f"  {strategy}")
+
     print("\nSolutions:")
     print(result.as_table())
 
@@ -71,6 +78,18 @@ def main() -> None:
         f"statically empty = {empty.statically_empty}, "
         f"input tuples read = {empty.metrics.input_tuples}"
     )
+
+    # The same query on a partitioned session: joins run per-partition on a
+    # worker pool and the metrics report observed exchange volume in bytes.
+    parallel = S2RDFSession.from_graph(graph, num_partitions=4, broadcast_threshold=0)
+    parallel_result = parallel.query(QUERY_Q1)
+    print(
+        f"\nPartitioned run (4 partitions, shuffle-only): {len(parallel_result)} results, "
+        f"{parallel_result.metrics.parallel_tasks} partition tasks, "
+        f"{parallel_result.metrics.shuffled_bytes} shuffled bytes"
+    )
+    for strategy in parallel_result.join_strategies:
+        print(f"  {strategy}")
 
 
 if __name__ == "__main__":

@@ -8,6 +8,7 @@ measured outcomes next to the paper's numbers.
 """
 
 from repro.bench.reporting import ExperimentReport, arithmetic_mean, format_runtime, geometric_mean
+from repro.bench.partition_scaling import run_partition_scaling
 from repro.bench.table2_load import run_table2_load
 from repro.bench.table3_selectivity import run_table3_selectivity
 from repro.bench.table4_basic import run_table4_basic
@@ -20,6 +21,7 @@ __all__ = [
     "arithmetic_mean",
     "geometric_mean",
     "format_runtime",
+    "run_partition_scaling",
     "run_table2_load",
     "run_table3_selectivity",
     "run_table4_basic",

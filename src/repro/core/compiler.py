@@ -52,9 +52,12 @@ class CompiledQuery:
 
     @property
     def statically_empty(self) -> bool:
-        return any(result.statically_empty for result in self.bgp_results) and all(
-            result.statically_empty for result in self.bgp_results
-        ) if self.bgp_results else False
+        """True when statistics prove every BGP empty (e.g. both UNION branches).
+
+        A single empty branch of a UNION does not make the query empty, so all
+        BGPs must be statically empty, and an absence of BGPs proves nothing.
+        """
+        return bool(self.bgp_results) and all(result.statically_empty for result in self.bgp_results)
 
     @property
     def selected_tables(self) -> List[str]:

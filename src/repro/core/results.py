@@ -28,6 +28,9 @@ class QueryResult:
     wallclock_ms: float
     statically_empty: bool = False
     selected_tables: List[str] = field(default_factory=list)
+    #: Physical join strategies chosen by the runtime's planning step, in
+    #: bottom-up order (e.g. ``"BroadcastHashJoin(build=right, ...)"``).
+    join_strategies: List[str] = field(default_factory=list)
 
     @property
     def variables(self) -> Sequence[str]:

@@ -23,7 +23,7 @@ from repro.core.results import QueryResult
 from repro.core.table_selection import TableSelector
 from repro.engine.cluster import SparkCostModel
 from repro.engine.metrics import ExecutionMetrics
-from repro.engine.plan import PlanExecutor
+from repro.engine.runtime import DEFAULT_BROADCAST_THRESHOLD, ParallelExecutor
 from repro.mappings.extvp import ExtVPLayout
 from repro.rdf.graph import Graph
 from repro.rdf.ntriples import parse_ntriples
@@ -47,6 +47,12 @@ class SessionConfig:
     #: cost model converts them to a simulated runtime.  The benchmarks use it
     #: to extrapolate laptop-scale measurements to the paper's data scale.
     work_scale: float = 1.0
+    #: Partitions used by the parallel runtime; 1 keeps joins serial but still
+    #: annotates every join with its physical strategy.
+    num_partitions: int = 1
+    #: Spark's ``autoBroadcastJoinThreshold``: a join side estimated at or
+    #: below this many bytes is broadcast instead of shuffled.
+    broadcast_threshold: int = DEFAULT_BROADCAST_THRESHOLD
 
 
 class S2RDFSession:
@@ -63,7 +69,11 @@ class S2RDFSession:
         self.cost_model = cost_model or SparkCostModel()
         self.selector = TableSelector(layout, use_extvp=self.config.use_extvp)
         self.compiler = QueryCompiler(self.selector, optimize_join_order=self.config.optimize_join_order)
-        self.executor = PlanExecutor(layout.catalog)
+        self.executor = ParallelExecutor(
+            layout.catalog,
+            num_partitions=self.config.num_partitions,
+            broadcast_threshold=self.config.broadcast_threshold,
+        )
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -78,6 +88,8 @@ class S2RDFSession:
         include_oo: bool = False,
         cost_model: Optional[SparkCostModel] = None,
         work_scale: float = 1.0,
+        num_partitions: int = 1,
+        broadcast_threshold: int = DEFAULT_BROADCAST_THRESHOLD,
     ) -> "S2RDFSession":
         """Build the data layout for ``graph`` and return a ready session."""
         config = SessionConfig(
@@ -86,6 +98,8 @@ class S2RDFSession:
             optimize_join_order=optimize_join_order,
             include_oo=include_oo,
             work_scale=work_scale,
+            num_partitions=num_partitions,
+            broadcast_threshold=broadcast_threshold,
         )
         layout = ExtVPLayout(
             selectivity_threshold=selectivity_threshold if use_extvp else 0.0,
@@ -122,6 +136,7 @@ class S2RDFSession:
         wallclock_ms = (time.perf_counter() - start) * 1000.0
         scaled_metrics = metrics.scaled(self.config.work_scale) if self.config.work_scale != 1.0 else metrics
         simulated = self.cost_model.runtime_ms(scaled_metrics)
+        physical = self.executor.last_physical_plan
         return QueryResult(
             relation=relation,
             sql=compiled.sql(),
@@ -130,14 +145,32 @@ class S2RDFSession:
             wallclock_ms=wallclock_ms,
             statically_empty=compiled.statically_empty,
             selected_tables=compiled.selected_tables,
+            join_strategies=physical.describe() if physical is not None else [],
         )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the runtime's worker threads (no-op for serial sessions)."""
+        self.executor.close()
+
+    def __enter__(self) -> "S2RDFSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     def storage_summary(self) -> dict:
         """Tuple counts and simulated HDFS size of the layout (Table 2 data)."""
+        if self.layout.report is None:
+            raise RuntimeError(
+                "layout has no build report; call ExtVPLayout.build() before storage_summary()"
+            )
         summary = self.layout.size_summary()
         summary["table_counts"] = self.layout.table_counts()
-        summary["load_seconds"] = self.layout.report.build_seconds if self.layout.report else 0.0
+        summary["load_seconds"] = self.layout.report.build_seconds
         return summary

@@ -17,6 +17,10 @@ single machine:
 * :mod:`~repro.engine.cluster` — cost models that convert execution metrics
   into simulated runtimes for the different execution architectures
   (in-memory MPP, MapReduce, centralised single node).
+* :mod:`~repro.engine.runtime` — the partitioned parallel execution runtime:
+  hash partitioning, shuffle/broadcast join strategies and the
+  :class:`~repro.engine.runtime.ParallelExecutor` that runs per-partition
+  join tasks on a worker pool.
 """
 
 from repro.engine.relation import Relation
@@ -36,6 +40,15 @@ from repro.engine.plan import (
     SubqueryNode,
     TableScanNode,
     UnionNode,
+)
+from repro.engine.runtime import (
+    BroadcastHashJoin,
+    HashPartitioner,
+    ParallelExecutor,
+    PartitionedRelation,
+    PhysicalPlan,
+    ShuffleHashJoin,
+    plan_join_strategies,
 )
 from repro.engine.storage import HdfsSimulator, ParquetSizeModel, StoredFile
 from repro.engine.cluster import (
@@ -64,6 +77,13 @@ __all__ = [
     "SubqueryNode",
     "TableScanNode",
     "UnionNode",
+    "BroadcastHashJoin",
+    "HashPartitioner",
+    "ParallelExecutor",
+    "PartitionedRelation",
+    "PhysicalPlan",
+    "ShuffleHashJoin",
+    "plan_join_strategies",
     "HdfsSimulator",
     "ParquetSizeModel",
     "StoredFile",

@@ -66,11 +66,25 @@ class SparkCostModel(CostModel):
     result_ns_per_tuple: float = 120.0
     name: str = "spark"
 
+    def shuffle_ns(self, metrics: ExecutionMetrics) -> float:
+        """Network time spent exchanging data for joins.
+
+        When the partitioned runtime ran, it records the *observed* exchange
+        volume in bytes (shuffled plus broadcast); that volume is pushed
+        through the cluster's per-node network links.  Without observed bytes
+        (serial execution) the model falls back to the historical per-tuple
+        shuffle estimate.
+        """
+        observed_bytes = metrics.shuffled_bytes + metrics.broadcast_bytes
+        if observed_bytes:
+            wire_ns_per_byte = 8.0 / max(self.cluster.network_gbit, 1e-6)
+            return observed_bytes * wire_ns_per_byte / max(1, self.cluster.worker_nodes)
+        return metrics.shuffled_tuples * self.shuffle_ns_per_tuple / max(1, self.cluster.total_cores)
+
     def runtime_ms(self, metrics: ExecutionMetrics) -> float:
         cores = max(1, self.cluster.total_cores)
         parallel_work_ns = (
             metrics.input_tuples * self.scan_ns_per_tuple
-            + metrics.shuffled_tuples * self.shuffle_ns_per_tuple
             + metrics.join_comparisons * self.compare_ns
             + metrics.intermediate_tuples * self.result_ns_per_tuple
         ) / cores
@@ -79,7 +93,7 @@ class SparkCostModel(CostModel):
         return (
             self.query_overhead_ms
             + stages * self.stage_overhead_ms
-            + (parallel_work_ns + serial_ns) / 1e6
+            + (parallel_work_ns + self.shuffle_ns(metrics) + serial_ns) / 1e6
         )
 
 

@@ -32,6 +32,20 @@ class ExecutionMetrics:
     table_scans: int = 0
     #: Number of distributed stages (scans + shuffles), used by cost models.
     stages: int = 0
+    #: Observed bytes re-partitioned across the wire by shuffle joins.
+    shuffled_bytes: int = 0
+    #: Observed bytes shipped to every partition by broadcast joins.
+    broadcast_bytes: int = 0
+    #: Joins executed with a shuffle (re-partitioning) strategy.
+    shuffle_joins: int = 0
+    #: Joins executed with a broadcast strategy.
+    broadcast_joins: int = 0
+    #: Per-partition tasks run by the parallel runtime.
+    parallel_tasks: int = 0
+    #: Wall-clock lower bound of the join work: the slowest task per join,
+    #: summed over joins.  This is what a perfectly scheduled cluster would
+    #: spend, and what the partition-scaling benchmark reports speedups on.
+    critical_path_ms: float = 0.0
     #: Per-table scan counts, useful for debugging table selection.
     scanned_tables: Dict[str, int] = field(default_factory=dict)
 
@@ -48,6 +62,21 @@ class ExecutionMetrics:
         self.join_comparisons += comparisons
         self.intermediate_tuples += output_rows
 
+    def record_shuffle(self, transferred_bytes: int, tasks: int = 0) -> None:
+        """One shuffle exchange: both join inputs re-partitioned on the keys."""
+        self.shuffle_joins += 1
+        self.shuffled_bytes += transferred_bytes
+        self.parallel_tasks += tasks
+
+    def record_broadcast(self, transferred_bytes: int, tasks: int = 0) -> None:
+        """One broadcast exchange: the build side shipped to every partition."""
+        self.broadcast_joins += 1
+        self.broadcast_bytes += transferred_bytes
+        self.parallel_tasks += tasks
+
+    def record_critical_path(self, elapsed_ms: float) -> None:
+        self.critical_path_ms += elapsed_ms
+
     def merge(self, other: "ExecutionMetrics") -> None:
         """Accumulate another metrics object into this one."""
         self.input_tuples += other.input_tuples
@@ -58,6 +87,12 @@ class ExecutionMetrics:
         self.joins += other.joins
         self.table_scans += other.table_scans
         self.stages += other.stages
+        self.shuffled_bytes += other.shuffled_bytes
+        self.broadcast_bytes += other.broadcast_bytes
+        self.shuffle_joins += other.shuffle_joins
+        self.broadcast_joins += other.broadcast_joins
+        self.parallel_tasks += other.parallel_tasks
+        self.critical_path_ms += other.critical_path_ms
         for table, rows in other.scanned_tables.items():
             self.scanned_tables[table] = self.scanned_tables.get(table, 0) + rows
 
@@ -75,6 +110,8 @@ class ExecutionMetrics:
         clone.join_comparisons = int(self.join_comparisons * factor)
         clone.output_tuples = int(self.output_tuples * factor)
         clone.intermediate_tuples = int(self.intermediate_tuples * factor)
+        clone.shuffled_bytes = int(self.shuffled_bytes * factor)
+        clone.broadcast_bytes = int(self.broadcast_bytes * factor)
         clone.scanned_tables = {table: int(rows * factor) for table, rows in self.scanned_tables.items()}
         return clone
 
@@ -88,6 +125,12 @@ class ExecutionMetrics:
             joins=self.joins,
             table_scans=self.table_scans,
             stages=self.stages,
+            shuffled_bytes=self.shuffled_bytes,
+            broadcast_bytes=self.broadcast_bytes,
+            shuffle_joins=self.shuffle_joins,
+            broadcast_joins=self.broadcast_joins,
+            parallel_tasks=self.parallel_tasks,
+            critical_path_ms=self.critical_path_ms,
         )
         clone.scanned_tables = dict(self.scanned_tables)
         return clone
@@ -102,4 +145,10 @@ class ExecutionMetrics:
             "joins": self.joins,
             "table_scans": self.table_scans,
             "stages": self.stages,
+            "shuffled_bytes": self.shuffled_bytes,
+            "broadcast_bytes": self.broadcast_bytes,
+            "shuffle_joins": self.shuffle_joins,
+            "broadcast_joins": self.broadcast_joins,
+            "parallel_tasks": self.parallel_tasks,
+            "critical_path_ms": round(self.critical_path_ms, 3),
         }

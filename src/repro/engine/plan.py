@@ -8,6 +8,7 @@ and records :class:`~repro.engine.metrics.ExecutionMetrics`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -333,11 +334,11 @@ class PlanExecutor:
         if isinstance(plan, NaturalJoinNode):
             left = self._execute(plan.left, metrics)
             right = self._execute(plan.right, metrics)
-            return left.natural_join(right, metrics)
+            return self._natural_join(plan, left, right, metrics)
         if isinstance(plan, LeftOuterJoinNode):
             left = self._execute(plan.left, metrics)
             right = self._execute(plan.right, metrics)
-            joined = left.left_outer_join(right, metrics)
+            joined = self._left_outer_join(plan, left, right, metrics)
             if plan.expression is not None:
                 right_only = set(plan.right.output_columns()) - set(plan.left.output_columns())
 
@@ -374,3 +375,24 @@ class PlanExecutor:
         if isinstance(plan, LimitNode):
             return self._execute(plan.child, metrics).limit(plan.limit, plan.offset)
         raise TypeError(f"unknown plan node {type(plan).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # Physical join hooks.  The serial executor joins in-process; the
+    # partitioned runtime (repro.engine.runtime) overrides these to apply a
+    # shuffle or broadcast strategy across a worker pool.
+    # ------------------------------------------------------------------ #
+    def _natural_join(
+        self, plan: NaturalJoinNode, left: Relation, right: Relation, metrics: ExecutionMetrics
+    ) -> Relation:
+        start = time.perf_counter()
+        result = left.natural_join(right, metrics)
+        metrics.record_critical_path((time.perf_counter() - start) * 1000.0)
+        return result
+
+    def _left_outer_join(
+        self, plan: LeftOuterJoinNode, left: Relation, right: Relation, metrics: ExecutionMetrics
+    ) -> Relation:
+        start = time.perf_counter()
+        result = left.left_outer_join(right, metrics)
+        metrics.record_critical_path((time.perf_counter() - start) * 1000.0)
+        return result

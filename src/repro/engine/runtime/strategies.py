@@ -1,0 +1,197 @@
+"""Physical join strategies and the planning step that picks them.
+
+Spark SQL chooses between a shuffle hash/sort-merge join and a broadcast hash
+join per join operator: when one side's estimated size is below
+``spark.sql.autoBroadcastJoinThreshold`` (10 MB by default), that side is
+shipped whole to every executor and no shuffle of the large side is needed;
+otherwise both sides are re-partitioned on the join keys.  This module
+reproduces that decision for the logical plans of
+:mod:`repro.engine.plan`: :func:`plan_join_strategies` walks a plan bottom-up,
+estimates per-operator cardinalities from catalog statistics and annotates
+every :class:`~repro.engine.plan.NaturalJoinNode` /
+:class:`~repro.engine.plan.LeftOuterJoinNode` with a
+:class:`ShuffleHashJoin` or :class:`BroadcastHashJoin` decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.catalog import Catalog
+from repro.engine.plan import (
+    DistinctNode,
+    EmptyNode,
+    FilterNode,
+    LeftOuterJoinNode,
+    LimitNode,
+    NaturalJoinNode,
+    OrderByNode,
+    PlanNode,
+    ProjectNode,
+    SubqueryNode,
+    TableScanNode,
+    UnionNode,
+)
+from repro.engine.runtime.partitioned import BYTES_PER_VALUE
+
+#: Spark's default ``spark.sql.autoBroadcastJoinThreshold``.
+DEFAULT_BROADCAST_THRESHOLD = 10 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class JoinStrategy:
+    """A physical join decision for one logical join node."""
+
+    #: Shared join key columns (empty for a cross join).
+    keys: Tuple[str, ...]
+    #: Estimated input cardinalities that drove the decision.
+    left_rows: int
+    right_rows: int
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ShuffleHashJoin(JoinStrategy):
+    """Re-partition both sides on the join keys, join partition-wise."""
+
+    def describe(self) -> str:
+        keys = ", ".join(self.keys) if self.keys else "<cross>"
+        return f"ShuffleHashJoin(keys=[{keys}], left~{self.left_rows} rows, right~{self.right_rows} rows)"
+
+
+@dataclass(frozen=True)
+class BroadcastHashJoin(JoinStrategy):
+    """Ship the small (build) side to every partition of the other side."""
+
+    build_side: str = "right"  # "left" or "right"
+
+    def describe(self) -> str:
+        keys = ", ".join(self.keys) if self.keys else "<cross>"
+        return (
+            f"BroadcastHashJoin(build={self.build_side}, keys=[{keys}], "
+            f"left~{self.left_rows} rows, right~{self.right_rows} rows)"
+        )
+
+
+class PhysicalPlan:
+    """Join-strategy annotations for one logical plan.
+
+    Nodes are identified by object identity, which is safe because the
+    annotations never outlive the compiled plan they were derived from.
+    """
+
+    def __init__(self) -> None:
+        self._strategies: Dict[int, JoinStrategy] = {}
+        self._order: List[JoinStrategy] = []
+
+    def annotate(self, node: PlanNode, strategy: JoinStrategy) -> None:
+        self._strategies[id(node)] = strategy
+        self._order.append(strategy)
+
+    def strategy_for(self, node: PlanNode) -> Optional[JoinStrategy]:
+        return self._strategies.get(id(node))
+
+    def strategies(self) -> List[JoinStrategy]:
+        """All join strategies in bottom-up planning order."""
+        return list(self._order)
+
+    def describe(self) -> List[str]:
+        return [strategy.describe() for strategy in self._order]
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {"ShuffleHashJoin": 0, "BroadcastHashJoin": 0}
+        for strategy in self._order:
+            counts[strategy.name] = counts.get(strategy.name, 0) + 1
+        return counts
+
+
+def estimate_rows(node: PlanNode, catalog: Catalog) -> int:
+    """Bottom-up cardinality estimate from catalog statistics.
+
+    Deliberately simple, in the spirit of Spark's pre-CBO size estimation:
+    base cardinalities come from table statistics, equality selections divide
+    by the distinct count of the constrained column, joins take the larger
+    input (conservative for FK-style RDF joins) and unions add up.
+    """
+    if isinstance(node, EmptyNode):
+        return 0
+    if isinstance(node, TableScanNode):
+        statistics = catalog.statistics(node.table_name)
+        return statistics.row_count if statistics else 0
+    if isinstance(node, SubqueryNode):
+        statistics = catalog.statistics(node.table_name)
+        rows = statistics.row_count if statistics else 0
+        for column, _ in node.conditions:
+            distinct = 0
+            if statistics is not None:
+                distinct = statistics.distinct_subjects if column == "s" else statistics.distinct_objects
+            rows = rows // max(1, distinct) if distinct else max(1, rows // 10)
+        return rows
+    if isinstance(node, (NaturalJoinNode, LeftOuterJoinNode)):
+        return max(estimate_rows(node.left, catalog), estimate_rows(node.right, catalog))
+    if isinstance(node, UnionNode):
+        return estimate_rows(node.left, catalog) + estimate_rows(node.right, catalog)
+    if isinstance(node, (FilterNode, ProjectNode, DistinctNode, OrderByNode)):
+        return estimate_rows(node.child, catalog)
+    if isinstance(node, LimitNode):
+        child_rows = estimate_rows(node.child, catalog)
+        return min(child_rows, node.limit) if node.limit is not None else child_rows
+    return 0
+
+
+def _estimated_bytes(rows: int, columns: int) -> int:
+    return rows * max(1, columns) * BYTES_PER_VALUE
+
+
+def plan_join_strategies(
+    plan: PlanNode,
+    catalog: Catalog,
+    broadcast_threshold: int = DEFAULT_BROADCAST_THRESHOLD,
+) -> PhysicalPlan:
+    """Annotate every join in ``plan`` with a physical strategy.
+
+    The decision rule mirrors Spark SQL: broadcast when the candidate build
+    side's estimated size is at or below ``broadcast_threshold``, shuffle
+    otherwise.  For a left outer join only the right side is broadcastable
+    (broadcasting the preserved side would lose unmatched rows); a join
+    without shared keys degenerates to a broadcast nested-loop join of the
+    smaller side, as in Spark.
+    """
+    physical = PhysicalPlan()
+    _annotate(plan, catalog, broadcast_threshold, physical)
+    return physical
+
+
+def _annotate(node: PlanNode, catalog: Catalog, threshold: int, physical: PhysicalPlan) -> None:
+    for child in node.children():
+        _annotate(child, catalog, threshold, physical)
+    if not isinstance(node, (NaturalJoinNode, LeftOuterJoinNode)):
+        return
+    left_columns = node.left.output_columns()
+    right_columns = node.right.output_columns()
+    keys = tuple(c for c in left_columns if c in right_columns)
+    left_rows = estimate_rows(node.left, catalog)
+    right_rows = estimate_rows(node.right, catalog)
+    left_bytes = _estimated_bytes(left_rows, len(left_columns))
+    right_bytes = _estimated_bytes(right_rows, len(right_columns))
+
+    if isinstance(node, LeftOuterJoinNode):
+        if right_bytes <= threshold or not keys:
+            strategy: JoinStrategy = BroadcastHashJoin(keys, left_rows, right_rows, build_side="right")
+        else:
+            strategy = ShuffleHashJoin(keys, left_rows, right_rows)
+        physical.annotate(node, strategy)
+        return
+
+    if not keys or min(left_bytes, right_bytes) <= threshold:
+        build_side = "left" if left_bytes <= right_bytes else "right"
+        physical.annotate(node, BroadcastHashJoin(keys, left_rows, right_rows, build_side=build_side))
+    else:
+        physical.annotate(node, ShuffleHashJoin(keys, left_rows, right_rows))

@@ -145,7 +145,31 @@ class ExtVPLayout:
     # Build
     # ------------------------------------------------------------------ #
     def build(self, graph: Graph) -> LayoutBuildReport:
+        """Build VP plus all qualifying ExtVP tables.
+
+        ``self.report`` is populated unconditionally — even when the build
+        fails partway — so consumers like the Table 2 benchmark and
+        :meth:`S2RDFSession.storage_summary` never silently read zeros from a
+        missing report.
+        """
         start = time.perf_counter()
+        try:
+            self._build_tables(graph)
+        finally:
+            elapsed = time.perf_counter() - start
+            vp_report = self.vp.report
+            self.report = LayoutBuildReport(
+                layout=self.name,
+                table_count=len(self.statistics.materialized())
+                + (vp_report.table_count if vp_report else 0),
+                tuple_count=self.statistics.total_materialized_tuples()
+                + (vp_report.tuple_count if vp_report else 0),
+                hdfs_bytes=self.hdfs.total_bytes(),
+                build_seconds=elapsed,
+            )
+        return self.report
+
+    def _build_tables(self, graph: Graph) -> None:
         self.vp.build(graph)
         predicates = self.vp.predicates()
         self._predicate_keys = build_unique_keys(predicates, self.namespaces)
@@ -164,7 +188,6 @@ class ExtVPLayout:
         if self.include_oo:
             kinds.append(CorrelationKind.OO)
 
-        tuple_count = 0
         for first in predicates:
             vp_first = self.vp.table(first)
             vp_size = len(vp_first)
@@ -182,17 +205,7 @@ class ExtVPLayout:
                         self._record(kind, first, second, row_count=0, vp_size=vp_size, relation=None)
                         continue
                     reduced = self._semi_join(vp_first, kind, second_values)
-                    tuple_count += self._record(kind, first, second, len(reduced), vp_size, reduced)
-
-        elapsed = time.perf_counter() - start
-        self.report = LayoutBuildReport(
-            layout=self.name,
-            table_count=len(self.statistics.materialized()) + self.vp.report.table_count,
-            tuple_count=tuple_count + self.vp.report.tuple_count,
-            hdfs_bytes=self.hdfs.total_bytes(),
-            build_seconds=elapsed,
-        )
-        return self.report
+                    self._record(kind, first, second, len(reduced), vp_size, reduced)
 
     def _correlation_value_sets(
         self,
@@ -222,11 +235,8 @@ class ExtVPLayout:
         row_count: int,
         vp_size: int,
         relation: Optional[Relation],
-    ) -> int:
-        """Register statistics and materialise the table when it qualifies.
-
-        Returns the number of tuples that were actually materialised.
-        """
+    ) -> None:
+        """Register statistics and materialise the table when it qualifies."""
         name = self._table_name(kind, first, second)
         selectivity = 0.0 if vp_size == 0 else row_count / vp_size
         materialize = (
@@ -250,11 +260,10 @@ class ExtVPLayout:
             assert relation is not None
             self.catalog.register(name, relation, selectivity=selectivity)
             self.hdfs.write(f"{self.name}/{name}.parquet", relation)
-            return row_count
-        # Keep statistics for non-materialised tables so the compiler can
-        # detect empty correlations without touching data.
-        self.catalog.register_statistics_only(name, row_count, selectivity)
-        return 0
+        else:
+            # Keep statistics for non-materialised tables so the compiler can
+            # detect empty correlations without touching data.
+            self.catalog.register_statistics_only(name, row_count, selectivity)
 
     def _table_name(self, kind: CorrelationKind, first: IRI, second: IRI) -> str:
         first_key = self._predicate_keys.get(first) or first.local_name()

@@ -167,3 +167,29 @@ class TestAblations:
         assert oo is not None and os_row is not None
         # OO correlations reduce less than OS correlations on average.
         assert oo["mean_selectivity"] >= os_row["mean_selectivity"] - 0.05
+
+
+class TestPartitionScaling:
+    @pytest.fixture(scope="class")
+    def report(self, dataset):
+        from repro.bench import run_partition_scaling
+
+        return run_partition_scaling(
+            dataset=dataset, partition_counts=(1, 2, 8), template_names=("L3", "S3", "F5", "C3")
+        )
+
+    def test_rows_and_baseline(self, report):
+        assert report.column("partitions") == [1, 2, 8]
+        assert report.row_for(partitions=1)["speedup"] == 1
+        assert report.row_for(partitions=1)["shuffled_bytes"] == 0
+
+    def test_partitioned_rows_record_exchange_volume(self, report):
+        for partitions in (2, 8):
+            row = report.row_for(partitions=partitions)
+            assert row["shuffled_bytes"] > 0
+            assert row["critical_path_ms"] > 0
+
+    def test_critical_path_shrinks_with_partitions(self, report):
+        serial = report.row_for(partitions=1)["critical_path_ms"]
+        eight = report.row_for(partitions=8)["critical_path_ms"]
+        assert eight < serial

@@ -166,3 +166,48 @@ class TestBGP2SQL:
         sql = result.plan.to_sql()
         for table in result.selected_tables:
             assert table in sql
+
+
+class TestCompiledQueryStaticallyEmpty:
+    """Regression tests for CompiledQuery.statically_empty over multiple BGPs."""
+
+    @pytest.fixture(scope="class")
+    def compiler(self, layout):
+        from repro.core.compiler import QueryCompiler
+
+        return QueryCompiler(TableSelector(layout))
+
+    @pytest.fixture(scope="class")
+    def parse(self):
+        from repro.sparql.parser import parse_query
+
+        return parse_query
+
+    def test_mixed_union_is_not_statically_empty(self, compiler, parse):
+        # One UNION branch has a non-existing correlation, the other matches:
+        # the query must not be pruned to empty.
+        compiled = compiler.compile(
+            parse(
+                "SELECT * WHERE { { ?a <likes> ?b . ?b <likes> ?c } "
+                "UNION { ?x <follows> ?y } }"
+            )
+        )
+        assert len(compiled.bgp_results) == 2
+        assert any(result.statically_empty for result in compiled.bgp_results)
+        assert not compiled.statically_empty
+
+    def test_union_of_two_empty_branches_is_statically_empty(self, compiler, parse):
+        compiled = compiler.compile(
+            parse(
+                "SELECT * WHERE { { ?a <likes> ?b . ?b <likes> ?c } "
+                "UNION { ?x <missing> ?y } }"
+            )
+        )
+        assert all(result.statically_empty for result in compiled.bgp_results)
+        assert compiled.statically_empty
+
+    def test_no_bgps_is_not_statically_empty(self):
+        from repro.core.compiler import CompiledQuery
+        from repro.engine.plan import EmptyNode
+
+        assert not CompiledQuery(plan=EmptyNode()).statically_empty

@@ -136,3 +136,52 @@ class TestSessionConstruction:
     def test_threshold_session_still_correct(self, example_graph, query_q1):
         session = S2RDFSession.from_graph(example_graph, selectivity_threshold=0.25)
         assert len(session.query(query_q1)) == 1
+
+
+class TestPartitionedRuntime:
+    def test_partitioned_session_matches_serial(self, example_graph, query_q1):
+        serial = S2RDFSession.from_graph(example_graph)
+        parallel = S2RDFSession.from_graph(example_graph, num_partitions=4, broadcast_threshold=0)
+        left = serial.query(query_q1)
+        right = parallel.query(query_q1)
+        assert sorted(map(repr, left.relation.rows)) == sorted(map(repr, right.relation.rows))
+        assert right.metrics.shuffle_joins > 0
+        assert right.metrics.shuffled_bytes > 0
+
+    def test_join_strategies_reported(self, session, query_q1):
+        result = session.query(query_q1)
+        assert len(result.join_strategies) == result.metrics.joins
+        assert all("HashJoin" in strategy for strategy in result.join_strategies)
+
+    def test_broadcast_threshold_switches_strategy(self, example_graph, query_q1):
+        broadcast = S2RDFSession.from_graph(example_graph, num_partitions=2)
+        shuffle = S2RDFSession.from_graph(example_graph, num_partitions=2, broadcast_threshold=0)
+        assert all("BroadcastHashJoin" in s for s in broadcast.query(query_q1).join_strategies)
+        assert all("ShuffleHashJoin" in s for s in shuffle.query(query_q1).join_strategies)
+
+    def test_session_is_a_context_manager(self, example_graph, query_q1):
+        with S2RDFSession.from_graph(example_graph, num_partitions=4, broadcast_threshold=0) as session:
+            assert len(session.query(query_q1)) == 1
+        assert session.executor._pool is None  # worker threads released
+
+    def test_observed_shuffle_volume_feeds_cost_model(self, example_graph, query_q1):
+        session = S2RDFSession.from_graph(example_graph, num_partitions=2, broadcast_threshold=0)
+        result = session.query(query_q1)
+        expected = session.cost_model.shuffle_ns(result.metrics)
+        assert result.metrics.shuffled_bytes > 0
+        assert expected == pytest.approx(
+            result.metrics.shuffled_bytes * 8.0 / session.cost_model.cluster.worker_nodes
+        )
+
+
+class TestStorageSummaryReport:
+    def test_load_seconds_always_populated(self, session):
+        summary = session.storage_summary()
+        assert summary["load_seconds"] > 0.0
+
+    def test_unbuilt_layout_raises_instead_of_zeros(self):
+        from repro.mappings.extvp import ExtVPLayout
+
+        unbuilt = S2RDFSession(ExtVPLayout())
+        with pytest.raises(RuntimeError, match="build report"):
+            unbuilt.storage_summary()

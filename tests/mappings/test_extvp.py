@@ -185,3 +185,32 @@ class TestExtVPProperties:
         limited = build_layout(graph, selectivity_threshold=threshold)
         full = build_layout(graph, selectivity_threshold=1.0)
         assert limited.statistics.total_materialized_tuples() <= full.statistics.total_materialized_tuples()
+
+
+class TestBuildReportAlwaysPopulated:
+    def test_report_set_on_success(self, example_graph):
+        layout = build_layout(example_graph)
+        assert layout.report is not None
+        assert layout.report.build_seconds > 0.0
+        assert layout.report.table_count > 0
+
+    def test_report_set_on_empty_graph(self):
+        layout = build_layout(Graph([]))
+        assert layout.report is not None
+        assert layout.report.table_count == 0
+        assert layout.report.build_seconds > 0.0
+
+    def test_report_set_even_when_build_fails(self, example_graph, monkeypatch):
+        layout = ExtVPLayout()
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("simulated semi-join failure")
+
+        monkeypatch.setattr(ExtVPLayout, "_semi_join", staticmethod(boom))
+        with pytest.raises(RuntimeError, match="simulated"):
+            layout.build(example_graph)
+        # The Table 2 benchmark must never silently read zeros: the report is
+        # populated from whatever state the build reached.
+        assert layout.report is not None
+        assert layout.report.build_seconds > 0.0
+        assert layout.report.table_count == layout.vp.report.table_count
