@@ -1,0 +1,29 @@
+"""Benchmark for the persistent dataset store: cold open vs. rebuild."""
+
+import pytest
+
+from repro.bench import run_persistence
+
+
+@pytest.mark.benchmark(group="persistence")
+def test_persistence_report(benchmark, bench_dataset, report_sink, tmp_path):
+    """Cold open must skip the rebuild and prune at least one segment."""
+    report = benchmark.pedantic(
+        run_persistence,
+        kwargs={"dataset": bench_dataset, "path": str(tmp_path / "dataset")},
+        rounds=1,
+        iterations=1,
+    )
+    report_sink("persistence", report)
+
+    equivalence = report.row_for(step="result equivalence")
+    assert equivalence is not None and "0 mismatches" in equivalence["detail"]
+
+    cold = report.row_for(step="cold open_dataset")
+    assert cold is not None and "no parse/rebuild" in cold["detail"]
+
+    pruned = report.row_for(step="zone-map-pruned scan")
+    assert pruned is not None and "segments pruned" in pruned["detail"]
+
+    aligned = report.row_for(step="partition-aligned joins")
+    assert aligned is not None and not aligned["detail"].startswith("0 join inputs")

@@ -9,6 +9,7 @@ measured outcomes next to the paper's numbers.
 
 from repro.bench.reporting import ExperimentReport, arithmetic_mean, format_runtime, geometric_mean
 from repro.bench.partition_scaling import run_partition_scaling
+from repro.bench.persistence import run_persistence
 from repro.bench.table2_load import run_table2_load
 from repro.bench.table3_selectivity import run_table3_selectivity
 from repro.bench.table4_basic import run_table4_basic
@@ -22,6 +23,7 @@ __all__ = [
     "geometric_mean",
     "format_runtime",
     "run_partition_scaling",
+    "run_persistence",
     "run_table2_load",
     "run_table3_selectivity",
     "run_table4_basic",

@@ -10,6 +10,11 @@ simulated Spark-cluster runtime derived from the execution metrics.
     result = session.query("SELECT * WHERE { ?x wsdbm:follows ?y . ?y wsdbm:likes ?z }")
     print(result.sql)
     print(result.simulated_runtime_ms)
+
+A built session can be persisted with :meth:`S2RDFSession.save_dataset` and
+reopened cold with :meth:`S2RDFSession.open_dataset`, which restores the whole
+layout from the columnar dataset store without re-parsing the RDF source or
+recomputing a single ExtVP semi-join.
 """
 
 from __future__ import annotations
@@ -29,6 +34,8 @@ from repro.rdf.graph import Graph
 from repro.rdf.ntriples import parse_ntriples
 from repro.sparql.algebra import Query
 from repro.sparql.parser import parse_query
+from repro.store.reader import DatasetLoadReport, open_dataset as _open_stored_dataset
+from repro.store.writer import DatasetWriteReport, DatasetWriter
 
 
 @dataclass
@@ -74,6 +81,8 @@ class S2RDFSession:
             num_partitions=self.config.num_partitions,
             broadcast_threshold=self.config.broadcast_threshold,
         )
+        #: Set by :meth:`open_dataset`: instrumentation of the cold open.
+        self.load_report: Optional[DatasetLoadReport] = None
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -112,6 +121,61 @@ class S2RDFSession:
     def from_ntriples(cls, document: Union[str, Iterable[str]], **kwargs) -> "S2RDFSession":
         """Parse an N-Triples document and build a session for it."""
         return cls.from_graph(parse_ntriples(document), **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save_dataset(
+        self,
+        path: str,
+        num_buckets: Optional[int] = None,
+        overwrite: bool = False,
+    ) -> DatasetWriteReport:
+        """Persist the session's layout to a columnar dataset directory.
+
+        Every catalog table is written as hash-bucketed, dictionary + RLE
+        encoded column segments with zone maps; the manifest carries all
+        statistics (including the statistics-only entries for empty ExtVP
+        tables), so :meth:`open_dataset` restores a fully query-ready session
+        without touching the original graph.  ``num_buckets`` defaults to the
+        session's ``num_partitions`` so stored buckets line up with the
+        runtime's shuffle partitioning.
+        """
+        buckets = num_buckets if num_buckets is not None else max(self.config.num_partitions, 1)
+        return DatasetWriter(num_buckets=buckets).write(path, self.layout, overwrite=overwrite)
+
+    @classmethod
+    def open_dataset(
+        cls,
+        path: str,
+        num_partitions: Optional[int] = None,
+        broadcast_threshold: int = DEFAULT_BROADCAST_THRESHOLD,
+        use_extvp: bool = True,
+        optimize_join_order: bool = True,
+        work_scale: float = 1.0,
+        cost_model: Optional[SparkCostModel] = None,
+    ) -> "S2RDFSession":
+        """Cold-start a session from a dataset written by :meth:`save_dataset`.
+
+        No N-Triples parsing and no ExtVP rebuilding happens: statistics come
+        from the manifest and table rows stay on disk until a query scans
+        them (with projection + equality-predicate pushdown and zone-map
+        segment pruning).  ``num_partitions`` defaults to the stored bucket
+        count, which lets shuffle joins consume scans partition-aligned.
+        """
+        layout, load_report, _dataset = _open_stored_dataset(path)
+        config = SessionConfig(
+            selectivity_threshold=layout.selectivity_threshold,
+            use_extvp=use_extvp,
+            optimize_join_order=optimize_join_order,
+            include_oo=layout.include_oo,
+            work_scale=work_scale,
+            num_partitions=num_partitions if num_partitions is not None else load_report.num_buckets,
+            broadcast_threshold=broadcast_threshold,
+        )
+        session = cls(layout, config=config, cost_model=cost_model)
+        session.load_report = load_report
+        return session
 
     # ------------------------------------------------------------------ #
     # Query execution

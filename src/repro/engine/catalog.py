@@ -5,14 +5,56 @@ creation process, most notably the selectivities (SF values) and actual sizes"
 (Sec. 6.1).  The :class:`Catalog` is the shared table store: mapping builders
 register tables here, the compiler consults the statistics, and the plan
 executor reads the relations.
+
+Tables come in two physical flavours: *materialised* relations held in
+memory, and *stored* tables backed by the persistent columnar dataset store
+(:mod:`repro.store`).  Stored tables are registered with a handle and decoded
+lazily; :meth:`Catalog.scan` is the single scan entry point the plan executor
+uses, so projection and equality predicates push down into the store (zone-map
+and hash-bucket segment pruning) while in-memory tables keep the exact
+semantics they always had.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.engine.relation import Relation
+
+
+@dataclass
+class ScanResult:
+    """Outcome of one :meth:`Catalog.scan` call."""
+
+    #: The scanned rows, restricted to the requested columns for store-backed
+    #: tables (in-memory tables return their full schema; the executor
+    #: projects, exactly as before the store existed).
+    relation: Relation
+    #: Rows actually read from the physical table before filtering — for a
+    #: pruned store scan this is the post-pruning row count, which is the
+    #: whole point of zone maps.
+    rows_scanned: int
+    #: Column segments decoded (store-backed scans only).
+    segments_scanned: int = 0
+    #: Column segments skipped via zone maps / bucket pruning.
+    segments_pruned: int = 0
+
+
+class StoredTableProvider:
+    """Interface of a lazily-decoded table backing a catalog entry."""
+
+    def read(self) -> Relation:  # pragma: no cover - interface
+        """Decode and return the full relation."""
+        raise NotImplementedError
+
+    def scan(
+        self,
+        columns: Optional[Sequence[str]] = None,
+        conditions: Optional[Mapping[str, Any]] = None,
+    ) -> ScanResult:  # pragma: no cover - interface
+        """Scan with projection and equality-predicate pushdown."""
+        raise NotImplementedError
 
 
 @dataclass
@@ -48,6 +90,7 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: Dict[str, Relation] = {}
         self._statistics: Dict[str, TableStatistics] = {}
+        self._stored: Dict[str, StoredTableProvider] = {}
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -84,43 +127,110 @@ class Catalog:
         self._statistics[name] = statistics
         return statistics
 
+    def register_stored(
+        self, name: str, provider: StoredTableProvider, statistics: TableStatistics
+    ) -> TableStatistics:
+        """Register a lazily-decoded table backed by the dataset store.
+
+        The statistics come from the store's manifest (zone-map aggregates),
+        so the compiler can plan without ever decoding the table.
+        """
+        self._stored[name] = provider
+        self._statistics[name] = statistics
+        return statistics
+
     def drop(self, name: str) -> None:
         self._tables.pop(name, None)
         self._statistics.pop(name, None)
+        self._stored.pop(name, None)
 
     # ------------------------------------------------------------------ #
     # Lookup
     # ------------------------------------------------------------------ #
     def __contains__(self, name: str) -> bool:
-        return name in self._tables
+        return name in self._tables or name in self._stored
 
     def has_statistics(self, name: str) -> bool:
         return name in self._statistics
 
+    def is_loaded(self, name: str) -> bool:
+        """True when the table's rows are materialised in memory."""
+        return name in self._tables
+
+    def is_stored(self, name: str) -> bool:
+        """True when the table is backed by the persistent dataset store."""
+        return name in self._stored
+
     def table(self, name: str) -> Relation:
-        try:
-            return self._tables[name]
-        except KeyError:
-            raise TableNotFoundError(name) from None
+        relation = self._tables.get(name)
+        if relation is not None:
+            return relation
+        provider = self._stored.get(name)
+        if provider is not None:
+            relation = provider.read()
+            self._tables[name] = relation
+            return relation
+        raise TableNotFoundError(name)
+
+    def scan(
+        self,
+        name: str,
+        columns: Optional[Sequence[str]] = None,
+        conditions: Optional[Mapping[str, Any]] = None,
+    ) -> ScanResult:
+        """Scan ``name`` with optional projection and equality predicates.
+
+        Store-backed tables always answer from their column segments (the
+        provider caches decoded pages), pruning whole segments via zone maps
+        and — when a predicate binds the partition key — hash-bucket
+        arithmetic; the reported scan counters are *logical*, so repeated
+        queries see stable metrics regardless of caching.  In-memory tables
+        are filtered exactly as the executor always did.
+        """
+        provider = self._stored.get(name)
+        if provider is not None:
+            return provider.scan(columns=columns, conditions=conditions)
+        relation = self.table(name)
+        rows_scanned = len(relation)
+        if conditions:
+            relation = relation.select_eq(conditions)
+        return ScanResult(relation=relation, rows_scanned=rows_scanned)
 
     def statistics(self, name: str) -> Optional[TableStatistics]:
         return self._statistics.get(name)
 
     def table_names(self) -> List[str]:
-        return sorted(self._tables)
+        return sorted(set(self._tables) | set(self._stored))
 
     def statistics_names(self) -> List[str]:
         return sorted(self._statistics)
 
+    def statistics_only_names(self) -> List[str]:
+        """Tables known only through statistics (the paper's empty tables)."""
+        return sorted(name for name in self._statistics if name not in self)
+
     def items(self) -> Iterator[Tuple[str, Relation]]:
-        return iter(sorted(self._tables.items()))
+        """Iterate ``(name, relation)`` pairs, decoding stored tables on demand."""
+        return iter((name, self.table(name)) for name in self.table_names())
 
     # ------------------------------------------------------------------ #
     # Aggregates
     # ------------------------------------------------------------------ #
     def total_tuples(self) -> int:
-        """Sum of materialised table sizes (the paper's "number of tuples")."""
-        return sum(len(relation) for relation in self._tables.values())
+        """Sum of materialised table sizes (the paper's "number of tuples").
+
+        Stored tables count via their manifest statistics, so the aggregate is
+        available without decoding anything.
+        """
+        total = 0
+        for name in self.table_names():
+            relation = self._tables.get(name)
+            if relation is not None:
+                total += len(relation)
+            else:
+                statistics = self._statistics.get(name)
+                total += statistics.row_count if statistics else 0
+        return total
 
     def table_count(self) -> int:
-        return len(self._tables)
+        return len(set(self._tables) | set(self._stored))

@@ -46,6 +46,13 @@ class ExecutionMetrics:
     #: summed over joins.  This is what a perfectly scheduled cluster would
     #: spend, and what the partition-scaling benchmark reports speedups on.
     critical_path_ms: float = 0.0
+    #: Column segments read from the persistent dataset store.
+    store_segments_scanned: int = 0
+    #: Column segments skipped by zone-map / bucket pruning (never read).
+    store_segments_pruned: int = 0
+    #: Join inputs consumed pre-partitioned from the store, i.e. shuffle
+    #: exchanges avoided because the scan was already bucketed on the keys.
+    partition_aligned_inputs: int = 0
     #: Per-table scan counts, useful for debugging table selection.
     scanned_tables: Dict[str, int] = field(default_factory=dict)
 
@@ -77,6 +84,15 @@ class ExecutionMetrics:
     def record_critical_path(self, elapsed_ms: float) -> None:
         self.critical_path_ms += elapsed_ms
 
+    def record_segment_scan(self, scanned: int, pruned: int) -> None:
+        """One store-backed table scan: segments read vs. segments pruned."""
+        self.store_segments_scanned += scanned
+        self.store_segments_pruned += pruned
+
+    def record_aligned_input(self, count: int = 1) -> None:
+        """A shuffle join consumed ``count`` pre-partitioned inputs as-is."""
+        self.partition_aligned_inputs += count
+
     def merge(self, other: "ExecutionMetrics") -> None:
         """Accumulate another metrics object into this one."""
         self.input_tuples += other.input_tuples
@@ -93,6 +109,9 @@ class ExecutionMetrics:
         self.broadcast_joins += other.broadcast_joins
         self.parallel_tasks += other.parallel_tasks
         self.critical_path_ms += other.critical_path_ms
+        self.store_segments_scanned += other.store_segments_scanned
+        self.store_segments_pruned += other.store_segments_pruned
+        self.partition_aligned_inputs += other.partition_aligned_inputs
         for table, rows in other.scanned_tables.items():
             self.scanned_tables[table] = self.scanned_tables.get(table, 0) + rows
 
@@ -131,6 +150,9 @@ class ExecutionMetrics:
             broadcast_joins=self.broadcast_joins,
             parallel_tasks=self.parallel_tasks,
             critical_path_ms=self.critical_path_ms,
+            store_segments_scanned=self.store_segments_scanned,
+            store_segments_pruned=self.store_segments_pruned,
+            partition_aligned_inputs=self.partition_aligned_inputs,
         )
         clone.scanned_tables = dict(self.scanned_tables)
         return clone
@@ -151,4 +173,7 @@ class ExecutionMetrics:
             "broadcast_joins": self.broadcast_joins,
             "parallel_tasks": self.parallel_tasks,
             "critical_path_ms": round(self.critical_path_ms, 3),
+            "store_segments_scanned": self.store_segments_scanned,
+            "store_segments_pruned": self.store_segments_pruned,
+            "partition_aligned_inputs": self.partition_aligned_inputs,
         }

@@ -315,22 +315,32 @@ class PlanExecutor:
         metrics.output_tuples = len(result)
         return result
 
+    @staticmethod
+    def _record_scan(table_name: str, scan, metrics: ExecutionMetrics) -> None:
+        """Record a scan; store-backed scans also report segment pruning."""
+        metrics.record_scan(table_name, scan.rows_scanned)
+        if scan.segments_scanned or scan.segments_pruned:
+            metrics.record_segment_scan(scan.segments_scanned, scan.segments_pruned)
+
     # ------------------------------------------------------------------ #
     def _execute(self, plan: PlanNode, metrics: ExecutionMetrics) -> Relation:
         if isinstance(plan, EmptyNode):
             return Relation.empty(plan.columns)
         if isinstance(plan, TableScanNode):
-            relation = self.catalog.table(plan.table_name)
-            metrics.record_scan(plan.table_name, len(relation))
+            scan = self.catalog.scan(plan.table_name, columns=plan.columns)
+            self._record_scan(plan.table_name, scan, metrics)
+            relation = scan.relation
             return relation.project(plan.columns) if plan.columns != relation.columns else relation
         if isinstance(plan, SubqueryNode):
-            relation = self.catalog.table(plan.table_name)
-            metrics.record_scan(plan.table_name, len(relation))
-            if plan.conditions:
-                relation = relation.select_eq(dict(plan.conditions))
             columns = [column for column, _ in plan.projections]
+            scan = self.catalog.scan(
+                plan.table_name,
+                columns=columns,
+                conditions=dict(plan.conditions) if plan.conditions else None,
+            )
+            self._record_scan(plan.table_name, scan, metrics)
             aliases = {column: alias for column, alias in plan.projections}
-            return relation.project(columns).rename(aliases)
+            return scan.relation.project(columns).rename(aliases)
         if isinstance(plan, NaturalJoinNode):
             left = self._execute(plan.left, metrics)
             right = self._execute(plan.right, metrics)

@@ -13,6 +13,7 @@ S2RDF compiler renames VP/ExtVP columns to query-variable names so subqueries
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import (
     Any,
     Callable,
@@ -35,12 +36,40 @@ class SchemaError(ValueError):
     """Raised when an operator is applied to incompatible schemas."""
 
 
+@dataclass(frozen=True)
+class Partitioning:
+    """Physical hash-partitioning metadata carried by a relation.
+
+    The persistent dataset store lays table rows out pre-bucketed with the
+    runtime's :func:`~repro.engine.runtime.partitioner.key_partition_index`,
+    so a scanned relation can declare: "my rows are ordered by partition;
+    partition ``i`` holds the next ``counts[i]`` rows, hashed on ``keys``".
+    A shuffle join whose keys and partition count match consumes the buckets
+    directly instead of re-partitioning.
+    """
+
+    keys: Tuple[str, ...]
+    counts: Tuple[int, ...]
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.counts)
+
+    def renamed(self, mapping: Mapping[str, str]) -> "Partitioning":
+        return Partitioning(tuple(mapping.get(k, k) for k in self.keys), self.counts)
+
+
 class Relation:
     """An immutable bag of tuples with named columns."""
 
-    __slots__ = ("columns", "rows")
+    __slots__ = ("columns", "rows", "partitioning")
 
-    def __init__(self, columns: Sequence[str], rows: Iterable[Row] = ()) -> None:
+    def __init__(
+        self,
+        columns: Sequence[str],
+        rows: Iterable[Row] = (),
+        partitioning: Optional[Partitioning] = None,
+    ) -> None:
         self.columns: Tuple[str, ...] = tuple(columns)
         if len(set(self.columns)) != len(self.columns):
             raise SchemaError(f"duplicate column names in {self.columns}")
@@ -54,6 +83,9 @@ class Relation:
                 )
             materialized.append(row_tuple)
         self.rows: List[Row] = materialized
+        #: Optional physical layout tag; operators that preserve row order and
+        #: cardinality propagate it, everything else drops it.
+        self.partitioning: Optional[Partitioning] = partitioning
 
     # ------------------------------------------------------------------ #
     # Basics
@@ -68,6 +100,18 @@ class Relation:
         if not isinstance(other, Relation):
             return NotImplemented
         return self.columns == other.columns and sorted(map(repr, self.rows)) == sorted(map(repr, other.rows))
+
+    def __hash__(self) -> int:
+        """Bag-equality hash, consistent with :meth:`__eq__`.
+
+        Defining ``__eq__`` alone made relations unhashable, which silently
+        broke set membership and dict keying for callers.  Relations are
+        immutable by convention (operators return new instances; ``rows``
+        must not be mutated after construction), so hashing is safe.  Each
+        call is O(n log n) over the rows — fine for occasional dedup/keying,
+        not for hot loops.
+        """
+        return hash((self.columns, tuple(sorted(map(repr, self.rows)))))
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"Relation(columns={self.columns}, rows={len(self.rows)})"
@@ -108,14 +152,22 @@ class Relation:
             if column not in unique:
                 unique.append(column)
         indexes = [self.column_index(c) for c in unique]
-        return Relation(unique, (tuple(row[i] for i in indexes) for row in self.rows))
+        partitioning = self.partitioning
+        if partitioning is not None and not all(k in unique for k in partitioning.keys):
+            partitioning = None  # a dropped key column invalidates the layout tag
+        return Relation(
+            unique,
+            (tuple(row[i] for i in indexes) for row in self.rows),
+            partitioning=partitioning,
+        )
 
     def rename(self, mapping: Mapping[str, str]) -> "Relation":
         """Rename columns according to ``mapping`` (old name -> new name)."""
         for old in mapping:
             self.column_index(old)
         new_columns = [mapping.get(c, c) for c in self.columns]
-        return Relation(new_columns, self.rows)
+        partitioning = self.partitioning.renamed(mapping) if self.partitioning is not None else None
+        return Relation(new_columns, self.rows, partitioning=partitioning)
 
     def select(self, predicate: Callable[[Dict[str, Any]], bool]) -> "Relation":
         """Filter rows by a predicate over row dictionaries."""

@@ -138,9 +138,14 @@ class ParallelExecutor(PlanExecutor):
         join: Callable[[Relation, Relation, ExecutionMetrics], Relation],
         metrics: ExecutionMetrics,
     ) -> Relation:
-        """ShuffleHashJoin: co-partition both sides on the keys, join pairwise."""
-        left_parts = PartitionedRelation.from_relation(left, self.num_partitions, keys=keys)
-        right_parts = PartitionedRelation.from_relation(right, self.num_partitions, keys=keys)
+        """ShuffleHashJoin: co-partition both sides on the keys, join pairwise.
+
+        A side whose scan came pre-bucketed from the dataset store on exactly
+        these keys (and this partition count) is consumed as-is: its buckets
+        are sliced out of the scan output and contribute zero shuffle bytes.
+        """
+        left_parts, left_aligned = self._partition_input(left, keys)
+        right_parts, right_aligned = self._partition_input(right, keys)
         assert left_parts.is_co_partitioned_with(right_parts)
 
         def task(pair: Tuple[Relation, Relation]) -> _TaskResult:
@@ -151,10 +156,27 @@ class ParallelExecutor(PlanExecutor):
             return joined, scratch.join_comparisons, (time.perf_counter() - start) * 1000.0
 
         results = self._run_tasks(task, list(zip(left_parts.partitions, right_parts.partitions)))
-        metrics.record_shuffle(
-            left_parts.estimated_bytes() + right_parts.estimated_bytes(), tasks=len(results)
+        shuffled = (0 if left_aligned else left_parts.estimated_bytes()) + (
+            0 if right_aligned else right_parts.estimated_bytes()
         )
+        metrics.record_shuffle(shuffled, tasks=len(results))
+        aligned = int(left_aligned) + int(right_aligned)
+        if aligned:
+            metrics.record_aligned_input(aligned)
         return self._merge(left, right, results, metrics)
+
+    def _partition_input(
+        self, relation: Relation, keys: Sequence[str]
+    ) -> Tuple[PartitionedRelation, bool]:
+        """Bucket one join input, reusing a matching stored layout when present."""
+        tag = relation.partitioning
+        if (
+            tag is not None
+            and tag.keys == tuple(keys)
+            and tag.num_partitions == self.num_partitions
+        ):
+            return PartitionedRelation.from_prepartitioned(relation), True
+        return PartitionedRelation.from_relation(relation, self.num_partitions, keys=keys), False
 
     def _broadcast_join(
         self,

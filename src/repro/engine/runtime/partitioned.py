@@ -51,6 +51,31 @@ class PartitionedRelation:
             return cls(relation.columns, tuple(parts), tuple(keys))
         return cls(relation.columns, tuple(partitioner.split_evenly(relation)))
 
+    @classmethod
+    def from_prepartitioned(cls, relation: Relation) -> "PartitionedRelation":
+        """Adopt the bucket layout a store-backed scan already produced.
+
+        The relation's :class:`~repro.engine.relation.Partitioning` tag
+        declares that its rows are ordered by bucket (bucket ``i`` holds the
+        next ``counts[i]`` rows, hashed on ``keys`` with the partitioner's
+        hash), so the buckets can be sliced out without re-hashing a single
+        row — the shuffle exchange this avoids is the whole point of keeping
+        tables pre-partitioned in the store.
+        """
+        tag = relation.partitioning
+        if tag is None:
+            raise ValueError("relation carries no partitioning tag")
+        parts: List[Relation] = []
+        start = 0
+        for count in tag.counts:
+            parts.append(Relation(relation.columns, relation.rows[start : start + count]))
+            start += count
+        if start != len(relation.rows):
+            raise ValueError(
+                f"partitioning tag covers {start} rows but relation has {len(relation.rows)}"
+            )
+        return cls(relation.columns, tuple(parts), tag.keys)
+
     @property
     def num_partitions(self) -> int:
         return len(self.partitions)

@@ -1,4 +1,4 @@
-"""Simulated HDFS storage with Parquet-like size accounting.
+"""Columnar storage: a real page codec plus Parquet-like size accounting.
 
 The paper reports the physical HDFS footprint of each layout (Table 2 and
 Table 6) using the Parquet columnar format with snappy compression plus
@@ -6,15 +6,122 @@ dictionary and run-length encoding.  :class:`ParquetSizeModel` estimates the
 encoded size of a relation with exactly those mechanisms, and
 :class:`HdfsSimulator` keeps a flat namespace of "files" so that layouts can
 report total storage the way the paper's tables do.
+
+Beside the size model lives the *real* encoding used by the persistent
+dataset store (:mod:`repro.store`): columns of dictionary-encoded term ids are
+serialised as run-length-encoded binary pages (:func:`encode_id_column` /
+:func:`decode_id_column`), and every page carries a :class:`ZoneMap` (min/max
+id, row count, distinct count) that scans use to prune segments without
+reading them.
 """
 
 from __future__ import annotations
 
 import math
+import struct
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine.relation import Relation
+
+#: Dictionary id standing in for SQL NULL inside an encoded column page.
+NULL_ID = -1
+
+_PAGE_HEADER = struct.Struct("<II")  # run count, row count
+_RUN = struct.Struct("<iI")  # value id (NULL_ID for None), run length
+
+
+def encode_id_column(ids: Sequence[int]) -> bytes:
+    """Serialise a column of dictionary ids as a run-length-encoded page.
+
+    Consecutive equal ids collapse into one ``(id, run_length)`` pair — the
+    same mechanism Parquet applies after dictionary encoding, except this one
+    actually produces bytes that :func:`decode_id_column` reads back.
+    """
+    runs: List[Tuple[int, int]] = []
+    for value in ids:
+        if runs and runs[-1][0] == value:
+            runs[-1] = (value, runs[-1][1] + 1)
+        else:
+            runs.append((value, 1))
+    parts = [_PAGE_HEADER.pack(len(runs), len(ids))]
+    parts.extend(_RUN.pack(value, length) for value, length in runs)
+    return b"".join(parts)
+
+
+def decode_id_column(page: bytes) -> List[int]:
+    """Expand a page produced by :func:`encode_id_column` back into ids."""
+    if len(page) < _PAGE_HEADER.size:
+        raise ValueError("truncated column page header")
+    run_count, row_count = _PAGE_HEADER.unpack_from(page, 0)
+    expected = _PAGE_HEADER.size + run_count * _RUN.size
+    if len(page) != expected:
+        raise ValueError(f"column page has {len(page)} bytes, expected {expected}")
+    ids: List[int] = []
+    offset = _PAGE_HEADER.size
+    for _ in range(run_count):
+        value, length = _RUN.unpack_from(page, offset)
+        ids.extend([value] * length)
+        offset += _RUN.size
+    if len(ids) != row_count:
+        raise ValueError(f"column page decoded {len(ids)} rows, header says {row_count}")
+    return ids
+
+
+@dataclass(frozen=True)
+class ZoneMap:
+    """Per-segment statistics enabling scans to skip whole segments.
+
+    ``min_id``/``max_id`` bound the dictionary ids present in the segment
+    (NULLs excluded), so an equality predicate whose encoded value falls
+    outside the range proves the segment empty without decoding it.  The row
+    and distinct counts round-trip into
+    :class:`~repro.engine.catalog.TableStatistics` when a dataset is opened.
+    """
+
+    min_id: int
+    max_id: int
+    row_count: int
+    distinct_count: int
+    null_count: int = 0
+
+    @classmethod
+    def from_ids(cls, ids: Sequence[int]) -> "ZoneMap":
+        present = [i for i in ids if i != NULL_ID]
+        return cls(
+            min_id=min(present) if present else NULL_ID,
+            max_id=max(present) if present else NULL_ID,
+            row_count=len(ids),
+            distinct_count=len(set(present)),
+            null_count=len(ids) - len(present),
+        )
+
+    def may_contain(self, term_id: int) -> bool:
+        """False only when the segment provably lacks ``term_id``."""
+        if term_id == NULL_ID:
+            return self.null_count > 0
+        if self.row_count == 0 or self.min_id == NULL_ID:
+            return False
+        return self.min_id <= term_id <= self.max_id
+
+    def to_json(self) -> Dict[str, int]:
+        return {
+            "min_id": self.min_id,
+            "max_id": self.max_id,
+            "row_count": self.row_count,
+            "distinct_count": self.distinct_count,
+            "null_count": self.null_count,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, int]) -> "ZoneMap":
+        return cls(
+            min_id=data["min_id"],
+            max_id=data["max_id"],
+            row_count=data["row_count"],
+            distinct_count=data["distinct_count"],
+            null_count=data.get("null_count", 0),
+        )
 
 
 def _term_length(value: Any) -> int:
@@ -136,6 +243,17 @@ class HdfsSimulator:
             size_bytes=self.size_model.estimate_ntriples_bytes(relation),
             columns=relation.columns,
         )
+        self._files[path] = stored
+        return stored
+
+    def record(self, path: str, row_count: int, size_bytes: int, columns: Tuple[str, ...]) -> StoredFile:
+        """Register a file whose size was measured externally.
+
+        The dataset store uses this when a session is opened from disk: the
+        segment files already exist, so their *actual* byte sizes enter the
+        namespace instead of a model estimate.
+        """
+        stored = StoredFile(path=path, row_count=row_count, size_bytes=size_bytes, columns=columns)
         self._files[path] = stored
         return stored
 

@@ -140,6 +140,9 @@ class ExtVPLayout:
         self.statistics = ExtVPStatistics()
         self.report: Optional[LayoutBuildReport] = None
         self._predicate_keys: Dict[IRI, str] = {}
+        #: Times :meth:`build` ran on this layout — stays 0 for layouts
+        #: restored from the dataset store (observed by its load report).
+        self.build_count = 0
 
     # ------------------------------------------------------------------ #
     # Build
@@ -153,6 +156,7 @@ class ExtVPLayout:
         missing report.
         """
         start = time.perf_counter()
+        self.build_count += 1
         try:
             self._build_tables(graph)
         finally:
@@ -206,6 +210,33 @@ class ExtVPLayout:
                         continue
                     reduced = self._semi_join(vp_first, kind, second_values)
                     self._record(kind, first, second, len(reduced), vp_size, reduced)
+
+    def restore(
+        self,
+        vp_tables: Dict[IRI, str],
+        vp_sizes: Dict[IRI, int],
+        statistics: ExtVPStatistics,
+        load_seconds: float = 0.0,
+    ) -> LayoutBuildReport:
+        """Repopulate the layout from persisted metadata (no semi-joins).
+
+        The dataset store calls this after registering every stored table in
+        the catalog: VP predicate maps, ExtVP correlation statistics and the
+        build report are reconstructed from the manifest, so the layout
+        answers the compiler exactly as a freshly built one would — without
+        the build ever running.
+        """
+        self.statistics = statistics
+        vp_report = self.vp.restore(vp_tables, vp_sizes, build_seconds=load_seconds)
+        self._predicate_keys = build_unique_keys(self.vp.predicates(), self.namespaces)
+        self.report = LayoutBuildReport(
+            layout=self.name,
+            table_count=len(self.statistics.materialized()) + vp_report.table_count,
+            tuple_count=self.statistics.total_materialized_tuples() + vp_report.tuple_count,
+            hdfs_bytes=self.hdfs.total_bytes(),
+            build_seconds=load_seconds,
+        )
+        return self.report
 
     def _correlation_value_sets(
         self,

@@ -72,6 +72,30 @@ class VerticalPartitioningLayout:
         )
         return self.report
 
+    def restore(
+        self,
+        vp_tables: Dict[IRI, str],
+        vp_sizes: Dict[IRI, int],
+        build_seconds: float = 0.0,
+    ) -> LayoutBuildReport:
+        """Repopulate the layout's lookup state from persisted metadata.
+
+        Used by the dataset store when a session is opened cold: the tables
+        themselves are already registered in the catalog (as lazily-decoded
+        stored tables), so only the predicate maps and the report need
+        reconstructing — no graph is scanned.
+        """
+        self.vp_tables = dict(vp_tables)
+        self.vp_sizes = dict(vp_sizes)
+        self.report = LayoutBuildReport(
+            layout=self.name,
+            table_count=len(self.vp_tables),
+            tuple_count=sum(self.vp_sizes.values()),
+            hdfs_bytes=self.hdfs.total_bytes(f"{self.name}/"),
+            build_seconds=build_seconds,
+        )
+        return self.report
+
     # ------------------------------------------------------------------ #
     def predicates(self) -> List[IRI]:
         return sorted(self.vp_tables, key=lambda p: p.value)

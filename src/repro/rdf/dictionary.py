@@ -43,10 +43,11 @@ class TermDictionary:
         return self._term_to_id.get(term)
 
     def decode(self, term_id: int) -> Term:
-        try:
-            return self._id_to_term[term_id]
-        except IndexError:
-            raise KeyError(f"unknown term id {term_id}") from None
+        # An explicit range check: plain list indexing would let a negative id
+        # silently alias a term from the end of the dictionary.
+        if not 0 <= term_id < len(self._id_to_term):
+            raise KeyError(f"unknown term id {term_id}")
+        return self._id_to_term[term_id]
 
     def encode_triple(self, triple: Triple) -> Tuple[int, int, int]:
         return (

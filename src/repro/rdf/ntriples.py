@@ -146,12 +146,25 @@ def parse_ntriples_line(line: str, line_number: Optional[int] = None) -> Optiona
         raise NTriplesParseError(str(exc), line_number, line) from exc
 
 
+#: Count of documents parsed by :func:`parse_ntriples` in this process.
+#: Instrumentation reads it to *observe* that a code path (e.g. the dataset
+#: store's cold open) did not parse anything, instead of asserting a constant.
+_documents_parsed = 0
+
+
+def documents_parsed() -> int:
+    """Number of :func:`parse_ntriples` invocations so far in this process."""
+    return _documents_parsed
+
+
 def parse_ntriples(source: Union[str, Iterable[str], TextIO], name: str = "default") -> Graph:
     """Parse an N-Triples document into a :class:`Graph`.
 
     ``source`` may be a string containing the whole document, an iterable of
     lines, or an open text file.
     """
+    global _documents_parsed
+    _documents_parsed += 1
     if isinstance(source, str):
         lines: Iterable[str] = source.splitlines()
     else:

@@ -1,0 +1,41 @@
+"""Persistent columnar dataset store.
+
+S2RDF keeps its VP/ExtVP tables as Parquet files on HDFS so that a query
+cluster can come up against an existing dataset without re-ingesting the RDF
+source.  This package is the reproduction's equivalent: a real on-disk format
+(dataset-wide term dictionary, run-length-encoded column segments, per-segment
+zone maps, hash-bucketed partitions) plus the writer and reader that move an
+:class:`~repro.mappings.extvp.ExtVPLayout` to and from disk.
+
+* :mod:`repro.store.format` — directory layout, segment codec, manifest.
+* :mod:`repro.store.writer` — :class:`DatasetWriter`, bucketing + encoding.
+* :mod:`repro.store.reader` — :func:`open_dataset`, lazy stored tables with
+  projection/predicate pushdown and partition-aligned scan output.
+
+Sessions use it through :meth:`repro.core.session.S2RDFSession.save_dataset`
+and :meth:`repro.core.session.S2RDFSession.open_dataset`.
+"""
+
+from repro.store.format import (
+    DatasetFormatError,
+    FORMAT_VERSION,
+    Manifest,
+    StoredTermDictionary,
+    read_manifest,
+)
+from repro.store.reader import DatasetLoadReport, StoredDataset, StoredTable, open_dataset
+from repro.store.writer import DatasetWriteReport, DatasetWriter
+
+__all__ = [
+    "DatasetFormatError",
+    "DatasetLoadReport",
+    "DatasetWriteReport",
+    "DatasetWriter",
+    "FORMAT_VERSION",
+    "Manifest",
+    "StoredDataset",
+    "StoredTable",
+    "StoredTermDictionary",
+    "open_dataset",
+    "read_manifest",
+]

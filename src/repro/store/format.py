@@ -1,0 +1,355 @@
+"""On-disk layout of a persistent S2RDF dataset.
+
+A dataset is a directory::
+
+    <dataset>/
+        MANIFEST.json          -- catalog, statistics, zone maps, config
+        dictionary.nt          -- dataset-wide term dictionary, one N3 term
+                                  per line; the line number is the term id
+        tables/<name>/part-00000.seg
+        tables/<name>/part-00001.seg
+        ...
+
+Each ``part-*.seg`` file is one hash bucket of one table: rows whose
+partition-key values hash (via the runtime's
+:func:`~repro.engine.runtime.partitioner.key_partition_index`) to that bucket
+index.  Inside a segment file every column is stored as a dictionary-encoded,
+run-length-encoded page (:func:`repro.engine.storage.encode_id_column`); the
+per-column :class:`~repro.engine.storage.ZoneMap` entries live in the manifest
+so that scans can prune whole segments without opening the files.
+
+The manifest also persists everything the query compiler needs to come back
+cold: table statistics (including the paper's statistics-only entries for
+empty ExtVP tables), the VP predicate map, the ExtVP correlation statistics
+and the layout configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.storage import ZoneMap, decode_id_column
+from repro.rdf.terms import Literal, Term, XSD_STRING, term_from_string
+
+#: Bumped whenever the directory layout or segment encoding changes.
+FORMAT_VERSION = 1
+
+MANIFEST_FILE = "MANIFEST.json"
+DICTIONARY_FILE = "dictionary.nt"
+TABLES_DIR = "tables"
+
+_SEGMENT_MAGIC = b"S2CS"
+_SEGMENT_HEADER = struct.Struct("<HH")  # format version, column count
+_COLUMN_HEADER = struct.Struct("<HI")  # name byte length, payload byte length
+
+
+class DatasetFormatError(ValueError):
+    """Raised when a dataset directory cannot be read back."""
+
+
+def manifest_path(root: str) -> str:
+    return os.path.join(root, MANIFEST_FILE)
+
+
+def dictionary_path(root: str) -> str:
+    return os.path.join(root, DICTIONARY_FILE)
+
+
+def table_dir(root: str, table_name: str) -> str:
+    return os.path.join(root, TABLES_DIR, table_name)
+
+
+def segment_file_name(partition_index: int) -> str:
+    return f"part-{partition_index:05d}.seg"
+
+
+# --------------------------------------------------------------------- #
+# Segment files
+# --------------------------------------------------------------------- #
+def write_segment_file(path: str, pages: Sequence[Tuple[str, bytes]]) -> int:
+    """Write one segment file of ``(column_name, encoded_page)`` pairs.
+
+    Returns the number of bytes written.
+    """
+    parts: List[bytes] = [_SEGMENT_MAGIC, _SEGMENT_HEADER.pack(FORMAT_VERSION, len(pages))]
+    for name, payload in pages:
+        encoded_name = name.encode("utf-8")
+        parts.append(_COLUMN_HEADER.pack(len(encoded_name), len(payload)))
+        parts.append(encoded_name)
+        parts.append(payload)
+    data = b"".join(parts)
+    with open(path, "wb") as handle:
+        handle.write(data)
+    return len(data)
+
+
+def read_segment_file(path: str, columns: Optional[Sequence[str]] = None) -> Dict[str, List[int]]:
+    """Read a segment file back into ``{column_name: ids}``.
+
+    ``columns`` restricts decoding to the named columns (projection pushdown):
+    pages of other columns are skipped without RLE expansion.
+    """
+    wanted = set(columns) if columns is not None else None
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if data[: len(_SEGMENT_MAGIC)] != _SEGMENT_MAGIC:
+        raise DatasetFormatError(f"{path} is not a dataset segment file")
+    offset = len(_SEGMENT_MAGIC)
+    version, column_count = _SEGMENT_HEADER.unpack_from(data, offset)
+    if version != FORMAT_VERSION:
+        raise DatasetFormatError(f"{path} has format version {version}, expected {FORMAT_VERSION}")
+    offset += _SEGMENT_HEADER.size
+    decoded: Dict[str, List[int]] = {}
+    for _ in range(column_count):
+        name_length, payload_length = _COLUMN_HEADER.unpack_from(data, offset)
+        offset += _COLUMN_HEADER.size
+        name = data[offset : offset + name_length].decode("utf-8")
+        offset += name_length
+        payload = data[offset : offset + payload_length]
+        offset += payload_length
+        if wanted is None or name in wanted:
+            decoded[name] = decode_id_column(payload)
+    if wanted is not None:
+        missing = wanted - set(decoded)
+        if missing:
+            raise DatasetFormatError(f"{path} lacks columns {sorted(missing)}")
+    return decoded
+
+
+# --------------------------------------------------------------------- #
+# Dictionary file
+# --------------------------------------------------------------------- #
+def encode_term_line(term: Term) -> str:
+    """Lossless single-line encoding of one dictionary term.
+
+    Two fixes over plain ``term.n3()``:
+
+    * ``n3()`` canonically suppresses ``^^xsd:string``, which would collapse
+      ``Literal("5", xsd:string)`` and ``Literal("5")`` into one dictionary
+      entry and change decoded terms after a roundtrip — the datatype is kept
+      explicit here;
+    * ``n3()`` escapes ``\\n`` but not ``\\r`` (or other Unicode line
+      separators), which would shift every later term id when the file is
+      split back into lines — the whole line is therefore armoured with
+      ``unicode_escape``, leaving pure single-line ASCII.
+    """
+    n3 = term.n3()
+    if isinstance(term, Literal) and term.datatype == XSD_STRING:
+        n3 += f"^^<{XSD_STRING}>"
+    return n3.encode("unicode_escape").decode("ascii")
+
+
+def decode_term_line(line: str) -> Term:
+    """Inverse of :func:`encode_term_line`."""
+    return term_from_string(line.encode("ascii").decode("unicode_escape"))
+
+
+def write_dictionary(root: str, terms: Sequence[Term]) -> int:
+    """Write the dataset dictionary: line ``i`` encodes term ``i``."""
+    path = dictionary_path(root)
+    with open(path, "w", encoding="ascii", newline="\n") as handle:
+        for term in terms:
+            handle.write(encode_term_line(term))
+            handle.write("\n")
+    return os.path.getsize(path)
+
+
+class StoredTermDictionary:
+    """Lazy view of a persisted term dictionary.
+
+    Opening a dataset only reads the raw lines; terms are parsed on first
+    :meth:`decode` and the reverse (term -> id) index is built on first
+    :meth:`lookup`, keeping the cold-open path proportional to file I/O, not
+    term parsing.
+    """
+
+    def __init__(self, lines: List[str]) -> None:
+        self._lines = lines
+        self._terms: List[Optional[Term]] = [None] * len(lines)
+        self._reverse: Optional[Dict[Term, int]] = None
+
+    @classmethod
+    def open(cls, root: str, expected_size: Optional[int] = None) -> "StoredTermDictionary":
+        with open(dictionary_path(root), "r", encoding="ascii", newline="\n") as handle:
+            content = handle.read()
+        # Terms are armoured single-line ASCII, so "\n" is the only separator.
+        lines = content.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        if expected_size is not None and len(lines) != expected_size:
+            raise DatasetFormatError(
+                f"dictionary has {len(lines)} terms, manifest expects {expected_size}"
+            )
+        return cls(lines)
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def decode(self, term_id: int) -> Term:
+        if not 0 <= term_id < len(self._lines):
+            raise KeyError(f"unknown term id {term_id}")
+        term = self._terms[term_id]
+        if term is None:
+            term = decode_term_line(self._lines[term_id])
+            self._terms[term_id] = term
+        return term
+
+    def lookup(self, term: Term) -> Optional[int]:
+        if self._reverse is None:
+            self._reverse = {}
+            for index in range(len(self._lines)):
+                self._reverse[self.decode(index)] = index
+        return self._reverse.get(term)
+
+
+# --------------------------------------------------------------------- #
+# Manifest entries
+# --------------------------------------------------------------------- #
+@dataclass
+class PartitionEntry:
+    """Manifest record of one hash bucket of one table."""
+
+    file: str  # path relative to the dataset root
+    row_count: int
+    size_bytes: int
+    zones: Dict[str, ZoneMap]
+
+    def to_json(self) -> dict:
+        return {
+            "file": self.file,
+            "row_count": self.row_count,
+            "size_bytes": self.size_bytes,
+            "zones": {column: zone.to_json() for column, zone in self.zones.items()},
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PartitionEntry":
+        return cls(
+            file=data["file"],
+            row_count=data["row_count"],
+            size_bytes=data["size_bytes"],
+            zones={column: ZoneMap.from_json(z) for column, z in data["zones"].items()},
+        )
+
+
+@dataclass
+class TableEntry:
+    """Manifest record of one stored table."""
+
+    name: str
+    columns: Tuple[str, ...]
+    row_count: int
+    selectivity: float
+    distinct_subjects: int
+    distinct_objects: int
+    partition_keys: Tuple[str, ...]
+    partitions: List[PartitionEntry] = field(default_factory=list)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def total_bytes(self) -> int:
+        return sum(partition.size_bytes for partition in self.partitions)
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "columns": list(self.columns),
+            "row_count": self.row_count,
+            "selectivity": self.selectivity,
+            "distinct_subjects": self.distinct_subjects,
+            "distinct_objects": self.distinct_objects,
+            "partition_keys": list(self.partition_keys),
+            "partitions": [partition.to_json() for partition in self.partitions],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "TableEntry":
+        return cls(
+            name=data["name"],
+            columns=tuple(data["columns"]),
+            row_count=data["row_count"],
+            selectivity=data["selectivity"],
+            distinct_subjects=data["distinct_subjects"],
+            distinct_objects=data["distinct_objects"],
+            partition_keys=tuple(data["partition_keys"]),
+            partitions=[PartitionEntry.from_json(p) for p in data["partitions"]],
+        )
+
+
+@dataclass
+class Manifest:
+    """Everything needed to reopen a dataset without touching the source graph."""
+
+    format_version: int
+    layout_name: str
+    num_buckets: int
+    selectivity_threshold: float
+    include_oo: bool
+    namespaces: Dict[str, str]
+    dictionary_size: int
+    tables: Dict[str, TableEntry]
+    #: Statistics-only entries: tables that were never materialised (empty or
+    #: filtered ExtVP tables) but whose statistics the compiler still uses.
+    statistics_only: List[dict]
+    #: predicate n3 -> {"table": vp table name, "size": row count}
+    vp_tables: Dict[str, dict]
+    #: ExtVP correlation statistics (materialised or not).
+    extvp: List[dict]
+    #: Build metadata of the original in-memory layout.
+    build: dict
+
+    def to_json(self) -> dict:
+        return {
+            "format_version": self.format_version,
+            "layout_name": self.layout_name,
+            "num_buckets": self.num_buckets,
+            "selectivity_threshold": self.selectivity_threshold,
+            "include_oo": self.include_oo,
+            "namespaces": self.namespaces,
+            "dictionary_size": self.dictionary_size,
+            "tables": {name: entry.to_json() for name, entry in sorted(self.tables.items())},
+            "statistics_only": self.statistics_only,
+            "vp_tables": self.vp_tables,
+            "extvp": self.extvp,
+            "build": self.build,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Manifest":
+        version = data.get("format_version")
+        if version != FORMAT_VERSION:
+            raise DatasetFormatError(f"unsupported dataset format version {version!r}")
+        return cls(
+            format_version=version,
+            layout_name=data.get("layout_name", "extvp"),
+            num_buckets=data["num_buckets"],
+            selectivity_threshold=data["selectivity_threshold"],
+            include_oo=data["include_oo"],
+            namespaces=data.get("namespaces", {}),
+            dictionary_size=data["dictionary_size"],
+            tables={name: TableEntry.from_json(entry) for name, entry in data["tables"].items()},
+            statistics_only=data.get("statistics_only", []),
+            vp_tables=data.get("vp_tables", {}),
+            extvp=data.get("extvp", []),
+            build=data.get("build", {}),
+        )
+
+
+def write_manifest(root: str, manifest: Manifest) -> None:
+    with open(manifest_path(root), "w", encoding="utf-8") as handle:
+        json.dump(manifest.to_json(), handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def read_manifest(root: str) -> Manifest:
+    path = manifest_path(root)
+    if not os.path.isfile(path):
+        raise DatasetFormatError(f"{root!r} is not a dataset directory (missing {MANIFEST_FILE})")
+    with open(path, "r", encoding="utf-8") as handle:
+        return Manifest.from_json(json.load(handle))

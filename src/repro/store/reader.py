@@ -1,0 +1,322 @@
+"""Opening a persisted dataset: lazy tables, pushdown scans, layout restore.
+
+``open_dataset`` rebuilds a fully functional
+:class:`~repro.mappings.extvp.ExtVPLayout` from a dataset directory without
+parsing N-Triples or recomputing a single semi-join: table statistics come
+from the manifest's zone-map aggregates, the VP/ExtVP correlation statistics
+are restored verbatim (including the paper's statistics-only entries for
+empty tables), and every materialised table is registered as a *stored* table
+that decodes its column segments only when a query actually scans it.
+
+Scans push projection and equality predicates into the store:
+
+* **bucket pruning** — a predicate that binds the partition key hashes to
+  exactly one bucket (:func:`~repro.engine.runtime.partitioner.key_partition_index`),
+  so every other segment file is skipped;
+* **zone-map pruning** — any equality predicate whose encoded id falls outside
+  a segment's ``[min_id, max_id]`` range proves the segment empty unread.
+
+Scanned relations carry a :class:`~repro.engine.relation.Partitioning` tag, so
+the parallel runtime's shuffle joins consume the stored buckets directly when
+the join keys match — no per-join re-partitioning.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.engine.catalog import Catalog, ScanResult, StoredTableProvider, TableStatistics
+from repro.engine.relation import Partitioning, Relation
+from repro.engine.runtime.partitioner import key_partition_index
+from repro.engine.storage import NULL_ID
+from repro.mappings.extvp import CorrelationKind, ExtVPLayout, ExtVPStatistics, ExtVPTableInfo
+from repro.rdf import ntriples as ntriples_io
+from repro.rdf.namespaces import NamespaceManager
+from repro.rdf.terms import IRI, Term, term_from_string
+from repro.store.format import (
+    Manifest,
+    StoredTermDictionary,
+    TableEntry,
+    read_manifest,
+    read_segment_file,
+)
+
+
+@dataclass
+class DatasetLoadReport:
+    """Instrumentation of one cold open — proof of what did *not* happen."""
+
+    path: str
+    load_seconds: float
+    table_count: int
+    statistics_only_count: int
+    dictionary_terms: int
+    num_buckets: int
+    #: Observed instrumentation: whether the open invoked the N-Triples
+    #: parser (process-wide parse counter) or the ExtVP builder (the restored
+    #: layout's build counter).  Both must be False for a true cold start.
+    ntriples_parsed: bool = False
+    extvp_rebuilt: bool = False
+    #: Build time of the original in-memory layout, for speedup reporting.
+    original_build_seconds: float = 0.0
+
+
+class StoredTable(StoredTableProvider):
+    """One stored table: decodes segments lazily, caches decoded id columns."""
+
+    def __init__(self, root: str, entry: TableEntry, dictionary: StoredTermDictionary) -> None:
+        self.root = root
+        self.entry = entry
+        self.dictionary = dictionary
+        #: partition index -> {column: ids}; grows as scans touch segments.
+        self._ids: Dict[int, Dict[str, List[int]]] = {}
+        #: cached result of a full, unconditioned scan.
+        self._full: Optional[ScanResult] = None
+
+    # ------------------------------------------------------------------ #
+    def read(self) -> Relation:
+        return self.scan().relation
+
+    def scan(
+        self,
+        columns: Optional[Sequence[str]] = None,
+        conditions: Optional[Mapping[str, Any]] = None,
+    ) -> ScanResult:
+        entry = self.entry
+        output_columns = self._unique(columns) if columns is not None else list(entry.columns)
+        condition_items = list(conditions.items()) if conditions else []
+        full_scan = not condition_items and tuple(output_columns) == entry.columns
+        if full_scan and self._full is not None:
+            return self._full
+        decode_columns = self._unique(output_columns + [c for c, _ in condition_items])
+        for column in decode_columns:
+            if column not in entry.columns:
+                raise KeyError(f"table {entry.name!r} has no column {column!r}")
+
+        condition_ids, unknown_term = self._encode_conditions(condition_items)
+        target_bucket = self._target_bucket(condition_ids)
+
+        rows: List[Tuple] = []
+        counts: List[int] = []
+        rows_scanned = 0
+        segments_scanned = 0
+        segments_pruned = 0
+        decode = self.dictionary.decode
+
+        for index, partition in enumerate(entry.partitions):
+            pruned = (
+                unknown_term
+                or (target_bucket is not None and index != target_bucket)
+                or any(
+                    not partition.zones[column].may_contain(term_id)
+                    for column, term_id in condition_ids
+                )
+            )
+            if pruned:
+                segments_pruned += len(decode_columns)
+                counts.append(0)
+                continue
+            segments_scanned += len(decode_columns)
+            rows_scanned += partition.row_count
+            ids = self._partition_ids(index, decode_columns)
+            keep: Optional[List[int]] = None
+            for column, term_id in condition_ids:
+                column_ids = ids[column]
+                keep = [
+                    i
+                    for i in (keep if keep is not None else range(len(column_ids)))
+                    if column_ids[i] == term_id
+                ]
+            output_ids = [ids[column] for column in output_columns]
+            produced = 0
+            positions = keep if keep is not None else range(partition.row_count)
+            for i in positions:
+                rows.append(
+                    tuple(
+                        None if column[i] == NULL_ID else decode(column[i])
+                        for column in output_ids
+                    )
+                )
+                produced += 1
+            counts.append(produced)
+
+        partitioning = None
+        if entry.partition_keys and all(k in output_columns for k in entry.partition_keys):
+            partitioning = Partitioning(entry.partition_keys, tuple(counts))
+        relation = Relation(output_columns, rows, partitioning=partitioning)
+        result = ScanResult(
+            relation=relation,
+            rows_scanned=rows_scanned,
+            segments_scanned=segments_scanned,
+            segments_pruned=segments_pruned,
+        )
+        if full_scan:
+            self._full = result
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _encode_conditions(
+        self, condition_items: List[Tuple[str, Any]]
+    ) -> Tuple[List[Tuple[str, int]], bool]:
+        """Encode predicate values to ids; unknown terms prove the scan empty."""
+        encoded: List[Tuple[str, int]] = []
+        for column, value in condition_items:
+            if value is None:
+                encoded.append((column, NULL_ID))
+                continue
+            term_id = self.dictionary.lookup(value)
+            if term_id is None:
+                return [], True
+            encoded.append((column, term_id))
+        return encoded, False
+
+    def _target_bucket(self, condition_ids: List[Tuple[str, int]]) -> Optional[int]:
+        """Bucket index when the predicates bind every partition key."""
+        keys = self.entry.partition_keys
+        if not keys or self.entry.num_partitions <= 1:
+            return None
+        bound = dict(condition_ids)
+        if not all(key in bound for key in keys):
+            return None
+        key_terms = tuple(
+            None if bound[key] == NULL_ID else self.dictionary.decode(bound[key]) for key in keys
+        )
+        return key_partition_index(key_terms, self.entry.num_partitions)
+
+    def _partition_ids(self, index: int, columns: Sequence[str]) -> Dict[str, List[int]]:
+        cached = self._ids.setdefault(index, {})
+        missing = [column for column in columns if column not in cached]
+        if missing:
+            # Manifest paths are "/"-separated regardless of the writing OS.
+            path = os.path.join(self.root, *self.entry.partitions[index].file.split("/"))
+            cached.update(read_segment_file(path, missing))
+        return cached
+
+    @staticmethod
+    def _unique(columns: Sequence[str]) -> List[str]:
+        unique: List[str] = []
+        for column in columns:
+            if column not in unique:
+                unique.append(column)
+        return unique
+
+
+@dataclass
+class StoredDataset:
+    """An opened dataset directory: manifest, dictionary and table handles."""
+
+    root: str
+    manifest: Manifest
+    dictionary: StoredTermDictionary
+    tables: Dict[str, StoredTable] = field(default_factory=dict)
+
+    @classmethod
+    def open(cls, root: str) -> "StoredDataset":
+        manifest = read_manifest(root)
+        dictionary = StoredTermDictionary.open(root, expected_size=manifest.dictionary_size)
+        dataset = cls(root=root, manifest=manifest, dictionary=dictionary)
+        for name, entry in manifest.tables.items():
+            dataset.tables[name] = StoredTable(root, entry, dictionary)
+        return dataset
+
+    def table(self, name: str) -> StoredTable:
+        return self.tables[name]
+
+
+def _parse_iri(n3_text: str, cache: Dict[str, IRI]) -> IRI:
+    """Parse (and memoise) a predicate IRI from its manifest n3 form.
+
+    The ExtVP statistics list has O(P^2) entries over only P distinct
+    predicates, so memoisation turns the dominant cold-open cost into a dict
+    lookup.
+    """
+    cached = cache.get(n3_text)
+    if cached is not None:
+        return cached
+    term = term_from_string(n3_text)
+    if not isinstance(term, IRI):
+        raise ValueError(f"expected an IRI, got {term!r}")
+    cache[n3_text] = term
+    return term
+
+
+def open_dataset(path: str) -> Tuple[ExtVPLayout, DatasetLoadReport, StoredDataset]:
+    """Open ``path`` and restore a query-ready ExtVP layout from it.
+
+    No N-Triples parsing and no ExtVP semi-join computation happens here —
+    only manifest/dictionary I/O plus statistics reconstruction.  Table rows
+    stay on disk until a query scans them.
+    """
+    start = time.perf_counter()
+    parses_before = ntriples_io.documents_parsed()
+    dataset = StoredDataset.open(path)
+    manifest = dataset.manifest
+
+    catalog = Catalog()
+    for name, entry in manifest.tables.items():
+        statistics = TableStatistics(
+            name=name,
+            row_count=entry.row_count,
+            selectivity=entry.selectivity,
+            distinct_subjects=entry.distinct_subjects,
+            distinct_objects=entry.distinct_objects,
+        )
+        catalog.register_stored(name, dataset.table(name), statistics)
+    for stats in manifest.statistics_only:
+        catalog.register_statistics_only(stats["name"], stats["row_count"], stats["selectivity"])
+
+    layout = ExtVPLayout(
+        catalog=catalog,
+        namespaces=NamespaceManager(manifest.namespaces) if manifest.namespaces else None,
+        selectivity_threshold=manifest.selectivity_threshold,
+        include_oo=manifest.include_oo,
+    )
+
+    iri_cache: Dict[str, IRI] = {}
+    vp_tables: Dict[IRI, str] = {}
+    vp_sizes: Dict[IRI, int] = {}
+    for predicate_n3, info in manifest.vp_tables.items():
+        predicate = _parse_iri(predicate_n3, iri_cache)
+        vp_tables[predicate] = info["table"]
+        vp_sizes[predicate] = info["size"]
+
+    statistics = ExtVPStatistics()
+    for record in manifest.extvp:
+        statistics.add(
+            ExtVPTableInfo(
+                name=record["name"],
+                kind=CorrelationKind(record["kind"]),
+                first=_parse_iri(record["first"], iri_cache),
+                second=_parse_iri(record["second"], iri_cache),
+                row_count=record["row_count"],
+                vp_row_count=record["vp_row_count"],
+                materialized=record["materialized"],
+            )
+        )
+
+    # Mirror the original HDFS bookkeeping with the *actual* on-disk sizes so
+    # storage summaries keep working on a cold session.
+    for name, entry in manifest.tables.items():
+        prefix = "extvp" if name.startswith("extvp_") else "vp" if name.startswith("vp_") else "store"
+        layout.hdfs.record(
+            f"{prefix}/{name}.parquet", entry.row_count, entry.total_bytes(), entry.columns
+        )
+
+    elapsed = time.perf_counter() - start
+    layout.restore(vp_tables, vp_sizes, statistics, load_seconds=elapsed)
+
+    report = DatasetLoadReport(
+        path=path,
+        load_seconds=elapsed,
+        table_count=len(manifest.tables),
+        statistics_only_count=len(manifest.statistics_only),
+        dictionary_terms=manifest.dictionary_size,
+        num_buckets=manifest.num_buckets,
+        ntriples_parsed=ntriples_io.documents_parsed() > parses_before,
+        extvp_rebuilt=layout.build_count > 0,
+        original_build_seconds=float(manifest.build.get("build_seconds", 0.0)),
+    )
+    return layout, report, dataset

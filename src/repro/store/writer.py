@@ -1,0 +1,246 @@
+"""Writing a session's layout to a persistent dataset directory.
+
+The writer walks every materialised catalog table, buckets its rows with the
+same hash function the runtime's :class:`~repro.engine.runtime.partitioner.
+HashPartitioner` uses (so stored buckets are join-compatible with runtime
+partitions), dictionary-encodes all term values against one dataset-wide
+:class:`~repro.rdf.dictionary.TermDictionary` and emits run-length-encoded
+column pages plus per-segment zone maps.
+
+Rows inside a bucket are sorted by their term ids' surface form before
+encoding.  That serves two purposes: equal values become adjacent (long RLE
+runs, smaller segments) and dictionary ids are assigned in write order, so a
+term first seen in a late partition gets an id larger than every id in
+earlier partitions — which is exactly what makes zone-map pruning bite.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.relation import Relation
+from repro.engine.runtime.partitioner import key_partition_index
+from repro.engine.storage import NULL_ID, ZoneMap, encode_id_column
+from repro.mappings.extvp import ExtVPLayout
+from repro.rdf.dictionary import TermDictionary
+from repro.store.format import (
+    FORMAT_VERSION,
+    TABLES_DIR,
+    Manifest,
+    PartitionEntry,
+    TableEntry,
+    dictionary_path,
+    manifest_path,
+    segment_file_name,
+    table_dir,
+    write_dictionary,
+    write_manifest,
+    write_segment_file,
+)
+
+
+@dataclass
+class DatasetWriteReport:
+    """Summary returned by :meth:`DatasetWriter.write`."""
+
+    path: str
+    table_count: int
+    segment_count: int
+    dictionary_terms: int
+    total_bytes: int
+    num_buckets: int
+    write_seconds: float
+
+
+def _sort_key(row: Tuple, indexes: Sequence[int]) -> Tuple[str, ...]:
+    return tuple("" if row[i] is None else row[i].n3() for i in indexes)
+
+
+class DatasetWriter:
+    """Serialises an :class:`~repro.mappings.extvp.ExtVPLayout` to disk."""
+
+    def __init__(self, num_buckets: int = 4) -> None:
+        if num_buckets < 1:
+            raise ValueError("num_buckets must be >= 1")
+        self.num_buckets = num_buckets
+
+    # ------------------------------------------------------------------ #
+    def write(self, path: str, layout: ExtVPLayout, overwrite: bool = False) -> DatasetWriteReport:
+        """Write ``layout`` (catalog tables, statistics, config) under ``path``.
+
+        The manifest is removed *first* and re-written *last*, so a crash
+        mid-write leaves a directory that :func:`repro.store.reader.open_dataset`
+        rejects outright instead of a stale manifest silently paired with new
+        segments.  All previous dataset artifacts (dictionary, table
+        directories) are cleared, so shrinking re-saves leave no orphans.
+        """
+        start = time.perf_counter()
+        if os.path.isfile(manifest_path(path)) and not overwrite:
+            raise FileExistsError(f"{path!r} already contains a dataset; pass overwrite=True")
+        os.makedirs(path, exist_ok=True)
+        self._clear_artifacts(path)
+
+        dictionary = TermDictionary()
+        catalog = layout.catalog
+        tables: Dict[str, TableEntry] = {}
+        segment_count = 0
+        total_bytes = 0
+
+        for name in catalog.table_names():
+            relation = catalog.table(name)
+            entry, written, segments = self._write_table(path, name, relation, catalog, dictionary)
+            tables[name] = entry
+            total_bytes += written
+            segment_count += segments
+
+        dictionary_bytes = write_dictionary(path, list(dictionary.terms()))
+        total_bytes += dictionary_bytes
+
+        manifest = Manifest(
+            format_version=FORMAT_VERSION,
+            layout_name=layout.name,
+            num_buckets=self.num_buckets,
+            selectivity_threshold=layout.selectivity_threshold,
+            include_oo=layout.include_oo,
+            namespaces=layout.namespaces.namespaces(),
+            dictionary_size=len(dictionary),
+            tables=tables,
+            statistics_only=[
+                {
+                    "name": stats.name,
+                    "row_count": stats.row_count,
+                    "selectivity": stats.selectivity,
+                }
+                for stats in (
+                    catalog.statistics(name) for name in catalog.statistics_only_names()
+                )
+                if stats is not None
+            ],
+            vp_tables={
+                predicate.n3(): {"table": table_name, "size": layout.vp.vp_sizes.get(predicate, 0)}
+                for predicate, table_name in layout.vp.vp_tables.items()
+            },
+            extvp=[
+                {
+                    "kind": info.kind.value,
+                    "first": info.first.n3(),
+                    "second": info.second.n3(),
+                    "name": info.name,
+                    "row_count": info.row_count,
+                    "vp_row_count": info.vp_row_count,
+                    "materialized": info.materialized,
+                }
+                for info in layout.statistics.tables.values()
+            ],
+            build={
+                "build_seconds": layout.report.build_seconds if layout.report else 0.0,
+                "table_count": layout.report.table_count if layout.report else 0,
+                "tuple_count": layout.report.tuple_count if layout.report else 0,
+                "hdfs_bytes": layout.report.hdfs_bytes if layout.report else 0,
+            },
+        )
+        write_manifest(path, manifest)
+        total_bytes += os.path.getsize(manifest_path(path))
+
+        return DatasetWriteReport(
+            path=path,
+            table_count=len(tables),
+            segment_count=segment_count,
+            dictionary_terms=len(dictionary),
+            total_bytes=total_bytes,
+            num_buckets=self.num_buckets,
+            write_seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _clear_artifacts(path: str) -> None:
+        """Remove every previous dataset artifact (manifest invalidated first)."""
+        manifest = manifest_path(path)
+        if os.path.isfile(manifest):
+            os.remove(manifest)
+        dictionary = dictionary_path(path)
+        if os.path.isfile(dictionary):
+            os.remove(dictionary)
+        tables_root = os.path.join(path, TABLES_DIR)
+        if os.path.isdir(tables_root):
+            shutil.rmtree(tables_root)
+
+    # ------------------------------------------------------------------ #
+    def _write_table(
+        self,
+        root: str,
+        name: str,
+        relation: Relation,
+        catalog,
+        dictionary: TermDictionary,
+    ) -> Tuple[TableEntry, int, int]:
+        """Write one table's buckets; return (entry, bytes written, segments)."""
+        columns = relation.columns
+        partition_keys = self._partition_keys(columns)
+        key_indexes = [relation.column_index(k) for k in partition_keys]
+
+        buckets: List[List[Tuple]] = [[] for _ in range(self.num_buckets)]
+        if self.num_buckets == 1:
+            buckets[0] = list(relation.rows)
+        else:
+            for row in relation.rows:
+                key = tuple(row[i] for i in key_indexes)
+                buckets[key_partition_index(key, self.num_buckets)].append(row)
+
+        directory = table_dir(root, name)
+        os.makedirs(directory, exist_ok=True)
+
+        entries: List[PartitionEntry] = []
+        written = 0
+        all_indexes = list(range(len(columns)))
+        for index, bucket in enumerate(buckets):
+            bucket.sort(key=lambda row: _sort_key(row, all_indexes))
+            column_ids: List[List[int]] = [[] for _ in columns]
+            for row in bucket:
+                for position, value in enumerate(row):
+                    column_ids[position].append(
+                        NULL_ID if value is None else dictionary.encode(value)
+                    )
+            pages = [
+                (column, encode_id_column(ids)) for column, ids in zip(columns, column_ids)
+            ]
+            file_name = segment_file_name(index)
+            size = write_segment_file(os.path.join(directory, file_name), pages)
+            written += size
+            entries.append(
+                PartitionEntry(
+                    # Manifest paths always use "/" so datasets are portable
+                    # across operating systems.
+                    file=f"{TABLES_DIR}/{name}/{file_name}",
+                    row_count=len(bucket),
+                    size_bytes=size,
+                    zones={
+                        column: ZoneMap.from_ids(ids) for column, ids in zip(columns, column_ids)
+                    },
+                )
+            )
+
+        statistics = catalog.statistics(name)
+        entry = TableEntry(
+            name=name,
+            columns=columns,
+            row_count=len(relation),
+            selectivity=statistics.selectivity if statistics else 1.0,
+            distinct_subjects=statistics.distinct_subjects if statistics else 0,
+            distinct_objects=statistics.distinct_objects if statistics else 0,
+            partition_keys=partition_keys,
+            partitions=entries,
+        )
+        return entry, written, len(entries)
+
+    @staticmethod
+    def _partition_keys(columns: Tuple[str, ...]) -> Tuple[str, ...]:
+        """Bucket on the subject column — the dominant RDF join key."""
+        if "s" in columns:
+            return ("s",)
+        return (columns[0],) if columns else ()

@@ -169,6 +169,46 @@ class TestAblations:
         assert oo["mean_selectivity"] >= os_row["mean_selectivity"] - 0.05
 
 
+class TestPersistence:
+    @pytest.fixture(scope="class")
+    def report(self, dataset, tmp_path_factory):
+        from repro.bench import run_persistence
+
+        return run_persistence(
+            dataset=dataset,
+            path=str(tmp_path_factory.mktemp("persistence") / "dataset"),
+            template_names=("L1", "S3", "F3", "C2"),
+        )
+
+    def test_steps_present(self, report):
+        for step in (
+            "rebuild (VP + ExtVP build)",
+            "save_dataset",
+            "cold open_dataset",
+            "result equivalence",
+            "zone-map-pruned scan",
+            "partition-aligned joins",
+        ):
+            assert report.row_for(step=step) is not None, step
+
+    def test_cold_open_skips_rebuild(self, report):
+        cold = report.row_for(step="cold open_dataset")
+        assert "no parse/rebuild" in cold["detail"]
+        assert cold["seconds"] > 0
+
+    def test_results_agree(self, report):
+        assert "0 mismatches" in report.row_for(step="result equivalence")["detail"]
+
+    def test_at_least_one_segment_pruned(self, report):
+        detail = report.row_for(step="zone-map-pruned scan")["detail"]
+        assert "segments pruned" in detail
+        assert not detail.startswith("no prunable")
+
+    def test_aligned_joins_observed(self, report):
+        detail = report.row_for(step="partition-aligned joins")["detail"]
+        assert not detail.startswith("0 join inputs")
+
+
 class TestPartitionScaling:
     @pytest.fixture(scope="class")
     def report(self, dataset):

@@ -51,6 +51,22 @@ class TestBasics:
         right = Relation(("a",), [(2,), (1,)])
         assert left == right
 
+    def test_hash_consistent_with_equality(self):
+        left = Relation(("a",), [(1,), (2,)])
+        right = Relation(("a",), [(2,), (1,)])
+        assert hash(left) == hash(right)
+        assert len({left, right}) == 1
+
+    def test_hashable_in_sets_and_dicts(self):
+        """Relations must be usable as set members / dict keys (store code)."""
+        one = Relation(("a",), [(1,)])
+        other = Relation(("a",), [(2,)])
+        assert {one: "x"}[Relation(("a",), [(1,)])] == "x"
+        assert len({one, other}) == 2
+
+    def test_hash_distinguishes_columns(self):
+        assert hash(Relation(("a",), [(1,)])) != hash(Relation(("b",), [(1,)]))
+
 
 class TestUnaryOperators:
     def test_project_reorders_and_drops(self, people):

@@ -42,6 +42,54 @@ class TestParquetSizeModel:
         assert model.estimate_ntriples_bytes(relation) > model.estimate_bytes(relation)
 
 
+class TestParquetSizeModelEdgeCases:
+    """Boundary accounting: empty relations, all-None columns, single rows."""
+
+    def test_empty_relation_with_columns(self):
+        model = ParquetSizeModel()
+        empty = Relation(("s", "o"), [])
+        stats = model.column_stats(empty, "s")
+        assert stats.row_count == 0
+        assert stats.distinct_count == 0
+        assert stats.run_length_runs == 0
+        assert stats.data_bytes == 0
+        assert stats.dictionary_bytes == 0
+        # Only metadata plus the per-column page overhead remains.
+        assert model.estimate_bytes(empty) == model.metadata_bytes + 2 * model.page_overhead_bytes
+
+    def test_empty_relation_ntriples_estimate_is_zero(self):
+        model = ParquetSizeModel()
+        assert model.estimate_ntriples_bytes(Relation(("s", "o"), [])) == 0
+
+    def test_all_none_column(self):
+        model = ParquetSizeModel()
+        relation = Relation(("s", "o"), [(IRI("a"), None)] * 10)
+        stats = model.column_stats(relation, "o")
+        assert stats.row_count == 10
+        assert stats.distinct_count == 1
+        # One run of ten equal (None) values, one 1-byte dictionary entry.
+        assert stats.run_length_runs == 1
+        assert stats.dictionary_bytes == 1
+        assert stats.total_bytes >= 1
+
+    def test_single_row_table(self):
+        model = ParquetSizeModel()
+        relation = make_relation([(IRI("only-subject"), IRI("only-object"))])
+        for column in relation.columns:
+            stats = model.column_stats(relation, column)
+            assert stats.row_count == 1
+            assert stats.distinct_count == 1
+            assert stats.run_length_runs == 1
+            assert stats.data_bytes >= 1
+        assert model.estimate_bytes(relation) > model.metadata_bytes
+
+    def test_single_row_smaller_than_many_rows(self):
+        model = ParquetSizeModel()
+        single = make_relation([(IRI("s"), IRI("o"))])
+        many = make_relation([(IRI(f"s{i}"), IRI(f"o{i}")) for i in range(100)])
+        assert model.estimate_bytes(single) < model.estimate_bytes(many)
+
+
 class TestHdfsSimulator:
     def test_write_and_read_metadata(self):
         hdfs = HdfsSimulator()

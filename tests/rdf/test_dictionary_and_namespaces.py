@@ -25,6 +25,18 @@ class TestTermDictionary:
         with pytest.raises(KeyError):
             TermDictionary().decode(3)
 
+    def test_decode_negative_id_rejected(self):
+        """Regression: -1 must not alias the last term via list indexing."""
+        dictionary = TermDictionary()
+        dictionary.encode(IRI("a"))
+        dictionary.encode(IRI("b"))
+        with pytest.raises(KeyError):
+            dictionary.decode(-1)
+        with pytest.raises(KeyError):
+            dictionary.decode(-2)
+        with pytest.raises(KeyError):
+            dictionary.decode(len(dictionary))
+
     def test_lookup_without_insert(self):
         dictionary = TermDictionary()
         assert dictionary.lookup(IRI("a")) is None

@@ -1,0 +1,159 @@
+"""Unit tests for the dataset store's on-disk format primitives."""
+
+import os
+
+import pytest
+
+from repro.engine.storage import NULL_ID, ZoneMap, decode_id_column, encode_id_column
+from repro.rdf.terms import IRI, Literal
+from repro.store.format import (
+    DatasetFormatError,
+    StoredTermDictionary,
+    read_manifest,
+    read_segment_file,
+    write_dictionary,
+    write_segment_file,
+)
+
+
+class TestIdColumnCodec:
+    @pytest.mark.parametrize(
+        "ids",
+        [
+            [],
+            [0],
+            [5, 5, 5, 5],
+            [1, 2, 3, 2, 1],
+            [NULL_ID, 0, NULL_ID, NULL_ID],
+            list(range(1000)),
+            [7] * 1000,
+        ],
+    )
+    def test_roundtrip(self, ids):
+        assert decode_id_column(encode_id_column(ids)) == ids
+
+    def test_rle_compresses_runs(self):
+        repeated = encode_id_column([3] * 10_000)
+        distinct = encode_id_column(list(range(10_000)))
+        assert len(repeated) < len(distinct) / 100
+
+    def test_truncated_page_rejected(self):
+        page = encode_id_column([1, 2, 3])
+        with pytest.raises(ValueError):
+            decode_id_column(page[:-1])
+        with pytest.raises(ValueError):
+            decode_id_column(b"\x01")
+
+
+class TestZoneMap:
+    def test_from_ids_bounds_and_counts(self):
+        zone = ZoneMap.from_ids([4, 2, 9, 2, NULL_ID])
+        assert zone.min_id == 2 and zone.max_id == 9
+        assert zone.row_count == 5
+        assert zone.distinct_count == 3
+        assert zone.null_count == 1
+
+    def test_may_contain(self):
+        zone = ZoneMap.from_ids([5, 7, 9])
+        assert zone.may_contain(5) and zone.may_contain(8)
+        assert not zone.may_contain(4) and not zone.may_contain(10)
+        assert not zone.may_contain(NULL_ID)
+
+    def test_null_only_segment(self):
+        zone = ZoneMap.from_ids([NULL_ID, NULL_ID])
+        assert zone.may_contain(NULL_ID)
+        assert not zone.may_contain(0)
+
+    def test_empty_segment_contains_nothing(self):
+        zone = ZoneMap.from_ids([])
+        assert not zone.may_contain(0)
+        assert not zone.may_contain(NULL_ID)
+
+    def test_json_roundtrip(self):
+        zone = ZoneMap.from_ids([1, 2, NULL_ID])
+        assert ZoneMap.from_json(zone.to_json()) == zone
+
+
+class TestSegmentFile:
+    def test_roundtrip_and_projection(self, tmp_path):
+        path = str(tmp_path / "part-00000.seg")
+        pages = [("s", encode_id_column([1, 1, 2])), ("o", encode_id_column([3, 4, 5]))]
+        size = write_segment_file(path, pages)
+        assert size == os.path.getsize(path)
+        assert read_segment_file(path) == {"s": [1, 1, 2], "o": [3, 4, 5]}
+        # Projection pushdown: only the requested page is decoded.
+        assert read_segment_file(path, columns=["o"]) == {"o": [3, 4, 5]}
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = str(tmp_path / "part-00000.seg")
+        write_segment_file(path, [("s", encode_id_column([1]))])
+        with pytest.raises(DatasetFormatError):
+            read_segment_file(path, columns=["nope"])
+
+    def test_non_segment_file_rejected(self, tmp_path):
+        path = str(tmp_path / "bogus.seg")
+        with open(path, "wb") as handle:
+            handle.write(b"not a segment")
+        with pytest.raises(DatasetFormatError):
+            read_segment_file(path)
+
+
+class TestStoredDictionary:
+    def test_roundtrip_including_literals(self, tmp_path):
+        terms = [
+            IRI("http://example.org/s"),
+            Literal("plain"),
+            Literal("5", datatype="http://www.w3.org/2001/XMLSchema#integer"),
+            Literal("hi", language="en"),
+            Literal('quoted "text"\nwith newline'),
+        ]
+        write_dictionary(str(tmp_path), terms)
+        stored = StoredTermDictionary.open(str(tmp_path))
+        assert len(stored) == len(terms)
+        for index, term in enumerate(terms):
+            assert stored.decode(index) == term
+            assert stored.lookup(term) == index
+
+    def test_carriage_returns_do_not_shift_ids(self, tmp_path):
+        """Regression: \\r (and other line separators) must not split a term."""
+        terms = [
+            Literal("line1\rline2"),
+            Literal("u2028 separator"),
+            Literal("nel\x85char"),
+            IRI("after"),
+        ]
+        write_dictionary(str(tmp_path), terms)
+        stored = StoredTermDictionary.open(str(tmp_path), expected_size=len(terms))
+        for index, term in enumerate(terms):
+            assert stored.decode(index) == term
+
+    def test_xsd_string_datatype_survives_roundtrip(self, tmp_path):
+        """Regression: n3() suppresses ^^xsd:string; the store must not."""
+        typed = Literal("5", datatype="http://www.w3.org/2001/XMLSchema#string")
+        plain = Literal("5")
+        write_dictionary(str(tmp_path), [typed, plain])
+        stored = StoredTermDictionary.open(str(tmp_path))
+        assert stored.decode(0) == typed
+        assert stored.decode(1) == plain
+        assert stored.lookup(typed) == 0
+        assert stored.lookup(plain) == 1
+
+    def test_size_mismatch_detected(self, tmp_path):
+        write_dictionary(str(tmp_path), [IRI("a"), IRI("b")])
+        with pytest.raises(DatasetFormatError):
+            StoredTermDictionary.open(str(tmp_path), expected_size=3)
+
+    def test_unknown_lookups(self, tmp_path):
+        write_dictionary(str(tmp_path), [IRI("a")])
+        stored = StoredTermDictionary.open(str(tmp_path))
+        assert stored.lookup(IRI("missing")) is None
+        with pytest.raises(KeyError):
+            stored.decode(1)
+        with pytest.raises(KeyError):
+            stored.decode(-1)
+
+
+class TestManifest:
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(DatasetFormatError):
+            read_manifest(str(tmp_path))
