@@ -88,7 +88,9 @@ def main() -> None:
         f"{parallel_result.metrics.parallel_tasks} partition tasks, "
         f"{parallel_result.metrics.shuffled_bytes} shuffled bytes"
     )
-    for strategy in parallel_result.join_strategies:
+    # Executed strategies can differ from the plan: adaptive execution (on by
+    # default) replans joins from observed sizes — see examples/adaptive_execution.py.
+    for strategy in parallel_result.executed_join_strategies:
         print(f"  {strategy}")
 
 

@@ -88,6 +88,9 @@ def run_partition_scaling(
                 selectivity_threshold=selectivity_threshold,
                 num_partitions=partitions,
                 broadcast_threshold=broadcast_threshold,
+                # This benchmark isolates the partition-count axis; adaptive
+                # replanning and skew splitting are measured by repro.bench.aqe.
+                adaptive_enabled=False,
             ),
         )
         wall_ms, critical_ms, shuffled_bytes, broadcast_bytes = _run_workload(session, queries)

@@ -28,9 +28,16 @@ class QueryResult:
     wallclock_ms: float
     statically_empty: bool = False
     selected_tables: List[str] = field(default_factory=list)
-    #: Physical join strategies chosen by the runtime's planning step, in
-    #: bottom-up order (e.g. ``"BroadcastHashJoin(build=right, ...)"``).
+    #: Physical join strategies chosen by the runtime's *static* planning
+    #: step, in bottom-up order (e.g. ``"BroadcastHashJoin(build=right, ...)"``).
     join_strategies: List[str] = field(default_factory=list)
+    #: The strategies the runtime actually executed, same order.  Differs from
+    #: :attr:`join_strategies` when adaptive execution replanned a join from
+    #: observed sizes or the executor fell back to the serial operator.
+    executed_join_strategies: List[str] = field(default_factory=list)
+    #: Human-readable ``"initial -> executed"`` entries for every join whose
+    #: executed strategy differs from the plan.
+    replanned_joins: List[str] = field(default_factory=list)
 
     @property
     def variables(self) -> Sequence[str]:

@@ -28,7 +28,7 @@ from repro.core.results import QueryResult
 from repro.core.table_selection import TableSelector
 from repro.engine.cluster import SparkCostModel
 from repro.engine.metrics import ExecutionMetrics
-from repro.engine.runtime import DEFAULT_BROADCAST_THRESHOLD, ParallelExecutor
+from repro.engine.runtime import DEFAULT_BROADCAST_THRESHOLD, DEFAULT_SKEW_FACTOR, ParallelExecutor
 from repro.mappings.extvp import ExtVPLayout
 from repro.rdf.graph import Graph
 from repro.rdf.ntriples import parse_ntriples
@@ -60,6 +60,13 @@ class SessionConfig:
     #: Spark's ``autoBroadcastJoinThreshold``: a join side estimated at or
     #: below this many bytes is broadcast instead of shuffled.
     broadcast_threshold: int = DEFAULT_BROADCAST_THRESHOLD
+    #: Adaptive query execution: re-decide each join's strategy from observed
+    #: input sizes, split skewed partitions and cache observed cardinalities.
+    #: ``False`` executes the static plan exactly as annotated.
+    adaptive_enabled: bool = True
+    #: A shuffle partition larger than this multiple of the median partition
+    #: is subdivided before its join task runs (adaptive execution only).
+    skew_factor: float = DEFAULT_SKEW_FACTOR
 
 
 class S2RDFSession:
@@ -80,6 +87,8 @@ class S2RDFSession:
             layout.catalog,
             num_partitions=self.config.num_partitions,
             broadcast_threshold=self.config.broadcast_threshold,
+            adaptive_enabled=self.config.adaptive_enabled,
+            skew_factor=self.config.skew_factor,
         )
         #: Set by :meth:`open_dataset`: instrumentation of the cold open.
         self.load_report: Optional[DatasetLoadReport] = None
@@ -99,6 +108,8 @@ class S2RDFSession:
         work_scale: float = 1.0,
         num_partitions: int = 1,
         broadcast_threshold: int = DEFAULT_BROADCAST_THRESHOLD,
+        adaptive_enabled: bool = True,
+        skew_factor: float = DEFAULT_SKEW_FACTOR,
     ) -> "S2RDFSession":
         """Build the data layout for ``graph`` and return a ready session."""
         config = SessionConfig(
@@ -109,6 +120,8 @@ class S2RDFSession:
             work_scale=work_scale,
             num_partitions=num_partitions,
             broadcast_threshold=broadcast_threshold,
+            adaptive_enabled=adaptive_enabled,
+            skew_factor=skew_factor,
         )
         layout = ExtVPLayout(
             selectivity_threshold=selectivity_threshold if use_extvp else 0.0,
@@ -154,6 +167,8 @@ class S2RDFSession:
         optimize_join_order: bool = True,
         work_scale: float = 1.0,
         cost_model: Optional[SparkCostModel] = None,
+        adaptive_enabled: bool = True,
+        skew_factor: float = DEFAULT_SKEW_FACTOR,
     ) -> "S2RDFSession":
         """Cold-start a session from a dataset written by :meth:`save_dataset`.
 
@@ -172,6 +187,8 @@ class S2RDFSession:
             work_scale=work_scale,
             num_partitions=num_partitions if num_partitions is not None else load_report.num_buckets,
             broadcast_threshold=broadcast_threshold,
+            adaptive_enabled=adaptive_enabled,
+            skew_factor=skew_factor,
         )
         session = cls(layout, config=config, cost_model=cost_model)
         session.load_report = load_report
@@ -210,6 +227,17 @@ class S2RDFSession:
             statically_empty=compiled.statically_empty,
             selected_tables=compiled.selected_tables,
             join_strategies=physical.describe() if physical is not None else [],
+            executed_join_strategies=(
+                physical.describe(executed=True) if physical is not None else []
+            ),
+            replanned_joins=(
+                [
+                    f"{initial.describe()} -> {executed.describe()}"
+                    for initial, executed in physical.replans()
+                ]
+                if physical is not None
+                else []
+            ),
         )
 
     # ------------------------------------------------------------------ #

@@ -18,8 +18,9 @@ single machine:
   into simulated runtimes for the different execution architectures
   (in-memory MPP, MapReduce, centralised single node).
 * :mod:`~repro.engine.runtime` — the partitioned parallel execution runtime:
-  hash partitioning, shuffle/broadcast join strategies and the
-  :class:`~repro.engine.runtime.ParallelExecutor` that runs per-partition
+  hash partitioning, shuffle/broadcast join strategies, adaptive re-planning
+  from observed sizes (:class:`~repro.engine.runtime.AdaptivePlanner`) and
+  the :class:`~repro.engine.runtime.ParallelExecutor` that runs per-partition
   join tasks on a worker pool.
 """
 
@@ -42,11 +43,13 @@ from repro.engine.plan import (
     UnionNode,
 )
 from repro.engine.runtime import (
+    AdaptivePlanner,
     BroadcastHashJoin,
     HashPartitioner,
     ParallelExecutor,
     PartitionedRelation,
     PhysicalPlan,
+    SerialJoin,
     ShuffleHashJoin,
     plan_join_strategies,
 )
@@ -77,11 +80,13 @@ __all__ = [
     "SubqueryNode",
     "TableScanNode",
     "UnionNode",
+    "AdaptivePlanner",
     "BroadcastHashJoin",
     "HashPartitioner",
     "ParallelExecutor",
     "PartitionedRelation",
     "PhysicalPlan",
+    "SerialJoin",
     "ShuffleHashJoin",
     "plan_join_strategies",
     "HdfsSimulator",

@@ -91,6 +91,9 @@ class Catalog:
         self._tables: Dict[str, Relation] = {}
         self._statistics: Dict[str, TableStatistics] = {}
         self._stored: Dict[str, StoredTableProvider] = {}
+        #: Session-level observed cardinalities fed back by adaptive
+        #: execution; they override static statistics during planning.
+        self._observed: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -119,12 +122,18 @@ class Catalog:
         if materialize:
             self._tables[name] = relation
         self._statistics[name] = statistics
+        # Fresh statistics are derived from the actual rows: an older
+        # observation must not override them (it may describe previous data).
+        self._observed.pop(name, None)
         return statistics
 
     def register_statistics_only(self, name: str, row_count: int, selectivity: float) -> TableStatistics:
         """Record statistics for a table that is not materialised (e.g. empty ExtVP tables)."""
         statistics = TableStatistics(name=name, row_count=row_count, selectivity=selectivity)
         self._statistics[name] = statistics
+        # Like the other registration paths: newly declared statistics
+        # supersede observations made against the previous incarnation.
+        self._observed.pop(name, None)
         return statistics
 
     def register_stored(
@@ -137,12 +146,48 @@ class Catalog:
         """
         self._stored[name] = provider
         self._statistics[name] = statistics
+        # Manifest statistics describe the stored rows exactly; drop any
+        # observation recorded against a previous incarnation of the table.
+        self._observed.pop(name, None)
         return statistics
 
     def drop(self, name: str) -> None:
         self._tables.pop(name, None)
         self._statistics.pop(name, None)
         self._stored.pop(name, None)
+        self._observed.pop(name, None)
+
+    def remove_statistics(self, name: str) -> None:
+        """Forget the statistics for ``name`` (the table itself survives).
+
+        After this, planners estimate the table as *unknown* — which forces
+        shuffle joins — rather than as empty.  Used by tests and benchmarks to
+        simulate a catalog whose statistics were never collected; any cached
+        observation is dropped too, otherwise the simulation would silently
+        keep planning from the observed size.
+        """
+        self._statistics.pop(name, None)
+        self._observed.pop(name, None)
+
+    # ------------------------------------------------------------------ #
+    # Observed cardinalities (adaptive execution feedback)
+    # ------------------------------------------------------------------ #
+    def record_observed(self, name: str, row_count: int) -> None:
+        """Cache an observed full-table cardinality for this session.
+
+        Adaptive execution records what scans actually returned; planners
+        prefer these observations over (possibly stale) static statistics,
+        so repeated queries plan from truth without a statistics rebuild.
+        """
+        self._observed[name] = row_count
+
+    def observed_rows(self, name: str) -> Optional[int]:
+        """The observed cardinality of ``name``, if any query scanned it."""
+        return self._observed.get(name)
+
+    def clear_observed(self) -> None:
+        """Drop all observed cardinalities (e.g. after a data refresh)."""
+        self._observed.clear()
 
     # ------------------------------------------------------------------ #
     # Lookup

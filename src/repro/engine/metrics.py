@@ -53,6 +53,11 @@ class ExecutionMetrics:
     #: Join inputs consumed pre-partitioned from the store, i.e. shuffle
     #: exchanges avoided because the scan was already bucketed on the keys.
     partition_aligned_inputs: int = 0
+    #: Joins whose physical strategy was revised at run time from observed
+    #: input sizes (adaptive query execution).
+    aqe_replans: int = 0
+    #: Extra join tasks created by subdividing skewed shuffle partitions.
+    aqe_skew_splits: int = 0
     #: Per-table scan counts, useful for debugging table selection.
     scanned_tables: Dict[str, int] = field(default_factory=dict)
 
@@ -93,6 +98,14 @@ class ExecutionMetrics:
         """A shuffle join consumed ``count`` pre-partitioned inputs as-is."""
         self.partition_aligned_inputs += count
 
+    def record_replan(self) -> None:
+        """Adaptive execution revised one join's strategy from observed sizes."""
+        self.aqe_replans += 1
+
+    def record_skew_split(self, extra_tasks: int) -> None:
+        """Skew handling subdivided partitions into ``extra_tasks`` more tasks."""
+        self.aqe_skew_splits += extra_tasks
+
     def merge(self, other: "ExecutionMetrics") -> None:
         """Accumulate another metrics object into this one."""
         self.input_tuples += other.input_tuples
@@ -112,6 +125,8 @@ class ExecutionMetrics:
         self.store_segments_scanned += other.store_segments_scanned
         self.store_segments_pruned += other.store_segments_pruned
         self.partition_aligned_inputs += other.partition_aligned_inputs
+        self.aqe_replans += other.aqe_replans
+        self.aqe_skew_splits += other.aqe_skew_splits
         for table, rows in other.scanned_tables.items():
             self.scanned_tables[table] = self.scanned_tables.get(table, 0) + rows
 
@@ -120,8 +135,18 @@ class ExecutionMetrics:
 
         The benchmark harness uses this to extrapolate counters measured on a
         laptop-scale dataset to the paper's data scale before feeding them to
-        the cost models; structural counters (joins, scans, stages) are not
-        data-proportional and stay unchanged.
+        the cost models.  The scaling contract:
+
+        * *data-proportional* counters (tuple and byte counts, including the
+          per-table ``scanned_tables`` map) are multiplied by ``factor``;
+        * *structural* counters (``joins``, ``table_scans``, ``stages``,
+          strategy and task counts, ``aqe_replans``, ``aqe_skew_splits``) do
+          not grow with data size and stay unchanged;
+        * *observed wall-clock* timings (``critical_path_ms``) are
+          deliberately copied unscaled: they measure this machine at this
+          data scale, and extrapolated runtimes must come from the cost
+          models' counter-derived terms — multiplying a measured time by the
+          data factor would double-count hardware speed.
         """
         clone = self.copy()
         clone.input_tuples = int(self.input_tuples * factor)
@@ -153,11 +178,13 @@ class ExecutionMetrics:
             store_segments_scanned=self.store_segments_scanned,
             store_segments_pruned=self.store_segments_pruned,
             partition_aligned_inputs=self.partition_aligned_inputs,
+            aqe_replans=self.aqe_replans,
+            aqe_skew_splits=self.aqe_skew_splits,
         )
         clone.scanned_tables = dict(self.scanned_tables)
         return clone
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, object]:
         return {
             "input_tuples": self.input_tuples,
             "shuffled_tuples": self.shuffled_tuples,
@@ -176,4 +203,7 @@ class ExecutionMetrics:
             "store_segments_scanned": self.store_segments_scanned,
             "store_segments_pruned": self.store_segments_pruned,
             "partition_aligned_inputs": self.partition_aligned_inputs,
+            "aqe_replans": self.aqe_replans,
+            "aqe_skew_splits": self.aqe_skew_splits,
+            "scanned_tables": dict(self.scanned_tables),
         }

@@ -315,9 +315,12 @@ class PlanExecutor:
         metrics.output_tuples = len(result)
         return result
 
-    @staticmethod
-    def _record_scan(table_name: str, scan, metrics: ExecutionMetrics) -> None:
-        """Record a scan; store-backed scans also report segment pruning."""
+    def _record_scan(self, table_name: str, scan, metrics: ExecutionMetrics) -> None:
+        """Record a scan; store-backed scans also report segment pruning.
+
+        An instance method (not static) so the adaptive runtime can override
+        it to feed observed table cardinalities back into the catalog.
+        """
         metrics.record_scan(table_name, scan.rows_scanned)
         if scan.segments_scanned or scan.segments_pruned:
             metrics.record_segment_scan(scan.segments_scanned, scan.segments_pruned)

@@ -12,20 +12,32 @@ axis:
   per-join :class:`ShuffleHashJoin` / :class:`BroadcastHashJoin` decisions
   driven by catalog statistics and a Spark-style
   ``autoBroadcastJoinThreshold``.
+* :mod:`~repro.engine.runtime.adaptive` — :class:`AdaptivePlanner`, the
+  Spark-3-style adaptive execution layer: re-decides each join's strategy
+  from observed input sizes, splits skewed partitions and feeds observed
+  cardinalities back into the catalog.
 * :mod:`~repro.engine.runtime.executor` — :class:`ParallelExecutor`, which
   runs per-partition join tasks on a thread pool, merges the partition
   outputs and records observed shuffle/broadcast volume in the metrics.
 """
 
+from repro.engine.runtime.adaptive import (
+    DEFAULT_SKEW_FACTOR,
+    AdaptivePlanner,
+    ReplanEvent,
+)
 from repro.engine.runtime.executor import ParallelExecutor
 from repro.engine.runtime.partitioned import BYTES_PER_VALUE, PartitionedRelation, estimated_bytes
 from repro.engine.runtime.partitioner import HashPartitioner, key_partition_index, stable_hash
 from repro.engine.runtime.strategies import (
     DEFAULT_BROADCAST_THRESHOLD,
+    UNKNOWN_ROWS,
     BroadcastHashJoin,
     JoinStrategy,
     PhysicalPlan,
+    SerialJoin,
     ShuffleHashJoin,
+    choose_join_strategy,
     estimate_rows,
     plan_join_strategies,
 )
@@ -33,13 +45,19 @@ from repro.engine.runtime.strategies import (
 __all__ = [
     "BYTES_PER_VALUE",
     "DEFAULT_BROADCAST_THRESHOLD",
+    "DEFAULT_SKEW_FACTOR",
+    "UNKNOWN_ROWS",
+    "AdaptivePlanner",
     "BroadcastHashJoin",
     "HashPartitioner",
     "JoinStrategy",
     "ParallelExecutor",
     "PartitionedRelation",
     "PhysicalPlan",
+    "ReplanEvent",
+    "SerialJoin",
     "ShuffleHashJoin",
+    "choose_join_strategy",
     "estimate_rows",
     "estimated_bytes",
     "key_partition_index",

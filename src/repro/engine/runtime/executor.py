@@ -10,6 +10,19 @@ the join keys and joins the co-partitioned pairs on a
 the large side, exactly like Spark's exchange operators.  Results are merged
 back into one relation, so the output is bag-equal to the serial executor's.
 
+With ``adaptive_enabled`` (the default), execution is *adaptive* in the
+Spark 3 sense: joins materialize bottom-up, so when a join is about to run,
+its inputs are observed rather than estimated.  The
+:class:`~repro.engine.runtime.adaptive.AdaptivePlanner` re-decides the join's
+strategy from those observed sizes (demoting shuffles whose build side is
+actually small, promoting broadcasts whose build side is actually huge),
+splits skewed shuffle partitions into median-sized tasks, and feeds observed
+table cardinalities back into the catalog so the *next* query's static plan
+starts from truth.  Replans and skew splits are visible in
+:class:`~repro.engine.metrics.ExecutionMetrics` (``aqe_replans``,
+``aqe_skew_splits``) and in the physical plan's initial-vs-executed strategy
+lists.
+
 Byte-level exchange volume (shuffled vs. broadcast) and the per-join critical
 path (the slowest partition task) are recorded in
 :class:`~repro.engine.metrics.ExecutionMetrics`, giving the Spark cost model
@@ -23,15 +36,17 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.engine.catalog import Catalog
+from repro.engine.catalog import Catalog, ScanResult
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.plan import LeftOuterJoinNode, NaturalJoinNode, PlanExecutor, PlanNode
 from repro.engine.relation import Relation
+from repro.engine.runtime.adaptive import DEFAULT_SKEW_FACTOR, AdaptivePlanner
 from repro.engine.runtime.partitioned import PartitionedRelation, estimated_bytes
 from repro.engine.runtime.strategies import (
     DEFAULT_BROADCAST_THRESHOLD,
     BroadcastHashJoin,
     PhysicalPlan,
+    SerialJoin,
     plan_join_strategies,
 )
 
@@ -48,6 +63,8 @@ class ParallelExecutor(PlanExecutor):
         num_partitions: int = 4,
         broadcast_threshold: int = DEFAULT_BROADCAST_THRESHOLD,
         max_workers: Optional[int] = None,
+        adaptive_enabled: bool = True,
+        skew_factor: float = DEFAULT_SKEW_FACTOR,
     ) -> None:
         super().__init__(catalog)
         if num_partitions < 1:
@@ -58,15 +75,35 @@ class ParallelExecutor(PlanExecutor):
         self._pool: Optional[ThreadPoolExecutor] = None
         #: Join-strategy annotations of the most recently executed plan.
         self.last_physical_plan: Optional[PhysicalPlan] = None
+        #: Adaptive re-planning; ``None`` reproduces the static plan exactly.
+        self.adaptive: Optional[AdaptivePlanner] = (
+            AdaptivePlanner(catalog, broadcast_threshold, skew_factor=skew_factor)
+            if adaptive_enabled
+            else None
+        )
+
+    @property
+    def adaptive_enabled(self) -> bool:
+        return self.adaptive is not None
 
     # ------------------------------------------------------------------ #
     def execute(self, plan: PlanNode, metrics: Optional[ExecutionMetrics] = None) -> Relation:
+        if self.adaptive is not None:
+            self.adaptive.reset()
         self.last_physical_plan = self.plan_physical(plan)
         return super().execute(plan, metrics)
 
     def plan_physical(self, plan: PlanNode) -> PhysicalPlan:
-        """The physical-planning step: annotate every join with a strategy."""
-        return plan_join_strategies(plan, self.catalog, self.broadcast_threshold)
+        """The physical-planning step: annotate every join with a strategy.
+
+        Only adaptive executors consult the catalog's observed-cardinality
+        cache: with ``adaptive_enabled=False`` the plan must depend on the
+        static statistics alone, even when an adaptive session sharing this
+        catalog already recorded observations.
+        """
+        return plan_join_strategies(
+            plan, self.catalog, self.broadcast_threshold, use_observed=self.adaptive_enabled
+        )
 
     def close(self) -> None:
         if self._pool is not None:
@@ -80,44 +117,72 @@ class ParallelExecutor(PlanExecutor):
         self.close()
 
     # ------------------------------------------------------------------ #
+    # Scan hook: feed observed table sizes back into the catalog
+    # ------------------------------------------------------------------ #
+    def _record_scan(self, table_name: str, scan: ScanResult, metrics: ExecutionMetrics) -> None:
+        super()._record_scan(table_name, scan, metrics)
+        # A scan that pruned segments saw only part of the table, so its row
+        # count is not a table-cardinality observation.
+        if self.adaptive is not None and scan.segments_pruned == 0:
+            self.adaptive.observe_scan(table_name, scan.rows_scanned)
+
+    # ------------------------------------------------------------------ #
     # Join hooks
     # ------------------------------------------------------------------ #
     def _natural_join(
         self, plan: NaturalJoinNode, left: Relation, right: Relation, metrics: ExecutionMetrics
     ) -> Relation:
-        shared = [c for c in left.columns if c in right.columns]
-        if not self._worth_parallelising(left, right, shared):
-            return super()._natural_join(plan, left, right, metrics)
-        strategy = self.last_physical_plan.strategy_for(plan) if self.last_physical_plan else None
-        if isinstance(strategy, BroadcastHashJoin):
-            return self._broadcast_join(
-                left, right, build_left=strategy.build_side == "left", metrics=metrics
-            )
-        return self._shuffle_join(
-            left,
-            right,
-            shared,
-            join=lambda l, r, scratch: l.natural_join(r, scratch),
-            metrics=metrics,
-        )
+        return self._adaptive_join(plan, left, right, metrics, outer=False)
 
     def _left_outer_join(
         self, plan: LeftOuterJoinNode, left: Relation, right: Relation, metrics: ExecutionMetrics
     ) -> Relation:
+        return self._adaptive_join(plan, left, right, metrics, outer=True)
+
+    def _adaptive_join(
+        self,
+        plan: PlanNode,
+        left: Relation,
+        right: Relation,
+        metrics: ExecutionMetrics,
+        outer: bool,
+    ) -> Relation:
         shared = [c for c in left.columns if c in right.columns]
+        physical = self.last_physical_plan
+        planned = physical.strategy_for(plan) if physical is not None else None
+
         if not self._worth_parallelising(left, right, shared):
-            return super()._left_outer_join(plan, left, right, metrics)
-        strategy = self.last_physical_plan.strategy_for(plan) if self.last_physical_plan else None
+            if physical is not None and planned is not None:
+                physical.record_executed(
+                    plan,
+                    SerialJoin(
+                        tuple(shared),
+                        len(left),
+                        len(right),
+                        reason=self._serial_reason(left, right, shared),
+                    ),
+                )
+            if outer:
+                return super()._left_outer_join(plan, left, right, metrics)
+            return super()._natural_join(plan, left, right, metrics)
+
+        strategy = planned
+        if self.adaptive is not None and planned is not None:
+            strategy, event = self.adaptive.revise(plan, planned, left, right)
+            if event is not None:
+                metrics.record_replan()
+        if physical is not None and strategy is not None:
+            physical.record_executed(plan, strategy)
+
         if isinstance(strategy, BroadcastHashJoin):
-            # Only the non-preserved (right) side is broadcastable.
-            return self._broadcast_join(left, right, build_left=False, metrics=metrics, outer=True)
-        return self._shuffle_join(
-            left,
-            right,
-            shared,
-            join=lambda l, r, scratch: l.left_outer_join(r, scratch),
-            metrics=metrics,
-        )
+            # Only the non-preserved (right) side of an outer join may build.
+            build_left = strategy.build_side == "left" and not outer
+            return self._broadcast_join(left, right, build_left=build_left, metrics=metrics, outer=outer)
+        if outer:
+            join = lambda l, r, scratch: l.left_outer_join(r, scratch)  # noqa: E731
+        else:
+            join = lambda l, r, scratch: l.natural_join(r, scratch)  # noqa: E731
+        return self._shuffle_join(left, right, shared, join=join, metrics=metrics, outer=outer)
 
     def _worth_parallelising(self, left: Relation, right: Relation, shared: Sequence[str]) -> bool:
         """Fall back to the serial operator for degenerate inputs.
@@ -126,6 +191,15 @@ class ParallelExecutor(PlanExecutor):
         side makes the join trivial; both run serially.
         """
         return self.num_partitions > 1 and bool(shared) and len(left) > 0 and len(right) > 0
+
+    def _serial_reason(self, left: Relation, right: Relation, shared: Sequence[str]) -> str:
+        if self.num_partitions <= 1:
+            return "single partition"
+        if not shared:
+            return "cross join"
+        if len(left) == 0 or len(right) == 0:
+            return "empty input"
+        return "fallback"
 
     # ------------------------------------------------------------------ #
     # Physical operators
@@ -137,16 +211,36 @@ class ParallelExecutor(PlanExecutor):
         keys: Sequence[str],
         join: Callable[[Relation, Relation, ExecutionMetrics], Relation],
         metrics: ExecutionMetrics,
+        outer: bool = False,
     ) -> Relation:
         """ShuffleHashJoin: co-partition both sides on the keys, join pairwise.
 
         A side whose scan came pre-bucketed from the dataset store on exactly
         these keys (and this partition count) is consumed as-is: its buckets
         are sliced out of the scan output and contribute zero shuffle bytes.
+
+        Under adaptive execution, skewed partitions (larger than
+        ``skew_factor ×`` the median) are subdivided into median-sized tasks
+        before the pool runs them; aligned stored buckets and the
+        *non-preserved* (right) side of an outer join are never split — only
+        the preserved side can be chunked without fabricating rows.
         """
         left_parts, left_aligned = self._partition_input(left, keys)
         right_parts, right_aligned = self._partition_input(right, keys)
         assert left_parts.is_co_partitioned_with(right_parts)
+        pairs: List[Tuple[Relation, Relation]] = list(
+            zip(left_parts.partitions, right_parts.partitions)
+        )
+        if self.adaptive is not None:
+            pairs, extra = self.adaptive.split_skewed(
+                pairs,
+                splittable_left=not left_aligned,
+                # Splitting the right side of an outer join would fabricate
+                # null-padded rows for left rows matched in another chunk.
+                splittable_right=not right_aligned and not outer,
+            )
+            if extra:
+                metrics.record_skew_split(extra)
 
         def task(pair: Tuple[Relation, Relation]) -> _TaskResult:
             left_part, right_part = pair
@@ -155,7 +249,7 @@ class ParallelExecutor(PlanExecutor):
             joined = join(left_part, right_part, scratch)
             return joined, scratch.join_comparisons, (time.perf_counter() - start) * 1000.0
 
-        results = self._run_tasks(task, list(zip(left_parts.partitions, right_parts.partitions)))
+        results = self._run_tasks(task, pairs)
         shuffled = (0 if left_aligned else left_parts.estimated_bytes()) + (
             0 if right_aligned else right_parts.estimated_bytes()
         )

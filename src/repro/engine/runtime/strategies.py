@@ -11,6 +11,22 @@ estimates per-operator cardinalities from catalog statistics and annotates
 every :class:`~repro.engine.plan.NaturalJoinNode` /
 :class:`~repro.engine.plan.LeftOuterJoinNode` with a
 :class:`ShuffleHashJoin` or :class:`BroadcastHashJoin` decision.
+
+Two planning realities, both learned the hard way:
+
+* A table *without* statistics must never be treated as empty.  The original
+  planner estimated unknown inputs at 0 rows and broadcast them
+  unconditionally — a 0-byte broadcast of a potentially huge table.
+  :data:`UNKNOWN_ROWS` is the conservative sentinel: an unknown side is never
+  broadcastable, so the join shuffles unless the *other* side is provably
+  small.  Under adaptive execution the runtime later replaces the guess with
+  the observed size (see :mod:`repro.engine.runtime.adaptive`).
+* The plan annotation is an *intent*, not a record of what ran: the executor
+  may fall back to the serial operator (single partition, cross join, empty
+  input) or — with AQE — revise the strategy from observed sizes.
+  :class:`PhysicalPlan` therefore tracks the initial and the executed strategy
+  per join, so ``counts(executed=True)`` always reconciles with the
+  ``shuffle_joins`` / ``broadcast_joins`` execution metrics.
 """
 
 from __future__ import annotations
@@ -38,6 +54,15 @@ from repro.engine.runtime.partitioned import BYTES_PER_VALUE
 #: Spark's default ``spark.sql.autoBroadcastJoinThreshold``.
 DEFAULT_BROADCAST_THRESHOLD = 10 * 1024 * 1024
 
+#: Cardinality sentinel for inputs the catalog knows nothing about.  An
+#: unknown side is treated as arbitrarily large for broadcast decisions
+#: (never broadcast), the exact opposite of the old 0-row default.
+UNKNOWN_ROWS = -1
+
+
+def _format_rows(rows: int) -> str:
+    return "?" if rows == UNKNOWN_ROWS else str(rows)
+
 
 @dataclass(frozen=True)
 class JoinStrategy:
@@ -45,7 +70,9 @@ class JoinStrategy:
 
     #: Shared join key columns (empty for a cross join).
     keys: Tuple[str, ...]
-    #: Estimated input cardinalities that drove the decision.
+    #: Input cardinalities that drove the decision: catalog estimates for the
+    #: initial plan (:data:`UNKNOWN_ROWS` when statistics are missing),
+    #: observed row counts for strategies revised or recorded at run time.
     left_rows: int
     right_rows: int
 
@@ -56,6 +83,12 @@ class JoinStrategy:
     def describe(self) -> str:
         raise NotImplementedError
 
+    def same_decision(self, other: "JoinStrategy") -> bool:
+        """True when ``other`` encodes the same physical choice (ignoring rows)."""
+        return self.name == other.name and getattr(self, "build_side", None) == getattr(
+            other, "build_side", None
+        )
+
 
 @dataclass(frozen=True)
 class ShuffleHashJoin(JoinStrategy):
@@ -63,7 +96,10 @@ class ShuffleHashJoin(JoinStrategy):
 
     def describe(self) -> str:
         keys = ", ".join(self.keys) if self.keys else "<cross>"
-        return f"ShuffleHashJoin(keys=[{keys}], left~{self.left_rows} rows, right~{self.right_rows} rows)"
+        return (
+            f"ShuffleHashJoin(keys=[{keys}], left~{_format_rows(self.left_rows)} rows, "
+            f"right~{_format_rows(self.right_rows)} rows)"
+        )
 
 
 @dataclass(frozen=True)
@@ -76,7 +112,28 @@ class BroadcastHashJoin(JoinStrategy):
         keys = ", ".join(self.keys) if self.keys else "<cross>"
         return (
             f"BroadcastHashJoin(build={self.build_side}, keys=[{keys}], "
-            f"left~{self.left_rows} rows, right~{self.right_rows} rows)"
+            f"left~{_format_rows(self.left_rows)} rows, right~{_format_rows(self.right_rows)} rows)"
+        )
+
+
+@dataclass(frozen=True)
+class SerialJoin(JoinStrategy):
+    """Executed by the in-process serial operator (parallel-runtime fallback).
+
+    The executor falls back to the serial join for degenerate inputs — a
+    single-partition runtime, a cross join, or an empty side.  Recording the
+    fallback as the *executed* strategy keeps :meth:`PhysicalPlan.counts`
+    honest: a join annotated ``BroadcastHashJoin`` that never broadcast
+    anything no longer inflates the broadcast column.
+    """
+
+    reason: str = ""
+
+    def describe(self) -> str:
+        keys = ", ".join(self.keys) if self.keys else "<cross>"
+        return (
+            f"SerialJoin(keys=[{keys}], reason={self.reason or 'fallback'}, "
+            f"left~{_format_rows(self.left_rows)} rows, right~{_format_rows(self.right_rows)} rows)"
         )
 
 
@@ -85,49 +142,101 @@ class PhysicalPlan:
 
     Nodes are identified by object identity, which is safe because the
     annotations never outlive the compiled plan they were derived from.
+
+    Every join carries two annotations: the *initial* strategy chosen by the
+    static planner from catalog estimates, and (once the plan has run) the
+    *executed* strategy the runtime actually applied — which differs when
+    adaptive execution replanned the join from observed sizes or when the
+    executor fell back to the serial operator.
     """
 
     def __init__(self) -> None:
-        self._strategies: Dict[int, JoinStrategy] = {}
-        self._order: List[JoinStrategy] = []
+        self._node_order: List[int] = []
+        self._initial: Dict[int, JoinStrategy] = {}
+        self._executed: Dict[int, JoinStrategy] = {}
 
     def annotate(self, node: PlanNode, strategy: JoinStrategy) -> None:
-        self._strategies[id(node)] = strategy
-        self._order.append(strategy)
+        node_id = id(node)
+        if node_id not in self._initial:
+            self._node_order.append(node_id)
+        self._initial[node_id] = strategy
+
+    def record_executed(self, node: PlanNode, strategy: JoinStrategy) -> None:
+        """Record the strategy the runtime actually applied to ``node``."""
+        self._executed[id(node)] = strategy
 
     def strategy_for(self, node: PlanNode) -> Optional[JoinStrategy]:
-        return self._strategies.get(id(node))
+        """The initial (statically planned) strategy for ``node``."""
+        return self._initial.get(id(node))
+
+    def executed_strategy_for(self, node: PlanNode) -> Optional[JoinStrategy]:
+        return self._executed.get(id(node))
 
     def strategies(self) -> List[JoinStrategy]:
-        """All join strategies in bottom-up planning order."""
-        return list(self._order)
+        """Initial join strategies in bottom-up planning order."""
+        return [self._initial[node_id] for node_id in self._node_order]
 
-    def describe(self) -> List[str]:
-        return [strategy.describe() for strategy in self._order]
+    def executed_strategies(self) -> List[JoinStrategy]:
+        """Executed strategies in planning order (initial where nothing ran)."""
+        return [
+            self._executed.get(node_id, self._initial[node_id])
+            for node_id in self._node_order
+        ]
 
-    def counts(self) -> Dict[str, int]:
+    def replans(self) -> List[Tuple[JoinStrategy, JoinStrategy]]:
+        """All ``(initial, executed)`` pairs whose physical decision differs.
+
+        Includes both AQE revisions (shuffle demoted to broadcast, broadcast
+        promoted to shuffle, build side flipped) and serial fallbacks.
+        """
+        out: List[Tuple[JoinStrategy, JoinStrategy]] = []
+        for node_id in self._node_order:
+            executed = self._executed.get(node_id)
+            if executed is not None and not executed.same_decision(self._initial[node_id]):
+                out.append((self._initial[node_id], executed))
+        return out
+
+    def describe(self, executed: bool = False) -> List[str]:
+        chosen = self.executed_strategies() if executed else self.strategies()
+        return [strategy.describe() for strategy in chosen]
+
+    def counts(self, executed: bool = False) -> Dict[str, int]:
         counts: Dict[str, int] = {"ShuffleHashJoin": 0, "BroadcastHashJoin": 0}
-        for strategy in self._order:
+        chosen = self.executed_strategies() if executed else self.strategies()
+        for strategy in chosen:
             counts[strategy.name] = counts.get(strategy.name, 0) + 1
         return counts
 
 
-def estimate_rows(node: PlanNode, catalog: Catalog) -> int:
+def estimate_rows(node: PlanNode, catalog: Catalog, use_observed: bool = True) -> int:
     """Bottom-up cardinality estimate from catalog statistics.
 
     Deliberately simple, in the spirit of Spark's pre-CBO size estimation:
     base cardinalities come from table statistics, equality selections divide
     by the distinct count of the constrained column, joins take the larger
     input (conservative for FK-style RDF joins) and unions add up.
+
+    With ``use_observed`` (the default), observed cardinalities recorded by
+    adaptive execution (:meth:`~repro.engine.catalog.Catalog.record_observed`)
+    take precedence over static statistics, so repeated queries plan from
+    truth even when the statistics are stale.  Non-adaptive executors pass
+    ``use_observed=False`` so their plans depend on the static statistics
+    alone — an ``adaptive_enabled=False`` session is reproducible even when
+    an adaptive session already populated the shared catalog's cache.  A
+    table with neither statistics nor a usable observation estimates to
+    :data:`UNKNOWN_ROWS` — *not* 0 — and unknown propagates up through joins
+    and unions.
     """
     if isinstance(node, EmptyNode):
         return 0
     if isinstance(node, TableScanNode):
-        statistics = catalog.statistics(node.table_name)
-        return statistics.row_count if statistics else 0
+        return _base_rows(node.table_name, catalog, use_observed)
     if isinstance(node, SubqueryNode):
+        rows = _base_rows(node.table_name, catalog, use_observed)
+        if rows == UNKNOWN_ROWS:
+            # Selections cannot refine an unknown base cardinality.
+            return UNKNOWN_ROWS
         statistics = catalog.statistics(node.table_name)
-        rows = statistics.row_count if statistics else 0
         for column, _ in node.conditions:
             distinct = 0
             if statistics is not None:
@@ -135,18 +244,41 @@ def estimate_rows(node: PlanNode, catalog: Catalog) -> int:
             rows = rows // max(1, distinct) if distinct else max(1, rows // 10)
         return rows
     if isinstance(node, (NaturalJoinNode, LeftOuterJoinNode)):
-        return max(estimate_rows(node.left, catalog), estimate_rows(node.right, catalog))
+        left = estimate_rows(node.left, catalog, use_observed)
+        right = estimate_rows(node.right, catalog, use_observed)
+        if UNKNOWN_ROWS in (left, right):
+            return UNKNOWN_ROWS
+        return max(left, right)
     if isinstance(node, UnionNode):
-        return estimate_rows(node.left, catalog) + estimate_rows(node.right, catalog)
+        left = estimate_rows(node.left, catalog, use_observed)
+        right = estimate_rows(node.right, catalog, use_observed)
+        if UNKNOWN_ROWS in (left, right):
+            return UNKNOWN_ROWS
+        return left + right
     if isinstance(node, (FilterNode, ProjectNode, DistinctNode, OrderByNode)):
-        return estimate_rows(node.child, catalog)
+        return estimate_rows(node.child, catalog, use_observed)
     if isinstance(node, LimitNode):
-        child_rows = estimate_rows(node.child, catalog)
-        return min(child_rows, node.limit) if node.limit is not None else child_rows
+        child_rows = estimate_rows(node.child, catalog, use_observed)
+        if node.limit is None:
+            return child_rows
+        # LIMIT bounds even an unknown input.
+        return node.limit if child_rows == UNKNOWN_ROWS else min(child_rows, node.limit)
     return 0
 
 
-def _estimated_bytes(rows: int, columns: int) -> int:
+def _base_rows(table_name: str, catalog: Catalog, use_observed: bool) -> int:
+    if use_observed:
+        observed = catalog.observed_rows(table_name)
+        if observed is not None:
+            return observed
+    statistics = catalog.statistics(table_name)
+    return statistics.row_count if statistics is not None else UNKNOWN_ROWS
+
+
+def _estimated_bytes(rows: int, columns: int) -> Optional[int]:
+    """Estimated exchange size; ``None`` when the cardinality is unknown."""
+    if rows == UNKNOWN_ROWS:
+        return None
     return rows * max(1, columns) * BYTES_PER_VALUE
 
 
@@ -154,44 +286,103 @@ def plan_join_strategies(
     plan: PlanNode,
     catalog: Catalog,
     broadcast_threshold: int = DEFAULT_BROADCAST_THRESHOLD,
+    use_observed: bool = True,
 ) -> PhysicalPlan:
     """Annotate every join in ``plan`` with a physical strategy.
 
     The decision rule mirrors Spark SQL: broadcast when the candidate build
-    side's estimated size is at or below ``broadcast_threshold``, shuffle
-    otherwise.  For a left outer join only the right side is broadcastable
-    (broadcasting the preserved side would lose unmatched rows); a join
-    without shared keys degenerates to a broadcast nested-loop join of the
-    smaller side, as in Spark.
+    side's estimated size is *known* and at or below ``broadcast_threshold``,
+    shuffle otherwise.  An unknown-size side is never a broadcast candidate.
+    For a left outer join only the right side is broadcastable (broadcasting
+    the preserved side would lose unmatched rows); a join without shared keys
+    degenerates to a broadcast nested-loop join of the smaller (or only
+    known-size) side, as in Spark.  ``use_observed`` is forwarded to
+    :func:`estimate_rows` (non-adaptive executors pass ``False``).
     """
     physical = PhysicalPlan()
-    _annotate(plan, catalog, broadcast_threshold, physical)
+    _annotate(plan, catalog, broadcast_threshold, physical, use_observed)
     return physical
 
 
-def _annotate(node: PlanNode, catalog: Catalog, threshold: int, physical: PhysicalPlan) -> None:
+def _fits(size_bytes: Optional[int], threshold: int) -> bool:
+    return size_bytes is not None and size_bytes <= threshold
+
+
+def _smaller_side(left_bytes: Optional[int], right_bytes: Optional[int]) -> str:
+    """Pick a build side preferring known-and-smaller; ties go left."""
+    if left_bytes is None and right_bytes is None:
+        return "left"
+    if left_bytes is None:
+        return "right"
+    if right_bytes is None:
+        return "left"
+    return "left" if left_bytes <= right_bytes else "right"
+
+
+def choose_join_strategy(
+    keys: Tuple[str, ...],
+    left_rows: int,
+    right_rows: int,
+    left_bytes: Optional[int],
+    right_bytes: Optional[int],
+    threshold: int,
+    outer: bool,
+) -> JoinStrategy:
+    """The one broadcast/shuffle decision rule, shared by both planners.
+
+    The static planner calls this with *estimated* byte sizes (``None`` for
+    unknown cardinalities); the adaptive planner calls it with *observed*
+    sizes at the join's materialization boundary.  Keeping a single rule
+    guarantees an adaptive revision is exactly what the static planner would
+    have chosen with perfect statistics — any future change to the decision
+    (e.g. a broadcast memory guard) applies to both automatically.
+    """
+    if outer:
+        # Only the non-preserved (right) side is broadcastable: broadcasting
+        # the preserved side would lose unmatched rows.
+        if _fits(right_bytes, threshold) or not keys:
+            return BroadcastHashJoin(keys, left_rows, right_rows, build_side="right")
+        return ShuffleHashJoin(keys, left_rows, right_rows)
+    if not keys:
+        # A cross join has no shuffle alternative: broadcast the side most
+        # likely to be small (the only known side, or the smaller estimate).
+        return BroadcastHashJoin(
+            keys, left_rows, right_rows, build_side=_smaller_side(left_bytes, right_bytes)
+        )
+    if _fits(left_bytes, threshold) or _fits(right_bytes, threshold):
+        build_side = _smaller_side(
+            left_bytes if _fits(left_bytes, threshold) else None,
+            right_bytes if _fits(right_bytes, threshold) else None,
+        )
+        return BroadcastHashJoin(keys, left_rows, right_rows, build_side=build_side)
+    return ShuffleHashJoin(keys, left_rows, right_rows)
+
+
+def _annotate(
+    node: PlanNode,
+    catalog: Catalog,
+    threshold: int,
+    physical: PhysicalPlan,
+    use_observed: bool = True,
+) -> None:
     for child in node.children():
-        _annotate(child, catalog, threshold, physical)
+        _annotate(child, catalog, threshold, physical, use_observed)
     if not isinstance(node, (NaturalJoinNode, LeftOuterJoinNode)):
         return
     left_columns = node.left.output_columns()
     right_columns = node.right.output_columns()
     keys = tuple(c for c in left_columns if c in right_columns)
-    left_rows = estimate_rows(node.left, catalog)
-    right_rows = estimate_rows(node.right, catalog)
-    left_bytes = _estimated_bytes(left_rows, len(left_columns))
-    right_bytes = _estimated_bytes(right_rows, len(right_columns))
-
-    if isinstance(node, LeftOuterJoinNode):
-        if right_bytes <= threshold or not keys:
-            strategy: JoinStrategy = BroadcastHashJoin(keys, left_rows, right_rows, build_side="right")
-        else:
-            strategy = ShuffleHashJoin(keys, left_rows, right_rows)
-        physical.annotate(node, strategy)
-        return
-
-    if not keys or min(left_bytes, right_bytes) <= threshold:
-        build_side = "left" if left_bytes <= right_bytes else "right"
-        physical.annotate(node, BroadcastHashJoin(keys, left_rows, right_rows, build_side=build_side))
-    else:
-        physical.annotate(node, ShuffleHashJoin(keys, left_rows, right_rows))
+    left_rows = estimate_rows(node.left, catalog, use_observed)
+    right_rows = estimate_rows(node.right, catalog, use_observed)
+    physical.annotate(
+        node,
+        choose_join_strategy(
+            keys,
+            left_rows,
+            right_rows,
+            _estimated_bytes(left_rows, len(left_columns)),
+            _estimated_bytes(right_rows, len(right_columns)),
+            threshold,
+            outer=isinstance(node, LeftOuterJoinNode),
+        ),
+    )

@@ -183,9 +183,51 @@ class TestMetrics:
         assert scaled.joins == 3  # structural counters unchanged
         assert scaled.stages == 5
 
+    def test_scaled_contract_regression(self):
+        # The scaling contract: data-proportional counters (incl. the
+        # per-table map) scale; structural counters and observed wall-clock
+        # timings (critical_path_ms) are copied unchanged.
+        metrics = ExecutionMetrics(
+            input_tuples=10,
+            critical_path_ms=12.5,
+            aqe_replans=2,
+            aqe_skew_splits=3,
+            parallel_tasks=8,
+        )
+        metrics.scanned_tables = {"vp_follows": 10, "vp_likes": 4}
+        scaled = metrics.scaled(3.0)
+        assert scaled.critical_path_ms == 12.5  # measured time, never scaled
+        assert scaled.aqe_replans == 2
+        assert scaled.aqe_skew_splits == 3
+        assert scaled.parallel_tasks == 8
+        assert scaled.scanned_tables == {"vp_follows": 30, "vp_likes": 12}
+        # The original is untouched (scaled() returns a copy).
+        assert metrics.scanned_tables == {"vp_follows": 10, "vp_likes": 4}
+
     def test_as_dict_keys(self):
         keys = set(ExecutionMetrics().as_dict())
         assert {"input_tuples", "shuffled_tuples", "join_comparisons", "output_tuples"} <= keys
+
+    def test_as_dict_includes_scanned_tables_and_aqe_counters(self):
+        metrics = ExecutionMetrics(aqe_replans=1, aqe_skew_splits=4)
+        metrics.record_scan("vp_follows", 7)
+        report = metrics.as_dict()
+        assert report["scanned_tables"] == {"vp_follows": 7}
+        assert report["aqe_replans"] == 1
+        assert report["aqe_skew_splits"] == 4
+        # The report owns its map: mutating it must not leak back.
+        report["scanned_tables"]["vp_follows"] = 0
+        assert metrics.scanned_tables == {"vp_follows": 7}
+
+    def test_merge_and_copy_cover_aqe_counters(self):
+        first = ExecutionMetrics(aqe_replans=1, aqe_skew_splits=2)
+        second = ExecutionMetrics(aqe_replans=2, aqe_skew_splits=5)
+        first.merge(second)
+        assert first.aqe_replans == 3
+        assert first.aqe_skew_splits == 7
+        clone = first.copy()
+        assert clone.aqe_replans == 3
+        assert clone.aqe_skew_splits == 7
 
 
 class TestCostModels:
