@@ -1,0 +1,27 @@
+"""Benchmark for incremental dataset updates: append + query vs. full rebuild."""
+
+import pytest
+
+from repro.bench import run_incremental_store
+
+
+@pytest.mark.benchmark(group="incremental_store")
+def test_incremental_store_report(benchmark, bench_dataset, report_sink, tmp_path):
+    """Appends must beat full rebuilds and compaction must shrink scans."""
+    report = benchmark.pedantic(
+        run_incremental_store,
+        kwargs={"dataset": bench_dataset, "path": str(tmp_path)},
+        rounds=1,
+        iterations=1,
+    )
+    report_sink("incremental_store", report)
+
+    total = report.row_for(step="total maintenance")
+    assert total is not None and "0 bag mismatches" in total["detail"]
+    # Wall clock is noisy at benchmark scale; the deterministic signal is the
+    # write amplification the append path avoids (reported in the detail).
+    assert total["incremental_s"] < total["rebuild_s"] * 1.25
+    assert "write amplification avoided" in total["detail"]
+
+    compaction = report.row_for(step="compact()")
+    assert compaction is not None and "0 bag mismatches" in compaction["detail"]

@@ -9,6 +9,7 @@ measured outcomes next to the paper's numbers.
 
 from repro.bench.reporting import ExperimentReport, arithmetic_mean, format_runtime, geometric_mean
 from repro.bench.aqe import run_aqe
+from repro.bench.incremental_store import run_incremental_store
 from repro.bench.partition_scaling import run_partition_scaling
 from repro.bench.persistence import run_persistence
 from repro.bench.table2_load import run_table2_load
@@ -24,6 +25,7 @@ __all__ = [
     "geometric_mean",
     "format_runtime",
     "run_aqe",
+    "run_incremental_store",
     "run_partition_scaling",
     "run_persistence",
     "run_table2_load",

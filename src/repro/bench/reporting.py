@@ -40,6 +40,9 @@ class ExperimentReport:
     columns: List[str]
     rows: List[Dict[str, Any]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    #: Machine-readable side results (raw totals, counters) for callers that
+    #: assert on an experiment beyond its rendered rows — e.g. smoke modes.
+    stash: Dict[str, Any] = field(default_factory=dict)
 
     def add_row(self, **values: Any) -> None:
         self.rows.append(values)

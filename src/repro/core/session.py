@@ -14,7 +14,10 @@ simulated Spark-cluster runtime derived from the execution metrics.
 A built session can be persisted with :meth:`S2RDFSession.save_dataset` and
 reopened cold with :meth:`S2RDFSession.open_dataset`, which restores the whole
 layout from the columnar dataset store without re-parsing the RDF source or
-recomputing a single ExtVP semi-join.
+recomputing a single ExtVP semi-join.  A persisted dataset grows in place:
+:meth:`S2RDFSession.append_triples` writes new triples as delta segments
+(no existing segment is rewritten) and :meth:`S2RDFSession.compact` folds
+accumulated deltas back into full base segments.
 """
 
 from __future__ import annotations
@@ -32,10 +35,22 @@ from repro.engine.runtime import DEFAULT_BROADCAST_THRESHOLD, DEFAULT_SKEW_FACTO
 from repro.mappings.extvp import ExtVPLayout
 from repro.rdf.graph import Graph
 from repro.rdf.ntriples import parse_ntriples
+from repro.rdf.triple import Triple
 from repro.sparql.algebra import Query
 from repro.sparql.parser import parse_query
-from repro.store.reader import DatasetLoadReport, open_dataset as _open_stored_dataset
-from repro.store.writer import DatasetWriteReport, DatasetWriter
+from repro.store.reader import (
+    DatasetLoadReport,
+    open_dataset as _open_stored_dataset,
+    refresh_dataset as _refresh_stored_dataset,
+)
+from repro.store.writer import (
+    CompactionReport,
+    DatasetAppender,
+    DatasetAppendReport,
+    DatasetCompactor,
+    DatasetWriteReport,
+    DatasetWriter,
+)
 
 
 @dataclass
@@ -67,6 +82,9 @@ class SessionConfig:
     #: A shuffle partition larger than this multiple of the median partition
     #: is subdivided before its join task runs (adaptive execution only).
     skew_factor: float = DEFAULT_SKEW_FACTOR
+    #: :meth:`S2RDFSession.compact` merges a table's delta segments back into
+    #: base segments once it has accumulated at least this many of them.
+    compaction_threshold: int = 1
 
 
 class S2RDFSession:
@@ -92,6 +110,10 @@ class S2RDFSession:
         )
         #: Set by :meth:`open_dataset`: instrumentation of the cold open.
         self.load_report: Optional[DatasetLoadReport] = None
+        #: Directory this session is persisted to; set by :meth:`save_dataset`
+        #: and :meth:`open_dataset`, required by :meth:`append_triples` and
+        #: :meth:`compact`.
+        self.dataset_path: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -155,7 +177,9 @@ class S2RDFSession:
         runtime's shuffle partitioning.
         """
         buckets = num_buckets if num_buckets is not None else max(self.config.num_partitions, 1)
-        return DatasetWriter(num_buckets=buckets).write(path, self.layout, overwrite=overwrite)
+        report = DatasetWriter(num_buckets=buckets).write(path, self.layout, overwrite=overwrite)
+        self.dataset_path = path
+        return report
 
     @classmethod
     def open_dataset(
@@ -169,6 +193,7 @@ class S2RDFSession:
         cost_model: Optional[SparkCostModel] = None,
         adaptive_enabled: bool = True,
         skew_factor: float = DEFAULT_SKEW_FACTOR,
+        compaction_threshold: int = 1,
     ) -> "S2RDFSession":
         """Cold-start a session from a dataset written by :meth:`save_dataset`.
 
@@ -189,10 +214,68 @@ class S2RDFSession:
             broadcast_threshold=broadcast_threshold,
             adaptive_enabled=adaptive_enabled,
             skew_factor=skew_factor,
+            compaction_threshold=compaction_threshold,
         )
         session = cls(layout, config=config, cost_model=cost_model)
         session.load_report = load_report
+        session.dataset_path = path
         return session
+
+    # ------------------------------------------------------------------ #
+    # Incremental updates
+    # ------------------------------------------------------------------ #
+    def append_triples(self, triples: Iterable[Triple]) -> DatasetAppendReport:
+        """Append new triples to the session's persisted dataset.
+
+        The triples are written as *delta segments* — hash-bucketed,
+        RLE-encoded column pages with their own zone maps — without rewriting
+        any existing segment or renumbering a single dictionary id.  VP
+        tables, the base triples table and every affected ExtVP correlation
+        (statistics *and* materialised rows, maintained incrementally for
+        pairs involving the appended predicates only) are extended, and the
+        session's catalog is refreshed in place so the very next query sees
+        the merged base + delta data.  Triples already present in the dataset
+        are skipped (the dataset models a triple *set*).
+
+        Requires a session that was persisted: either opened with
+        :meth:`open_dataset` or saved with :meth:`save_dataset`.
+        """
+        report = DatasetAppender(self._require_dataset_path()).append(triples)
+        if report.triples_appended:
+            self._refresh_from_store()
+        return report
+
+    def compact(self, compaction_threshold: Optional[int] = None) -> CompactionReport:
+        """Merge accumulated delta segments back into full base segments.
+
+        Tables with at least ``compaction_threshold`` delta segments
+        (defaulting to the session's ``compaction_threshold`` knob) are
+        rewritten bucket by bucket with tightened zone maps; query results
+        are unchanged, but scans touch fewer segments afterwards.
+        """
+        threshold = (
+            compaction_threshold
+            if compaction_threshold is not None
+            else self.config.compaction_threshold
+        )
+        report = DatasetCompactor(compaction_threshold=threshold).compact(
+            self._require_dataset_path()
+        )
+        if report.tables_compacted:
+            self._refresh_from_store()
+        return report
+
+    def _require_dataset_path(self) -> str:
+        if self.dataset_path is None:
+            raise RuntimeError(
+                "session has no persisted dataset; call save_dataset() or open_dataset() first"
+            )
+        return self.dataset_path
+
+    def _refresh_from_store(self) -> None:
+        """Re-register every stored table from the freshly rewritten manifest."""
+        assert self.dataset_path is not None
+        _refresh_stored_dataset(self.layout, self.dataset_path)
 
     # ------------------------------------------------------------------ #
     # Query execution

@@ -143,11 +143,16 @@ class Catalog:
 
         The statistics come from the store's manifest (zone-map aggregates),
         so the compiler can plan without ever decoding the table.
+
+        Re-registration (after an incremental append or a compaction) must
+        leave no trace of the previous incarnation: both the decoded-rows
+        cache and the adaptive runtime's observed-cardinality cache are
+        dropped here, otherwise ``table()`` would keep serving pre-append
+        rows and AQE would keep planning from pre-append row counts.
         """
         self._stored[name] = provider
         self._statistics[name] = statistics
-        # Manifest statistics describe the stored rows exactly; drop any
-        # observation recorded against a previous incarnation of the table.
+        self._tables.pop(name, None)
         self._observed.pop(name, None)
         return statistics
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.engine.catalog import Catalog
 from repro.engine.relation import Relation
@@ -97,12 +97,182 @@ class ExtVPStatistics:
 
 
 # The join column of the *reduced* table and of the *other* table per kind.
-_KIND_COLUMNS: Dict[CorrelationKind, Tuple[str, str]] = {
+KIND_JOIN_COLUMNS: Dict[CorrelationKind, Tuple[str, str]] = {
     CorrelationKind.SS: ("s", "s"),
     CorrelationKind.OS: ("o", "s"),
     CorrelationKind.SO: ("s", "o"),
     CorrelationKind.OO: ("o", "o"),
 }
+_KIND_COLUMNS = KIND_JOIN_COLUMNS  # backwards-compatible private alias
+
+
+def correlation_kinds(include_oo: bool = False) -> List[CorrelationKind]:
+    """The correlation kinds a layout maintains (OO only for the ablation)."""
+    kinds = [CorrelationKind.SS, CorrelationKind.OS, CorrelationKind.SO]
+    if include_oo:
+        kinds.append(CorrelationKind.OO)
+    return kinds
+
+
+def materialization_rule(
+    row_count: int, vp_row_count: int, selectivity_threshold: float
+) -> Tuple[float, bool]:
+    """The paper's materialisation decision, shared by build and append.
+
+    Returns ``(selectivity, materialize)``: tables that are empty, equal to
+    their VP table (SF >= 1) or above the SF threshold are kept as statistics
+    only (Sec. 5.3).
+    """
+    selectivity = 0.0 if vp_row_count == 0 else row_count / vp_row_count
+    materialize = (
+        row_count > 0
+        and selectivity < 1.0
+        and (selectivity_threshold >= 1.0 or selectivity < selectivity_threshold)
+        and selectivity_threshold > 0.0
+    )
+    return selectivity, materialize
+
+
+@dataclass
+class ExtVPDelta:
+    """Incremental-maintenance outcome for one affected ExtVP table.
+
+    ``rows`` are the *newly qualifying* semi-join rows — rows of ``VP_first``
+    (old or appended) that now satisfy the correlation but did not before the
+    append.  ``info`` carries the post-append statistics.  For tables that are
+    not materialised, ``rows`` still drives the statistics update but nothing
+    is written.
+    """
+
+    info: ExtVPTableInfo
+    rows: List[Tuple]
+
+
+def compute_incremental_extvp(
+    statistics: ExtVPStatistics,
+    old_vp_rows: Mapping[IRI, Sequence[Tuple]],
+    additions: Mapping[IRI, Sequence[Tuple]],
+    name_for: Callable[[CorrelationKind, IRI, IRI], str],
+    selectivity_threshold: float,
+    include_oo: bool = False,
+) -> List[ExtVPDelta]:
+    """Incrementally maintain ExtVP for an append, touching affected pairs only.
+
+    ``old_vp_rows`` maps each predicate to its pre-append ``(s, o)`` VP rows;
+    ``additions`` maps predicates to the *new* rows of this append.  The
+    caller must pre-deduplicate: ``additions[p]`` contains no row already in
+    ``old_vp_rows[p]`` and no within-batch duplicates (VP tables are derived
+    from a triple *set*).
+
+    The maintenance identity: after appending, the delta of
+    ``ExtVP_kind[p1|p2]`` is exactly
+
+    * new ``VP_p1`` rows whose join value occurs in ``VP_p2``'s post-append
+      join column, plus
+    * old ``VP_p1`` rows whose join value is *new to* ``VP_p2``'s join column
+      (a value absent before the append cannot have matched before, so these
+      rows are provably not in the old ExtVP table — no dedup needed).
+
+    Only ordered pairs where at least one side received new triples are
+    visited, so the cost is O(|changed| * |predicates|) pairs instead of the
+    full O(|predicates|^2) rebuild.  Statistics entries for previously
+    unseen pairs (new predicates) are created with the build-time
+    materialisation rule; existing entries keep their materialisation flag —
+    re-deciding it would require rewriting history (a previously dropped
+    table has no stored rows to extend), which is compaction/rebuild
+    territory, not append territory.  Correctness never depends on the flag:
+    a non-materialised non-empty table is simply skipped by table selection
+    in favour of the VP table.
+    """
+    changed = {p for p, rows in additions.items() if rows}
+    if not changed:
+        return []
+    predicates = sorted(set(old_vp_rows) | changed, key=lambda p: p.value)
+
+    subjects_old: Dict[IRI, Set] = {}
+    objects_old: Dict[IRI, Set] = {}
+    subjects_added: Dict[IRI, Set] = {}
+    objects_added: Dict[IRI, Set] = {}
+    for predicate in predicates:
+        old_rows = old_vp_rows.get(predicate, ())
+        subjects_old[predicate] = {row[0] for row in old_rows}
+        objects_old[predicate] = {row[1] for row in old_rows}
+        new_rows = additions.get(predicate, ())
+        subjects_added[predicate] = {row[0] for row in new_rows} - subjects_old[predicate]
+        objects_added[predicate] = {row[1] for row in new_rows} - objects_old[predicate]
+
+    # Inverted index: (first, column) -> {join value: rows}.  Finding the old
+    # rows that newly qualify then costs O(|values new to p2's column|)
+    # lookups instead of a full scan of VP_first per affected pair.
+    indexes: Dict[Tuple[IRI, int], Dict] = {}
+
+    def old_rows_by_value(first: IRI, value_index: int) -> Dict:
+        index = indexes.get((first, value_index))
+        if index is None:
+            index = {}
+            for row in old_vp_rows.get(first, ()):
+                index.setdefault(row[value_index], []).append(row)
+            indexes[(first, value_index)] = index
+        return index
+
+    kinds = correlation_kinds(include_oo)
+    deltas: List[ExtVPDelta] = []
+    for first in predicates:
+        first_changed = first in changed
+        new_first_rows = additions.get(first, ())
+        vp_after = len(old_vp_rows.get(first, ())) + len(new_first_rows)
+        for second in predicates:
+            if not first_changed and second not in changed:
+                continue
+            for kind in kinds:
+                if kind == CorrelationKind.SS and first == second:
+                    continue
+                first_column, second_column = KIND_JOIN_COLUMNS[kind]
+                value_index = 0 if first_column == "s" else 1
+                second_values_old = (
+                    subjects_old[second] if second_column == "s" else objects_old[second]
+                )
+                second_values_added = (
+                    subjects_added[second] if second_column == "s" else objects_added[second]
+                )
+                rows = [
+                    row
+                    for row in new_first_rows
+                    if row[value_index] in second_values_old
+                    or row[value_index] in second_values_added
+                ]
+                if second_values_added:
+                    index = old_rows_by_value(first, value_index)
+                    for value in second_values_added:
+                        rows.extend(index.get(value, ()))
+                info = statistics.lookup(kind, first, second)
+                if info is None:
+                    row_count = len(rows)
+                    _, materialized = materialization_rule(
+                        row_count, vp_after, selectivity_threshold
+                    )
+                    name = name_for(kind, first, second)
+                elif rows or vp_after != info.vp_row_count:
+                    row_count = info.row_count + len(rows)
+                    materialized = info.materialized
+                    name = info.name
+                else:
+                    continue  # provably untouched: no new rows, same denominator
+                deltas.append(
+                    ExtVPDelta(
+                        info=ExtVPTableInfo(
+                            name=name,
+                            kind=kind,
+                            first=first,
+                            second=second,
+                            row_count=row_count,
+                            vp_row_count=vp_after,
+                            materialized=materialized,
+                        ),
+                        rows=rows,
+                    )
+                )
+    return deltas
 
 
 class ExtVPLayout:
@@ -188,9 +358,7 @@ class ExtVPLayout:
             subjects_of[predicate] = set(vp_relation.column_values("s"))
             objects_of[predicate] = set(vp_relation.column_values("o"))
 
-        kinds = [CorrelationKind.SS, CorrelationKind.OS, CorrelationKind.SO]
-        if self.include_oo:
-            kinds.append(CorrelationKind.OO)
+        kinds = correlation_kinds(self.include_oo)
 
         for first in predicates:
             vp_first = self.vp.table(first)
@@ -269,14 +437,8 @@ class ExtVPLayout:
     ) -> None:
         """Register statistics and materialise the table when it qualifies."""
         name = self._table_name(kind, first, second)
-        selectivity = 0.0 if vp_size == 0 else row_count / vp_size
-        materialize = (
-            relation is not None
-            and row_count > 0
-            and selectivity < 1.0
-            and (self.selectivity_threshold >= 1.0 or selectivity < self.selectivity_threshold)
-            and self.selectivity_threshold > 0.0
-        )
+        selectivity, materialize = materialization_rule(row_count, vp_size, self.selectivity_threshold)
+        materialize = materialize and relation is not None
         info = ExtVPTableInfo(
             name=name,
             kind=kind,

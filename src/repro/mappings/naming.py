@@ -62,6 +62,28 @@ def property_table_column(predicate: IRI, namespaces: NamespaceManager = _DEFAUL
     return predicate_key(predicate, namespaces)
 
 
+def unique_predicate_key(
+    predicate: IRI,
+    taken: set,
+    namespaces: NamespaceManager = _DEFAULT_MANAGER,
+) -> str:
+    """A key for ``predicate`` avoiding every key in ``taken``.
+
+    Used by incremental appends: keys of predicates already persisted are
+    frozen (they are baked into on-disk table names), so a newly appearing
+    predicate must pick a key that collides with none of them — unlike
+    :func:`build_unique_keys`, which may reassign suffixes when the whole
+    predicate set is renamed at once.
+    """
+    base = predicate_key(predicate, namespaces)
+    if base not in taken:
+        return base
+    suffix = 1
+    while f"{base}_{suffix}" in taken:
+        suffix += 1
+    return f"{base}_{suffix}"
+
+
 def build_unique_keys(predicates, namespaces: NamespaceManager = _DEFAULT_MANAGER) -> Dict[IRI, str]:
     """Map predicates to unique keys, disambiguating collisions with suffixes."""
     keys: Dict[IRI, str] = {}

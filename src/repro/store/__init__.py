@@ -8,12 +8,18 @@ zone maps, hash-bucketed partitions) plus the writer and reader that move an
 :class:`~repro.mappings.extvp.ExtVPLayout` to and from disk.
 
 * :mod:`repro.store.format` — directory layout, segment codec, manifest.
-* :mod:`repro.store.writer` — :class:`DatasetWriter`, bucketing + encoding.
+* :mod:`repro.store.writer` — :class:`DatasetWriter` (bulk bucketing +
+  encoding), :class:`DatasetAppender` (incremental delta segments) and
+  :class:`DatasetCompactor` (delta merge-back).
 * :mod:`repro.store.reader` — :func:`open_dataset`, lazy stored tables with
-  projection/predicate pushdown and partition-aligned scan output.
+  projection/predicate pushdown, base+delta merged scans and
+  partition-aligned scan output; :func:`refresh_dataset` re-syncs a live
+  session after an append or compaction.
 
-Sessions use it through :meth:`repro.core.session.S2RDFSession.save_dataset`
-and :meth:`repro.core.session.S2RDFSession.open_dataset`.
+Sessions use it through :meth:`repro.core.session.S2RDFSession.save_dataset`,
+:meth:`~repro.core.session.S2RDFSession.open_dataset`,
+:meth:`~repro.core.session.S2RDFSession.append_triples` and
+:meth:`~repro.core.session.S2RDFSession.compact`.
 """
 
 from repro.store.format import (
@@ -23,10 +29,27 @@ from repro.store.format import (
     StoredTermDictionary,
     read_manifest,
 )
-from repro.store.reader import DatasetLoadReport, StoredDataset, StoredTable, open_dataset
-from repro.store.writer import DatasetWriteReport, DatasetWriter
+from repro.store.reader import (
+    DatasetLoadReport,
+    StoredDataset,
+    StoredTable,
+    open_dataset,
+    refresh_dataset,
+)
+from repro.store.writer import (
+    CompactionReport,
+    DatasetAppender,
+    DatasetAppendReport,
+    DatasetCompactor,
+    DatasetWriteReport,
+    DatasetWriter,
+)
 
 __all__ = [
+    "CompactionReport",
+    "DatasetAppender",
+    "DatasetAppendReport",
+    "DatasetCompactor",
     "DatasetFormatError",
     "DatasetLoadReport",
     "DatasetWriteReport",
@@ -38,4 +61,5 @@ __all__ = [
     "StoredTermDictionary",
     "open_dataset",
     "read_manifest",
+    "refresh_dataset",
 ]

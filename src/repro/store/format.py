@@ -8,15 +8,27 @@ A dataset is a directory::
                                   per line; the line number is the term id
         tables/<name>/part-00000.seg
         tables/<name>/part-00001.seg
+        tables/<name>/delta-00001-00000.seg
         ...
 
-Each ``part-*.seg`` file is one hash bucket of one table: rows whose
+Each ``part-*.seg`` file is one *base* hash bucket of one table: rows whose
 partition-key values hash (via the runtime's
 :func:`~repro.engine.runtime.partitioner.key_partition_index`) to that bucket
-index.  Inside a segment file every column is stored as a dictionary-encoded,
-run-length-encoded page (:func:`repro.engine.storage.encode_id_column`); the
-per-column :class:`~repro.engine.storage.ZoneMap` entries live in the manifest
-so that scans can prune whole segments without opening the files.
+index.  ``delta-<epoch>-<bucket>.seg`` files hold rows appended after the
+dataset was written (one append *epoch* per
+:meth:`~repro.store.writer.DatasetAppender.append` call); they are bucketed
+with the same hash function, so bucket ``i``'s logical content is its base
+segment plus every delta segment tagged with bucket ``i``.  Inside a segment
+file every column is stored as a dictionary-encoded, run-length-encoded page
+(:func:`repro.engine.storage.encode_id_column`); the per-column
+:class:`~repro.engine.storage.ZoneMap` entries live in the manifest so that
+scans can prune whole segments — base or delta — without opening the files.
+
+The term dictionary is append-only: an append extends ``dictionary.nt`` with
+new terms, never renumbering existing ids, so base segments stay valid
+verbatim.  Compaction (:class:`~repro.store.writer.DatasetCompactor`) merges
+a table's delta segments back into full base bucket segments with freshly
+computed zone maps.
 
 The manifest also persists everything the query compiler needs to come back
 cold: table statistics (including the paper's statistics-only entries for
@@ -36,7 +48,9 @@ from repro.engine.storage import ZoneMap, decode_id_column
 from repro.rdf.terms import Literal, Term, XSD_STRING, term_from_string
 
 #: Bumped whenever the directory layout or segment encoding changes.
-FORMAT_VERSION = 1
+#: Version 2 added delta segments (incremental appends) and per-table bucket
+#: counts to the manifest.
+FORMAT_VERSION = 2
 
 MANIFEST_FILE = "MANIFEST.json"
 DICTIONARY_FILE = "dictionary.nt"
@@ -65,6 +79,21 @@ def table_dir(root: str, table_name: str) -> str:
 
 def segment_file_name(partition_index: int) -> str:
     return f"part-{partition_index:05d}.seg"
+
+
+def delta_file_name(epoch: int, bucket_index: int) -> str:
+    """Name of one delta segment: epoch first so listings sort by append order."""
+    return f"delta-{epoch:05d}-{bucket_index:05d}.seg"
+
+
+def compacted_file_name(epoch: int, bucket_index: int) -> str:
+    """Name of a base segment rewritten by compaction at generation ``epoch``.
+
+    Distinct from the file the previous manifest references, so the old
+    manifest stays fully valid until the new one is atomically swapped in;
+    the superseded files are deleted only after that commit.
+    """
+    return f"part-{epoch:05d}-{bucket_index:05d}.seg"
 
 
 # --------------------------------------------------------------------- #
@@ -158,6 +187,44 @@ def write_dictionary(root: str, terms: Sequence[Term]) -> int:
     return os.path.getsize(path)
 
 
+def rewrite_dictionary_lines(root: str, lines: Sequence[str]) -> None:
+    """Rewrite the dictionary file from already-encoded lines.
+
+    Used to repair a dictionary that carries uncommitted trailing lines from
+    a crashed append: the committed prefix is rewritten verbatim (ids are
+    line numbers and must not move), dropping the orphans so a retried
+    append does not stack new terms behind them.
+    """
+    path = dictionary_path(root)
+    temporary = path + ".tmp"
+    with open(temporary, "w", encoding="ascii", newline="\n") as handle:
+        for line in lines:
+            handle.write(line)
+            handle.write("\n")
+    os.replace(temporary, path)
+
+
+def append_dictionary(root: str, terms: Sequence[Term]) -> int:
+    """Append ``terms`` to the dictionary file, returning the bytes added.
+
+    The dictionary is strictly append-only: existing lines (and therefore
+    existing term ids, which are line numbers) are never rewritten, so every
+    already-written segment keeps decoding to the same terms after an append.
+    The caller must have verified the file holds exactly the committed lines
+    (see :func:`rewrite_dictionary_lines`), or the new ids will not match
+    their line numbers.
+    """
+    if not terms:
+        return 0
+    path = dictionary_path(root)
+    before = os.path.getsize(path)
+    with open(path, "a", encoding="ascii", newline="\n") as handle:
+        for term in terms:
+            handle.write(encode_term_line(term))
+            handle.write("\n")
+    return os.path.getsize(path) - before
+
+
 class StoredTermDictionary:
     """Lazy view of a persisted term dictionary.
 
@@ -167,10 +234,14 @@ class StoredTermDictionary:
     term parsing.
     """
 
-    def __init__(self, lines: List[str]) -> None:
+    def __init__(self, lines: List[str], raw_line_count: Optional[int] = None) -> None:
         self._lines = lines
         self._terms: List[Optional[Term]] = [None] * len(lines)
         self._reverse: Optional[Dict[Term, int]] = None
+        #: Lines physically present in the file, before truncation to the
+        #: committed size — lets an appender detect (and repair) orphan lines
+        #: left by a crashed predecessor.
+        self.raw_line_count = raw_line_count if raw_line_count is not None else len(lines)
 
     @classmethod
     def open(cls, root: str, expected_size: Optional[int] = None) -> "StoredTermDictionary":
@@ -180,11 +251,22 @@ class StoredTermDictionary:
         lines = content.split("\n")
         if lines and lines[-1] == "":
             lines.pop()
-        if expected_size is not None and len(lines) != expected_size:
-            raise DatasetFormatError(
-                f"dictionary has {len(lines)} terms, manifest expects {expected_size}"
-            )
-        return cls(lines)
+        raw_line_count = len(lines)
+        if expected_size is not None:
+            if len(lines) < expected_size:
+                raise DatasetFormatError(
+                    f"dictionary has {len(lines)} terms, manifest expects {expected_size}"
+                )
+            # The manifest is the commit point of an append: extra trailing
+            # lines (a crash between the dictionary append and the manifest
+            # rewrite) are unreferenced by any committed segment, so they are
+            # dropped — decode of an id beyond the committed range must fail.
+            del lines[expected_size:]
+        return cls(lines, raw_line_count=raw_line_count)
+
+    def committed_lines(self) -> List[str]:
+        """The encoded lines of the committed id range (for crash repair)."""
+        return list(self._lines)
 
     def __len__(self) -> int:
         return len(self._lines)
@@ -211,7 +293,7 @@ class StoredTermDictionary:
 # --------------------------------------------------------------------- #
 @dataclass
 class PartitionEntry:
-    """Manifest record of one hash bucket of one table."""
+    """Manifest record of one base hash bucket of one table."""
 
     file: str  # path relative to the dataset root
     row_count: int
@@ -237,24 +319,85 @@ class PartitionEntry:
 
 
 @dataclass
+class DeltaEntry(PartitionEntry):
+    """Manifest record of one appended delta segment.
+
+    A delta holds rows added after the base segments were written.  It is
+    hash-bucketed with the same function as the base partitions, so bucket
+    ``bucket``'s logical content is the base segment plus every delta tagged
+    with that bucket index; ``epoch`` is the append generation that produced
+    it (used for deterministic file naming and ordering).
+    """
+
+    bucket: int = 0
+    epoch: int = 0
+
+    def to_json(self) -> dict:
+        data = super().to_json()
+        data["bucket"] = self.bucket
+        data["epoch"] = self.epoch
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> "DeltaEntry":
+        return cls(
+            file=data["file"],
+            row_count=data["row_count"],
+            size_bytes=data["size_bytes"],
+            zones={column: ZoneMap.from_json(z) for column, z in data["zones"].items()},
+            bucket=data["bucket"],
+            epoch=data["epoch"],
+        )
+
+
+@dataclass
 class TableEntry:
-    """Manifest record of one stored table."""
+    """Manifest record of one stored table (base segments plus deltas)."""
 
     name: str
     columns: Tuple[str, ...]
+    #: Total logical rows: base partitions plus all delta segments.
     row_count: int
     selectivity: float
     distinct_subjects: int
     distinct_objects: int
     partition_keys: Tuple[str, ...]
+    #: Hash bucket count.  ``partitions`` either has exactly this many entries
+    #: or is empty (a delta-only table created by an append).
+    num_buckets: int = 0
     partitions: List[PartitionEntry] = field(default_factory=list)
+    deltas: List[DeltaEntry] = field(default_factory=list)
 
     @property
     def num_partitions(self) -> int:
-        return len(self.partitions)
+        """Bucket count of the table's physical layout (base and deltas alike)."""
+        return self.num_buckets if self.num_buckets else len(self.partitions)
+
+    @property
+    def has_deltas(self) -> bool:
+        return bool(self.deltas)
+
+    def segments_for_bucket(self, bucket: int) -> List[PartitionEntry]:
+        """Base segment (if any) then deltas of ``bucket``, in append order."""
+        segments: List[PartitionEntry] = []
+        if bucket < len(self.partitions):
+            segments.append(self.partitions[bucket])
+        segments.extend(delta for delta in self.deltas if delta.bucket == bucket)
+        return segments
+
+    def segment_count(self) -> int:
+        return len(self.partitions) + len(self.deltas)
+
+    def base_row_count(self) -> int:
+        return sum(partition.row_count for partition in self.partitions)
+
+    def delta_row_count(self) -> int:
+        return sum(delta.row_count for delta in self.deltas)
 
     def total_bytes(self) -> int:
-        return sum(partition.size_bytes for partition in self.partitions)
+        return sum(partition.size_bytes for partition in self.partitions) + sum(
+            delta.size_bytes for delta in self.deltas
+        )
 
     def to_json(self) -> dict:
         return {
@@ -265,11 +408,16 @@ class TableEntry:
             "distinct_subjects": self.distinct_subjects,
             "distinct_objects": self.distinct_objects,
             "partition_keys": list(self.partition_keys),
+            "num_buckets": self.num_buckets,
             "partitions": [partition.to_json() for partition in self.partitions],
+            "deltas": [delta.to_json() for delta in self.deltas],
         }
 
     @classmethod
     def from_json(cls, data: dict) -> "TableEntry":
+        # Plain indexing on the v2-only keys: version 1 manifests are rejected
+        # wholesale by Manifest.from_json, so a missing key here is a
+        # malformed manifest that must fail loudly, not default silently.
         return cls(
             name=data["name"],
             columns=tuple(data["columns"]),
@@ -278,7 +426,9 @@ class TableEntry:
             distinct_subjects=data["distinct_subjects"],
             distinct_objects=data["distinct_objects"],
             partition_keys=tuple(data["partition_keys"]),
+            num_buckets=data["num_buckets"],
             partitions=[PartitionEntry.from_json(p) for p in data["partitions"]],
+            deltas=[DeltaEntry.from_json(d) for d in data["deltas"]],
         )
 
 
@@ -303,6 +453,10 @@ class Manifest:
     extvp: List[dict]
     #: Build metadata of the original in-memory layout.
     build: dict
+    #: Append generation counter: 0 for a freshly written dataset, incremented
+    #: by every :meth:`~repro.store.writer.DatasetAppender.append` (delta file
+    #: names embed it, so two appends never collide).
+    append_epoch: int = 0
 
     def to_json(self) -> dict:
         return {
@@ -313,6 +467,7 @@ class Manifest:
             "include_oo": self.include_oo,
             "namespaces": self.namespaces,
             "dictionary_size": self.dictionary_size,
+            "append_epoch": self.append_epoch,
             "tables": {name: entry.to_json() for name, entry in sorted(self.tables.items())},
             "statistics_only": self.statistics_only,
             "vp_tables": self.vp_tables,
@@ -338,13 +493,25 @@ class Manifest:
             vp_tables=data.get("vp_tables", {}),
             extvp=data.get("extvp", []),
             build=data.get("build", {}),
+            append_epoch=data["append_epoch"],
         )
 
 
 def write_manifest(root: str, manifest: Manifest) -> None:
-    with open(manifest_path(root), "w", encoding="utf-8") as handle:
-        json.dump(manifest.to_json(), handle, indent=2, sort_keys=False)
+    # Compact separators and one-shot ``dumps`` (the C encoder; streaming
+    # ``json.dump`` falls back to the pure-Python one): the manifest is
+    # machine-read, has O(tables x buckets) zone-map records, and its
+    # serialisation sits on the commit path of every save, append and
+    # compaction — pretty-printing it dominated append latency.  The write
+    # goes to a temp file first and is swapped in with ``os.replace`` so the
+    # commit point is atomic: a crash mid-write never leaves a truncated
+    # manifest over a previously valid one.
+    path = manifest_path(root)
+    temporary = path + ".tmp"
+    with open(temporary, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(manifest.to_json(), separators=(",", ":"), sort_keys=False))
         handle.write("\n")
+    os.replace(temporary, path)
 
 
 def read_manifest(root: str) -> Manifest:

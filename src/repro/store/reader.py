@@ -65,14 +65,21 @@ class DatasetLoadReport:
 
 
 class StoredTable(StoredTableProvider):
-    """One stored table: decodes segments lazily, caches decoded id columns."""
+    """One stored table: decodes segments lazily, caches decoded id columns.
+
+    A table's bucket ``i`` consists of its base segment (when the table has
+    base partitions) plus every delta segment appended to bucket ``i``; scans
+    merge them transparently, emitting rows grouped by bucket so the result
+    still carries a partition-aligned layout tag.  Pruning (zone maps, bucket
+    arithmetic, unknown terms) applies to base and delta segments alike.
+    """
 
     def __init__(self, root: str, entry: TableEntry, dictionary: StoredTermDictionary) -> None:
         self.root = root
         self.entry = entry
         self.dictionary = dictionary
-        #: partition index -> {column: ids}; grows as scans touch segments.
-        self._ids: Dict[int, Dict[str, List[int]]] = {}
+        #: segment file (manifest-relative) -> {column: ids}; grows with scans.
+        self._ids: Dict[str, Dict[str, List[int]]] = {}
         #: cached result of a full, unconditioned scan.
         self._full: Optional[ScanResult] = None
 
@@ -106,42 +113,43 @@ class StoredTable(StoredTableProvider):
         segments_pruned = 0
         decode = self.dictionary.decode
 
-        for index, partition in enumerate(entry.partitions):
-            pruned = (
-                unknown_term
-                or (target_bucket is not None and index != target_bucket)
-                or any(
-                    not partition.zones[column].may_contain(term_id)
-                    for column, term_id in condition_ids
-                )
-            )
-            if pruned:
-                segments_pruned += len(decode_columns)
-                counts.append(0)
-                continue
-            segments_scanned += len(decode_columns)
-            rows_scanned += partition.row_count
-            ids = self._partition_ids(index, decode_columns)
-            keep: Optional[List[int]] = None
-            for column, term_id in condition_ids:
-                column_ids = ids[column]
-                keep = [
-                    i
-                    for i in (keep if keep is not None else range(len(column_ids)))
-                    if column_ids[i] == term_id
-                ]
-            output_ids = [ids[column] for column in output_columns]
-            produced = 0
-            positions = keep if keep is not None else range(partition.row_count)
-            for i in positions:
-                rows.append(
-                    tuple(
-                        None if column[i] == NULL_ID else decode(column[i])
-                        for column in output_ids
+        for bucket in range(entry.num_partitions):
+            produced_in_bucket = 0
+            for segment in entry.segments_for_bucket(bucket):
+                pruned = (
+                    unknown_term
+                    or segment.row_count == 0  # provably empty, never read
+                    or (target_bucket is not None and bucket != target_bucket)
+                    or any(
+                        not segment.zones[column].may_contain(term_id)
+                        for column, term_id in condition_ids
                     )
                 )
-                produced += 1
-            counts.append(produced)
+                if pruned:
+                    segments_pruned += len(decode_columns)
+                    continue
+                segments_scanned += len(decode_columns)
+                rows_scanned += segment.row_count
+                ids = self._segment_ids(segment.file, decode_columns)
+                keep: Optional[List[int]] = None
+                for column, term_id in condition_ids:
+                    column_ids = ids[column]
+                    keep = [
+                        i
+                        for i in (keep if keep is not None else range(len(column_ids)))
+                        if column_ids[i] == term_id
+                    ]
+                output_ids = [ids[column] for column in output_columns]
+                positions = keep if keep is not None else range(segment.row_count)
+                for i in positions:
+                    rows.append(
+                        tuple(
+                            None if column[i] == NULL_ID else decode(column[i])
+                            for column in output_ids
+                        )
+                    )
+                    produced_in_bucket += 1
+            counts.append(produced_in_bucket)
 
         partitioning = None
         if entry.partition_keys and all(k in output_columns for k in entry.partition_keys):
@@ -186,12 +194,12 @@ class StoredTable(StoredTableProvider):
         )
         return key_partition_index(key_terms, self.entry.num_partitions)
 
-    def _partition_ids(self, index: int, columns: Sequence[str]) -> Dict[str, List[int]]:
-        cached = self._ids.setdefault(index, {})
+    def _segment_ids(self, file: str, columns: Sequence[str]) -> Dict[str, List[int]]:
+        cached = self._ids.setdefault(file, {})
         missing = [column for column in columns if column not in cached]
         if missing:
             # Manifest paths are "/"-separated regardless of the writing OS.
-            path = os.path.join(self.root, *self.entry.partitions[index].file.split("/"))
+            path = os.path.join(self.root, *file.split("/"))
             cached.update(read_segment_file(path, missing))
         return cached
 
@@ -243,19 +251,16 @@ def _parse_iri(n3_text: str, cache: Dict[str, IRI]) -> IRI:
     return term
 
 
-def open_dataset(path: str) -> Tuple[ExtVPLayout, DatasetLoadReport, StoredDataset]:
-    """Open ``path`` and restore a query-ready ExtVP layout from it.
+def _populate_layout(layout: ExtVPLayout, dataset: StoredDataset, started_at: float) -> None:
+    """(Re)register every stored table and statistic of ``dataset`` into ``layout``.
 
-    No N-Triples parsing and no ExtVP semi-join computation happens here —
-    only manifest/dictionary I/O plus statistics reconstruction.  Table rows
-    stay on disk until a query scans them.
+    Shared by the cold open and by :func:`refresh_dataset`.  Mutates the
+    layout's existing catalog in place — sessions hold references to it — via
+    ``register_stored``, which also drops any decoded-rows and observed-
+    cardinality caches of previous table incarnations.
     """
-    start = time.perf_counter()
-    parses_before = ntriples_io.documents_parsed()
-    dataset = StoredDataset.open(path)
     manifest = dataset.manifest
-
-    catalog = Catalog()
+    catalog = layout.catalog
     for name, entry in manifest.tables.items():
         statistics = TableStatistics(
             name=name,
@@ -267,13 +272,6 @@ def open_dataset(path: str) -> Tuple[ExtVPLayout, DatasetLoadReport, StoredDatas
         catalog.register_stored(name, dataset.table(name), statistics)
     for stats in manifest.statistics_only:
         catalog.register_statistics_only(stats["name"], stats["row_count"], stats["selectivity"])
-
-    layout = ExtVPLayout(
-        catalog=catalog,
-        namespaces=NamespaceManager(manifest.namespaces) if manifest.namespaces else None,
-        selectivity_threshold=manifest.selectivity_threshold,
-        include_oo=manifest.include_oo,
-    )
 
     iri_cache: Dict[str, IRI] = {}
     vp_tables: Dict[IRI, str] = {}
@@ -305,12 +303,33 @@ def open_dataset(path: str) -> Tuple[ExtVPLayout, DatasetLoadReport, StoredDatas
             f"{prefix}/{name}.parquet", entry.row_count, entry.total_bytes(), entry.columns
         )
 
-    elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - started_at
     layout.restore(vp_tables, vp_sizes, statistics, load_seconds=elapsed)
+
+
+def open_dataset(path: str) -> Tuple[ExtVPLayout, DatasetLoadReport, StoredDataset]:
+    """Open ``path`` and restore a query-ready ExtVP layout from it.
+
+    No N-Triples parsing and no ExtVP semi-join computation happens here —
+    only manifest/dictionary I/O plus statistics reconstruction.  Table rows
+    stay on disk until a query scans them.
+    """
+    start = time.perf_counter()
+    parses_before = ntriples_io.documents_parsed()
+    dataset = StoredDataset.open(path)
+    manifest = dataset.manifest
+
+    layout = ExtVPLayout(
+        catalog=Catalog(),
+        namespaces=NamespaceManager(manifest.namespaces) if manifest.namespaces else None,
+        selectivity_threshold=manifest.selectivity_threshold,
+        include_oo=manifest.include_oo,
+    )
+    _populate_layout(layout, dataset, start)
 
     report = DatasetLoadReport(
         path=path,
-        load_seconds=elapsed,
+        load_seconds=layout.report.build_seconds if layout.report else 0.0,
         table_count=len(manifest.tables),
         statistics_only_count=len(manifest.statistics_only),
         dictionary_terms=manifest.dictionary_size,
@@ -320,3 +339,19 @@ def open_dataset(path: str) -> Tuple[ExtVPLayout, DatasetLoadReport, StoredDatas
         original_build_seconds=float(manifest.build.get("build_seconds", 0.0)),
     )
     return layout, report, dataset
+
+
+def refresh_dataset(layout: ExtVPLayout, path: str) -> StoredDataset:
+    """Re-sync an opened layout with its dataset directory after a mutation.
+
+    Called by the session after :class:`~repro.store.writer.DatasetAppender`
+    or :class:`~repro.store.writer.DatasetCompactor` rewrote the manifest:
+    every table is re-registered from the fresh manifest (new delta segments
+    become visible, stale decoded rows and observed cardinalities are
+    dropped), VP maps and ExtVP statistics are rebuilt, and the catalog
+    object itself — which executors hold references to — stays the same.
+    """
+    start = time.perf_counter()
+    dataset = StoredDataset.open(path)
+    _populate_layout(layout, dataset, start)
+    return dataset

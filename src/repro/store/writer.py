@@ -20,21 +20,33 @@ import os
 import shutil
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.engine.relation import Relation
 from repro.engine.runtime.partitioner import key_partition_index
 from repro.engine.storage import NULL_ID, ZoneMap, encode_id_column
-from repro.mappings.extvp import ExtVPLayout
+from repro.mappings.extvp import ExtVPLayout, compute_incremental_extvp, ExtVPStatistics, ExtVPTableInfo, CorrelationKind
+from repro.mappings.naming import unique_predicate_key
 from repro.rdf.dictionary import TermDictionary
+from repro.rdf.namespaces import NamespaceManager
+from repro.rdf.terms import IRI, Term, term_from_string
+from repro.rdf.triple import Triple
 from repro.store.format import (
     FORMAT_VERSION,
     TABLES_DIR,
+    DeltaEntry,
     Manifest,
     PartitionEntry,
+    StoredTermDictionary,
     TableEntry,
+    append_dictionary,
+    compacted_file_name,
+    delta_file_name,
     dictionary_path,
     manifest_path,
+    read_manifest,
+    read_segment_file,
+    rewrite_dictionary_lines,
     segment_file_name,
     table_dir,
     write_dictionary,
@@ -58,6 +70,21 @@ class DatasetWriteReport:
 
 def _sort_key(row: Tuple, indexes: Sequence[int]) -> Tuple[str, ...]:
     return tuple("" if row[i] is None else row[i].n3() for i in indexes)
+
+
+def _write_encoded_segment(
+    path: str, columns: Sequence[str], column_ids: Sequence[List[int]]
+) -> Tuple[int, Dict[str, ZoneMap]]:
+    """Encode id columns as RLE pages, write one segment file, build zone maps.
+
+    The single code path shared by base writes, delta appends and compaction,
+    so the three never desynchronise on encoding or zone-map construction.
+    Returns ``(bytes_written, zones)``.
+    """
+    pages = [(column, encode_id_column(ids)) for column, ids in zip(columns, column_ids)]
+    size = write_segment_file(path, pages)
+    zones = {column: ZoneMap.from_ids(ids) for column, ids in zip(columns, column_ids)}
+    return size, zones
 
 
 class DatasetWriter:
@@ -206,11 +233,10 @@ class DatasetWriter:
                     column_ids[position].append(
                         NULL_ID if value is None else dictionary.encode(value)
                     )
-            pages = [
-                (column, encode_id_column(ids)) for column, ids in zip(columns, column_ids)
-            ]
             file_name = segment_file_name(index)
-            size = write_segment_file(os.path.join(directory, file_name), pages)
+            size, zones = _write_encoded_segment(
+                os.path.join(directory, file_name), columns, column_ids
+            )
             written += size
             entries.append(
                 PartitionEntry(
@@ -219,9 +245,7 @@ class DatasetWriter:
                     file=f"{TABLES_DIR}/{name}/{file_name}",
                     row_count=len(bucket),
                     size_bytes=size,
-                    zones={
-                        column: ZoneMap.from_ids(ids) for column, ids in zip(columns, column_ids)
-                    },
+                    zones=zones,
                 )
             )
 
@@ -234,6 +258,7 @@ class DatasetWriter:
             distinct_subjects=statistics.distinct_subjects if statistics else 0,
             distinct_objects=statistics.distinct_objects if statistics else 0,
             partition_keys=partition_keys,
+            num_buckets=self.num_buckets,
             partitions=entries,
         )
         return entry, written, len(entries)
@@ -244,3 +269,509 @@ class DatasetWriter:
         if "s" in columns:
             return ("s",)
         return (columns[0],) if columns else ()
+
+
+# --------------------------------------------------------------------- #
+# Incremental appends
+# --------------------------------------------------------------------- #
+@dataclass
+class DatasetAppendReport:
+    """Summary returned by :meth:`DatasetAppender.append`."""
+
+    path: str
+    epoch: int
+    triples_appended: int
+    duplicate_triples: int
+    new_predicates: int
+    tables_updated: int
+    tables_created: int
+    delta_segments: int
+    extvp_pairs_updated: int
+    dictionary_terms_added: int
+    bytes_written: int
+    append_seconds: float
+
+
+class _DictionaryAppender:
+    """Extends a stored dictionary append-only, in id space.
+
+    Existing terms keep their ids (line numbers); unseen terms are assigned
+    the next free ids in encounter order and collected for one trailing
+    :func:`~repro.store.format.append_dictionary` write.
+    """
+
+    def __init__(self, stored: StoredTermDictionary) -> None:
+        self._stored = stored
+        self._new_ids: Dict[Term, int] = {}
+        self.new_terms: List[Term] = []
+
+    def encode(self, term: Term) -> int:
+        existing = self._stored.lookup(term)
+        if existing is not None:
+            return existing
+        assigned = self._new_ids.get(term)
+        if assigned is None:
+            assigned = len(self._stored) + len(self.new_terms)
+            self._new_ids[term] = assigned
+            self.new_terms.append(term)
+        return assigned
+
+    def decode(self, term_id: int) -> Term:
+        if term_id < len(self._stored):
+            return self._stored.decode(term_id)
+        return self.new_terms[term_id - len(self._stored)]
+
+
+class DatasetAppender:
+    """Appends triples to a persisted dataset as delta segments.
+
+    Unlike :class:`DatasetWriter`, nothing existing is rewritten: new rows
+    land in per-bucket ``delta-<epoch>-<bucket>.seg`` files (hash-bucketed
+    with the same function as the base segments, so scans and aligned joins
+    keep working), the term dictionary is extended append-only, and the
+    VP/ExtVP statistics are maintained incrementally for the affected
+    predicate pairs only (:func:`~repro.mappings.extvp.compute_incremental_extvp`).
+
+    The (atomic) manifest rewrite is the commit point: a crash mid-append
+    leaves the previous manifest in place, so the dataset reopens in its
+    exact pre-append state.  Orphaned delta files and trailing dictionary
+    lines from the crashed attempt are unreferenced and ignored; a retried
+    append overwrites the former (epoch-derived names) and truncates the
+    latter before appending.
+
+    Cost model: maintenance reads every VP table once per append (value sets
+    of *all* predicates are needed to evaluate pairs involving the changed
+    ones), so an append is O(dataset read + batch-proportional writes) —
+    cheap next to a rebuild's O(pairs) semi-joins plus full rewrite, but not
+    O(batch); persisting per-predicate value sets is a listed follow-up.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    # ------------------------------------------------------------------ #
+    def append(self, triples: Iterable[Triple]) -> DatasetAppendReport:
+        start = time.perf_counter()
+        manifest = read_manifest(self.path)
+        stored_dictionary = StoredTermDictionary.open(
+            self.path, expected_size=manifest.dictionary_size
+        )
+        dictionary = _DictionaryAppender(stored_dictionary)
+        namespaces = NamespaceManager(manifest.namespaces) if manifest.namespaces else NamespaceManager()
+        epoch = manifest.append_epoch + 1
+
+        # VP predicate map (manifest n3 -> IRI) and frozen table-name keys.
+        vp_names: Dict[IRI, str] = {}
+        for predicate_n3, info in manifest.vp_tables.items():
+            term = term_from_string(predicate_n3)
+            assert isinstance(term, IRI)
+            vp_names[term] = info["table"]
+        taken_keys: Set[str] = {name[len("vp_") :] for name in vp_names.values()}
+
+        # Pre-append VP rows, in id space (ids are dataset-global, so value
+        # comparisons across tables work without decoding a single term).
+        old_vp_rows: Dict[IRI, List[Tuple[int, int]]] = {
+            predicate: self._read_rows(manifest.tables[name]) if name in manifest.tables else []
+            for predicate, name in vp_names.items()
+        }
+
+        # Encode, deduplicate and group the batch by predicate.
+        additions: Dict[IRI, List[Tuple[int, int]]] = {}
+        seen: Dict[IRI, Set[Tuple[int, int]]] = {}
+        duplicates = 0
+        for triple in triples:
+            predicate = triple.predicate
+            if not isinstance(predicate, IRI):
+                raise TypeError(f"predicate must be an IRI, got {predicate!r}")
+            pair = (dictionary.encode(triple.subject), dictionary.encode(triple.object))
+            existing = seen.get(predicate)
+            if existing is None:
+                existing = set(old_vp_rows.get(predicate, ()))
+                seen[predicate] = existing
+            if pair in existing:
+                duplicates += 1
+                continue
+            existing.add(pair)
+            dictionary.encode(predicate)
+            additions.setdefault(predicate, []).append(pair)
+
+        if not additions:
+            return DatasetAppendReport(
+                path=self.path,
+                epoch=manifest.append_epoch,
+                triples_appended=0,
+                duplicate_triples=duplicates,
+                new_predicates=0,
+                tables_updated=0,
+                tables_created=0,
+                delta_segments=0,
+                extvp_pairs_updated=0,
+                dictionary_terms_added=0,
+                bytes_written=0,
+                append_seconds=time.perf_counter() - start,
+            )
+
+        bytes_written = 0
+        delta_segments = 0
+        tables_updated = 0
+        tables_created = 0
+
+        # --- VP tables (and their manifest predicate map) ----------------- #
+        new_predicates = sorted(
+            (p for p in additions if p not in vp_names), key=lambda p: p.value
+        )
+        for predicate in new_predicates:
+            key = unique_predicate_key(predicate, taken_keys, namespaces)
+            taken_keys.add(key)
+            vp_names[predicate] = f"vp_{key}"
+            old_vp_rows[predicate] = []
+
+        for predicate in sorted(additions, key=lambda p: p.value):
+            name = vp_names[predicate]
+            rows = additions[predicate]
+            created = name not in manifest.tables
+            entry = self._table_entry(manifest, name, ("s", "o"))
+            segments, written = self._write_delta(entry, rows, dictionary, epoch)
+            delta_segments += segments
+            bytes_written += written
+            tables_created += 1 if created else 0
+            tables_updated += 0 if created else 1
+            entry.row_count += len(rows)
+            subjects = {r[0] for r in old_vp_rows[predicate]} | {r[0] for r in rows}
+            objects = {r[1] for r in old_vp_rows[predicate]} | {r[1] for r in rows}
+            entry.distinct_subjects = len(subjects)
+            entry.distinct_objects = len(objects)
+            manifest.vp_tables[predicate.n3()] = {"table": name, "size": entry.row_count}
+
+        # --- the base triples table (unbound-predicate patterns) ---------- #
+        triples_rows: List[Tuple[int, int, int]] = []
+        for predicate in sorted(additions, key=lambda p: p.value):
+            predicate_id = dictionary.encode(predicate)
+            triples_rows.extend((s, predicate_id, o) for s, o in additions[predicate])
+        if triples_rows and "triples" in manifest.tables:
+            entry = manifest.tables["triples"]
+            segments, written = self._write_delta(entry, triples_rows, dictionary, epoch)
+            delta_segments += segments
+            bytes_written += written
+            tables_updated += 1
+            entry.row_count += len(triples_rows)
+            entry.distinct_subjects = len(
+                {r[0] for rows in old_vp_rows.values() for r in rows}
+                | {r[0] for rows in additions.values() for r in rows}
+            )
+            # Column 1 of the triples table is the predicate.
+            entry.distinct_objects = len(vp_names)
+
+        # --- incremental ExtVP maintenance (affected pairs only) ---------- #
+        statistics = ExtVPStatistics()
+        iri_cache: Dict[str, IRI] = {}
+        for record in manifest.extvp:
+            for field_name in ("first", "second"):
+                if record[field_name] not in iri_cache:
+                    term = term_from_string(record[field_name])
+                    assert isinstance(term, IRI)
+                    iri_cache[record[field_name]] = term
+            statistics.add(
+                ExtVPTableInfo(
+                    name=record["name"],
+                    kind=CorrelationKind(record["kind"]),
+                    first=iri_cache[record["first"]],
+                    second=iri_cache[record["second"]],
+                    row_count=record["row_count"],
+                    vp_row_count=record["vp_row_count"],
+                    materialized=record["materialized"],
+                )
+            )
+
+        def name_for(kind: CorrelationKind, first: IRI, second: IRI) -> str:
+            first_key = vp_names[first][len("vp_") :]
+            second_key = vp_names[second][len("vp_") :]
+            return f"extvp_{kind.value}_{first_key}__{second_key}"
+
+        deltas = compute_incremental_extvp(
+            statistics,
+            old_vp_rows,
+            additions,
+            name_for,
+            manifest.selectivity_threshold,
+            manifest.include_oo,
+        )
+        statistics_only = {record["name"]: record for record in manifest.statistics_only}
+        for delta in deltas:
+            info = delta.info
+            statistics.add(info)
+            if info.materialized:
+                created = info.name not in manifest.tables
+                entry = self._table_entry(manifest, info.name, ("s", "o"))
+                if delta.rows:
+                    segments, written = self._write_delta(entry, delta.rows, dictionary, epoch)
+                    delta_segments += segments
+                    bytes_written += written
+                    tables_created += 1 if created else 0
+                    tables_updated += 0 if created else 1
+                entry.row_count = info.row_count
+                entry.selectivity = info.selectivity
+                # Exact distinct counts would need a full re-read of the
+                # stored table; a bounded estimate is enough for planning.
+                entry.distinct_subjects = min(
+                    info.row_count, entry.distinct_subjects + len({r[0] for r in delta.rows})
+                )
+                entry.distinct_objects = min(
+                    info.row_count, entry.distinct_objects + len({r[1] for r in delta.rows})
+                )
+                statistics_only.pop(info.name, None)
+            else:
+                statistics_only[info.name] = {
+                    "name": info.name,
+                    "row_count": info.row_count,
+                    "selectivity": info.selectivity,
+                }
+        manifest.statistics_only = [statistics_only[name] for name in sorted(statistics_only)]
+        manifest.extvp = [
+            {
+                "kind": info.kind.value,
+                "first": info.first.n3(),
+                "second": info.second.n3(),
+                "name": info.name,
+                "row_count": info.row_count,
+                "vp_row_count": info.vp_row_count,
+                "materialized": info.materialized,
+            }
+            for info in statistics.tables.values()
+        ]
+
+        # --- commit: dictionary first, manifest last ----------------------- #
+        if stored_dictionary.raw_line_count != manifest.dictionary_size:
+            # A crashed predecessor left uncommitted trailing lines; rewrite
+            # the committed prefix so the new terms' ids match line numbers.
+            rewrite_dictionary_lines(self.path, stored_dictionary.committed_lines())
+        bytes_written += append_dictionary(self.path, dictionary.new_terms)
+        manifest.dictionary_size += len(dictionary.new_terms)
+        manifest.append_epoch = epoch
+        write_manifest(self.path, manifest)
+
+        return DatasetAppendReport(
+            path=self.path,
+            epoch=epoch,
+            triples_appended=sum(len(rows) for rows in additions.values()),
+            duplicate_triples=duplicates,
+            new_predicates=len(new_predicates),
+            tables_updated=tables_updated,
+            tables_created=tables_created,
+            delta_segments=delta_segments,
+            extvp_pairs_updated=len(deltas),
+            dictionary_terms_added=len(dictionary.new_terms),
+            bytes_written=bytes_written,
+            append_seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _read_rows(self, entry: TableEntry) -> List[Tuple[int, ...]]:
+        """All rows of a stored table in id space (base plus deltas)."""
+        rows: List[Tuple[int, ...]] = []
+        for bucket in range(entry.num_partitions):
+            for segment in entry.segments_for_bucket(bucket):
+                decoded = read_segment_file(
+                    os.path.join(self.path, *segment.file.split("/")), entry.columns
+                )
+                rows.extend(zip(*(decoded[column] for column in entry.columns)))
+        return rows
+
+    def _table_entry(self, manifest: Manifest, name: str, columns: Tuple[str, ...]) -> TableEntry:
+        """The existing manifest entry, or a fresh delta-only one."""
+        entry = manifest.tables.get(name)
+        if entry is None:
+            entry = TableEntry(
+                name=name,
+                columns=columns,
+                row_count=0,
+                selectivity=1.0,
+                distinct_subjects=0,
+                distinct_objects=0,
+                partition_keys=DatasetWriter._partition_keys(columns),
+                num_buckets=manifest.num_buckets,
+                partitions=[],
+                deltas=[],
+            )
+            manifest.tables[name] = entry
+        return entry
+
+    def _write_delta(
+        self,
+        entry: TableEntry,
+        rows: Sequence[Tuple[int, ...]],
+        dictionary: _DictionaryAppender,
+        epoch: int,
+    ) -> Tuple[int, int]:
+        """Write ``rows`` (id tuples) as per-bucket delta segments.
+
+        Bucketing hashes the *decoded* partition-key terms — the same
+        function the base segments and the runtime's ``HashPartitioner``
+        use — so merged scans stay partition-aligned.  Returns
+        ``(segments_written, bytes_written)``.
+        """
+        columns = entry.columns
+        key_indexes = [columns.index(k) for k in entry.partition_keys]
+        num_buckets = entry.num_partitions
+        buckets: List[List[Tuple[int, ...]]] = [[] for _ in range(num_buckets)]
+        if num_buckets == 1 or not key_indexes:
+            buckets[0] = list(rows)
+        else:
+            for row in rows:
+                key = tuple(
+                    None if row[i] == NULL_ID else dictionary.decode(row[i]) for i in key_indexes
+                )
+                buckets[key_partition_index(key, num_buckets)].append(row)
+
+        directory = table_dir(self.path, entry.name)
+        os.makedirs(directory, exist_ok=True)
+        segments = 0
+        written = 0
+        for bucket_index, bucket in enumerate(buckets):
+            if not bucket:
+                continue
+            bucket.sort()
+            column_ids = [[row[i] for row in bucket] for i in range(len(columns))]
+            file_name = delta_file_name(epoch, bucket_index)
+            size, zones = _write_encoded_segment(
+                os.path.join(directory, file_name), columns, column_ids
+            )
+            entry.deltas.append(
+                DeltaEntry(
+                    file=f"{TABLES_DIR}/{entry.name}/{file_name}",
+                    row_count=len(bucket),
+                    size_bytes=size,
+                    zones=zones,
+                    bucket=bucket_index,
+                    epoch=epoch,
+                )
+            )
+            segments += 1
+            written += size
+        return segments, written
+
+
+# --------------------------------------------------------------------- #
+# Compaction
+# --------------------------------------------------------------------- #
+@dataclass
+class CompactionReport:
+    """Summary returned by :meth:`DatasetCompactor.compact`."""
+
+    path: str
+    tables_compacted: int
+    tables_skipped: int
+    segments_before: int
+    segments_after: int
+    delta_rows_merged: int
+    bytes_written: int
+    compact_seconds: float
+
+
+class DatasetCompactor:
+    """Merges delta segments back into full base bucket segments.
+
+    Every table whose delta-segment count reaches ``compaction_threshold``
+    is rewritten bucket by bucket: base and delta rows of a bucket are
+    merged, re-sorted and re-encoded into a single base segment with freshly
+    computed (tightened) zone maps.  Tables below the threshold — and tables
+    with no deltas at all — are left untouched, bounding the write
+    amplification an append workload pays.
+
+    Crash safety mirrors the appender's: merged segments are written under
+    *new*, generation-stamped file names, so the previous manifest stays
+    fully valid until the new one is atomically swapped in; only after that
+    commit are the superseded base and delta files deleted.  A crash at any
+    point leaves the dataset openable in either its pre- or post-compaction
+    state (never in between), with at worst some orphaned files that the
+    next compaction or full save clears.
+    """
+
+    def __init__(self, compaction_threshold: int = 1) -> None:
+        if compaction_threshold < 1:
+            raise ValueError("compaction_threshold must be >= 1")
+        self.compaction_threshold = compaction_threshold
+
+    def compact(self, path: str) -> CompactionReport:
+        start = time.perf_counter()
+        manifest = read_manifest(path)
+        segments_before = sum(entry.segment_count() for entry in manifest.tables.values())
+        targets = [
+            entry
+            for entry in manifest.tables.values()
+            if len(entry.deltas) >= self.compaction_threshold
+        ]
+        skipped = sum(
+            1
+            for entry in manifest.tables.values()
+            if 0 < len(entry.deltas) < self.compaction_threshold
+        )
+        if not targets:
+            return CompactionReport(
+                path=path,
+                tables_compacted=0,
+                tables_skipped=skipped,
+                segments_before=segments_before,
+                segments_after=segments_before,
+                delta_rows_merged=0,
+                bytes_written=0,
+                compact_seconds=time.perf_counter() - start,
+            )
+
+        epoch = manifest.append_epoch + 1
+        bytes_written = 0
+        rows_merged = 0
+        for entry in targets:
+            rows_merged += entry.delta_row_count()
+            merged: List[PartitionEntry] = []
+            for bucket in range(entry.num_partitions):
+                column_ids: List[List[int]] = [[] for _ in entry.columns]
+                for segment in entry.segments_for_bucket(bucket):
+                    decoded = read_segment_file(
+                        os.path.join(path, *segment.file.split("/")), entry.columns
+                    )
+                    for position, column in enumerate(entry.columns):
+                        column_ids[position].extend(decoded[column])
+                rows = sorted(zip(*column_ids)) if column_ids and column_ids[0] else []
+                column_ids = [
+                    [row[position] for row in rows] for position in range(len(entry.columns))
+                ]
+                file_name = compacted_file_name(epoch, bucket)
+                directory = table_dir(path, entry.name)
+                os.makedirs(directory, exist_ok=True)
+                size, zones = _write_encoded_segment(
+                    os.path.join(directory, file_name), entry.columns, column_ids
+                )
+                bytes_written += size
+                merged.append(
+                    PartitionEntry(
+                        file=f"{TABLES_DIR}/{entry.name}/{file_name}",
+                        row_count=len(rows),
+                        size_bytes=size,
+                        zones=zones,
+                    )
+                )
+            entry.partitions = merged
+            entry.deltas = []
+        manifest.append_epoch = epoch
+        write_manifest(path, manifest)  # atomic commit point
+        # Post-commit cleanup: in every rewritten table directory, delete any
+        # segment file the new manifest does not reference — the superseded
+        # base/delta files, plus orphans left by crashed appends/compactions.
+        for entry in targets:
+            referenced = {segment.file.rsplit("/", 1)[-1] for segment in entry.partitions}
+            directory = table_dir(path, entry.name)
+            for file_name in os.listdir(directory):
+                if file_name.endswith(".seg") and file_name not in referenced:
+                    os.remove(os.path.join(directory, file_name))
+
+        return CompactionReport(
+            path=path,
+            tables_compacted=len(targets),
+            tables_skipped=skipped,
+            segments_before=segments_before,
+            segments_after=sum(entry.segment_count() for entry in manifest.tables.values()),
+            delta_rows_merged=rows_merged,
+            bytes_written=bytes_written,
+            compact_seconds=time.perf_counter() - start,
+        )

@@ -214,8 +214,14 @@ class TestPartitionScaling:
     def report(self, dataset):
         from repro.bench import run_partition_scaling
 
+        # instantiations=3 keeps the per-join work large enough that the
+        # critical-path comparison below measures parallel scaling rather
+        # than sub-0.1ms scheduling noise on a loaded CI machine.
         return run_partition_scaling(
-            dataset=dataset, partition_counts=(1, 2, 8), template_names=("L3", "S3", "F5", "C3")
+            dataset=dataset,
+            partition_counts=(1, 2, 8),
+            template_names=("L3", "S3", "F5", "C3"),
+            instantiations=3,
         )
 
     def test_rows_and_baseline(self, report):

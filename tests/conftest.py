@@ -1,7 +1,13 @@
 """Shared fixtures: the paper's running-example graph G1, query Q1, and a
-small WatDiv-like dataset reused across integration tests."""
+small WatDiv-like dataset reused across integration tests.
+
+Setting ``FAIL_ON_SKIP=1`` turns every skipped test into a failure — CI uses
+it on the differential correctness harness, whose silent skipping would void
+the bag-equality guarantee the incremental store relies on."""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -9,6 +15,18 @@ from repro.rdf.graph import Graph
 from repro.rdf.terms import IRI
 from repro.rdf.triple import Triple
 from repro.watdiv.generator import generate_dataset
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.skipped and os.environ.get("FAIL_ON_SKIP"):
+        report.outcome = "failed"
+        report.longrepr = (
+            f"{item.nodeid}: test was skipped but FAIL_ON_SKIP is set "
+            f"(skip reason: {call.excinfo.value if call.excinfo else 'unknown'})"
+        )
 
 
 def iri(name: str) -> IRI:

@@ -439,3 +439,76 @@ class TestSessionIntegration:
         assert all("ShuffleHashJoin" in s for s in result.join_strategies)
         assert all("ShuffleHashJoin" in s for s in result.executed_join_strategies)
         session.close()
+
+
+class TestStoredReregistration:
+    """``register_stored`` re-registration (incremental appends) must drop
+    every cache of the previous table incarnation: the AQE observed-
+    cardinality cache *and* the decoded-rows cache — otherwise the planner
+    replans from pre-append row counts and scans return pre-append rows."""
+
+    class _FakeProvider:
+        def __init__(self, relation):
+            self.relation = relation
+
+        def read(self):
+            return self.relation
+
+        def scan(self, columns=None, conditions=None):
+            from repro.engine.catalog import ScanResult
+
+            return ScanResult(relation=self.relation, rows_scanned=len(self.relation))
+
+    def test_reregister_stored_drops_observed_and_decoded_caches(self):
+        from repro.engine.catalog import Catalog, TableStatistics
+
+        catalog = Catalog()
+        small = Relation(("s", "o"), [(IRI("a"), IRI("b"))])
+        catalog.register_stored(
+            "t", self._FakeProvider(small), TableStatistics(name="t", row_count=1)
+        )
+        assert len(catalog.table("t")) == 1  # decodes and caches the rows
+        catalog.record_observed("t", 1)
+
+        grown = Relation(("s", "o"), [(IRI(f"x{i}"), IRI(f"y{i}")) for i in range(50)])
+        catalog.register_stored(
+            "t", self._FakeProvider(grown), TableStatistics(name="t", row_count=50)
+        )
+        assert catalog.observed_rows("t") is None
+        assert len(catalog.table("t")) == 50  # not the stale decoded cache
+        assert estimate_rows(TableScanNode("t", ("s", "o")), catalog) == 50
+
+    def test_append_invalidates_observed_cardinalities(self, tmp_path):
+        """End to end: query, append, and the next plan must use post-append
+        row counts instead of the first run's observed cardinalities."""
+        from repro.core.session import S2RDFSession
+        from repro.rdf.graph import Graph
+        from repro.rdf.triple import Triple
+
+        triples = [Triple(IRI(f"u{i}"), IRI("follows"), IRI(f"u{(i * 3) % 20}")) for i in range(40)]
+        triples += [Triple(IRI(f"u{i}"), IRI("likes"), IRI(f"p{i % 4}")) for i in range(0, 40, 2)]
+        warm = S2RDFSession.from_graph(Graph(triples), num_partitions=4)
+        path = str(tmp_path / "dataset")
+        warm.save_dataset(path)
+        warm.close()
+
+        # use_extvp=False pins table selection to the VP tables, so the
+        # observed-cardinality assertions target a deterministic table name.
+        session = S2RDFSession.open_dataset(path, use_extvp=False)
+        try:
+            catalog = session.layout.catalog
+            session.query("SELECT * WHERE { ?x <follows> ?y . ?y <likes> ?z }")
+            assert catalog.observed_rows("vp_follows") == 40  # AQE feedback cached
+
+            new = [Triple(IRI(f"v{i}"), IRI("follows"), IRI(f"u{i % 20}")) for i in range(60)]
+            session.append_triples(new)
+            # The observation describes the pre-append table; it must be gone,
+            # and planning must see the manifest's post-append statistics.
+            assert catalog.observed_rows("vp_follows") is None
+            assert estimate_rows(TableScanNode("vp_follows", ("s", "o")), catalog) == 100
+            assert len(catalog.table("vp_follows")) == 100  # no stale decode either
+            # A rerun repopulates the cache from post-append truth.
+            session.query("SELECT * WHERE { ?x <follows> ?y . ?y <likes> ?z }")
+            assert catalog.observed_rows("vp_follows") == 100
+        finally:
+            session.close()

@@ -1,0 +1,456 @@
+"""Incremental dataset updates: delta segments, append-only dictionary,
+incremental ExtVP maintenance, zone-map pruning over deltas, compaction.
+
+The load-bearing invariant throughout: a dataset grown with
+``append_triples`` must be indistinguishable — by bag-equality of every
+query and every table — from one rebuilt from scratch on the union graph,
+both before and after ``compact()``.
+"""
+
+import os
+
+import pytest
+
+from repro.core.session import S2RDFSession
+from repro.engine.runtime.partitioner import key_partition_index
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI
+from repro.rdf.triple import Triple
+from repro.store.format import (
+    StoredTermDictionary,
+    dictionary_path,
+    encode_term_line,
+    manifest_path,
+    read_manifest,
+)
+from repro.store.writer import DatasetAppender, DatasetCompactor
+
+
+def bag(relation):
+    return sorted(map(repr, relation.rows))
+
+
+def base_triples():
+    return [Triple(IRI(f"s{i}"), IRI("p"), IRI(f"o{i % 5}")) for i in range(40)] + [
+        Triple(IRI(f"s{i}"), IRI("q"), IRI(f"s{i + 1}")) for i in range(20)
+    ]
+
+
+def update_triples():
+    """Updates that exercise every maintenance path: new rows for existing
+    predicates (new and old subjects/objects), a brand-new predicate, and a
+    correlation that only exists after the append."""
+    return (
+        [Triple(IRI(f"s{i}"), IRI("p"), IRI("oNEW")) for i in range(40, 50)]
+        + [Triple(IRI(f"s{i}"), IRI("q"), IRI(f"s{i + 1}")) for i in range(20, 45)]
+        + [Triple(IRI("x1"), IRI("r"), IRI("s3")), Triple(IRI("x2"), IRI("r"), IRI("x1"))]
+    )
+
+
+QUERIES = [
+    "SELECT * WHERE { ?x <q> ?y . ?y <p> ?o }",
+    "SELECT * WHERE { ?x <q> ?y . ?y <q> ?z }",
+    "SELECT ?o WHERE { <s42> <p> ?o }",
+    "SELECT * WHERE { ?a <r> ?b . ?b <p> ?o }",
+    "SELECT * WHERE { ?x <p> ?o . OPTIONAL { ?x <q> ?y } }",
+    "SELECT * WHERE { ?s ?anypred ?o . ?o <p> ?v }",
+]
+
+
+@pytest.fixture()
+def dataset_path(tmp_path):
+    session = S2RDFSession.from_graph(Graph(base_triples()), num_partitions=4)
+    path = str(tmp_path / "dataset")
+    session.save_dataset(path)
+    session.close()
+    return path
+
+
+@pytest.fixture()
+def rebuilt():
+    """Ground truth: a session rebuilt from the full union graph."""
+    session = S2RDFSession.from_graph(Graph(base_triples() + update_triples()), num_partitions=4)
+    yield session
+    session.close()
+
+
+class TestAppend:
+    def test_queries_bag_equal_to_rebuild(self, dataset_path, rebuilt):
+        session = S2RDFSession.open_dataset(dataset_path)
+        try:
+            session.append_triples(update_triples())
+            for query in QUERIES:
+                assert bag(session.query(query).relation) == bag(rebuilt.query(query).relation), query
+        finally:
+            session.close()
+
+    def test_reopen_after_append_is_equivalent(self, dataset_path, rebuilt):
+        session = S2RDFSession.open_dataset(dataset_path)
+        session.append_triples(update_triples())
+        session.close()
+        cold = S2RDFSession.open_dataset(dataset_path)
+        try:
+            for query in QUERIES:
+                assert bag(cold.query(query).relation) == bag(rebuilt.query(query).relation), query
+        finally:
+            cold.close()
+
+    def test_every_table_bag_equal_to_rebuild(self, dataset_path, rebuilt):
+        """Stored base+delta table contents match the rebuilt relations."""
+        session = S2RDFSession.open_dataset(dataset_path)
+        try:
+            session.append_triples(update_triples())
+            rebuilt_catalog = rebuilt.layout.catalog
+            for name in session.layout.catalog.table_names():
+                if name in rebuilt_catalog:
+                    assert bag(session.layout.catalog.table(name)) == bag(
+                        rebuilt_catalog.table(name)
+                    ), name
+        finally:
+            session.close()
+
+    def test_extvp_statistics_match_rebuild(self, dataset_path, rebuilt):
+        """Row counts of every correlation pair are maintained exactly.
+
+        (Materialisation flags may legitimately differ: appends never
+        re-decide them, a rebuild does.)
+        """
+        session = S2RDFSession.open_dataset(dataset_path)
+        try:
+            session.append_triples(update_triples())
+            for key, info in rebuilt.layout.statistics.tables.items():
+                incremental = session.layout.statistics.tables.get(key)
+                assert incremental is not None, key
+                assert incremental.row_count == info.row_count, key
+                assert incremental.vp_row_count == info.vp_row_count, key
+        finally:
+            session.close()
+
+    def test_no_segment_rewritten_and_deltas_recorded(self, dataset_path):
+        manifest_before = read_manifest(dataset_path)
+        mtimes = {}
+        for entry in manifest_before.tables.values():
+            for partition in entry.partitions:
+                file_path = os.path.join(dataset_path, *partition.file.split("/"))
+                mtimes[partition.file] = os.stat(file_path).st_mtime_ns
+        report = DatasetAppender(dataset_path).append(update_triples())
+        assert report.triples_appended == len(update_triples())
+        assert report.delta_segments > 0
+        assert report.new_predicates == 1
+        manifest = read_manifest(dataset_path)
+        assert manifest.append_epoch == 1
+        assert any(entry.has_deltas for entry in manifest.tables.values())
+        for entry in manifest.tables.values():
+            assert entry.row_count == entry.base_row_count() + entry.delta_row_count(), entry.name
+        for file, mtime in mtimes.items():
+            file_path = os.path.join(dataset_path, *file.split("/"))
+            assert os.stat(file_path).st_mtime_ns == mtime, f"{file} was rewritten"
+
+    def test_duplicate_triples_are_skipped(self, dataset_path):
+        report = DatasetAppender(dataset_path).append(base_triples())
+        assert report.triples_appended == 0
+        assert report.duplicate_triples == len(base_triples())
+        assert report.delta_segments == 0
+        assert read_manifest(dataset_path).append_epoch == 0  # no-op: nothing committed
+
+    def test_repeated_appends_stack(self, dataset_path):
+        updates = update_triples()
+        session = S2RDFSession.open_dataset(dataset_path)
+        try:
+            session.append_triples(updates[:10])
+            session.append_triples(updates[10:])
+            truth = S2RDFSession.from_graph(Graph(base_triples() + updates), num_partitions=4)
+            for query in QUERIES:
+                assert bag(session.query(query).relation) == bag(truth.query(query).relation)
+            truth.close()
+            assert read_manifest(dataset_path).append_epoch == 2
+        finally:
+            session.close()
+
+    def test_delta_buckets_align_with_hash_partitioner(self, dataset_path):
+        DatasetAppender(dataset_path).append(update_triples())
+        manifest = read_manifest(dataset_path)
+        dictionary = StoredTermDictionary.open(dataset_path, expected_size=manifest.dictionary_size)
+        entry = manifest.tables["vp_p"]
+        assert entry.has_deltas
+        session = S2RDFSession.open_dataset(dataset_path)
+        try:
+            scan = session.layout.catalog.scan("vp_p")
+            tag = scan.relation.partitioning
+            assert tag is not None and tag.keys == ("s",)
+            assert sum(tag.counts) == len(scan.relation) == entry.row_count
+            # Every row of bucket i must hash to i — base and delta rows alike.
+            start = 0
+            for bucket, count in enumerate(tag.counts):
+                for row in scan.relation.rows[start : start + count]:
+                    assert key_partition_index((row[0],), entry.num_partitions) == bucket
+                start += count
+        finally:
+            session.close()
+
+    def test_append_requires_persisted_session(self, small_dataset):
+        session = S2RDFSession.from_graph(small_dataset.graph)
+        try:
+            with pytest.raises(RuntimeError, match="save_dataset"):
+                session.append_triples(update_triples())
+        finally:
+            session.close()
+
+    def test_new_predicate_gets_collision_free_table(self, tmp_path):
+        """A new predicate whose key collides with an existing table name."""
+        session = S2RDFSession.from_graph(
+            Graph([Triple(IRI("a"), IRI("http://one.example/name"), IRI("b"))])
+        )
+        path = str(tmp_path / "dataset")
+        session.save_dataset(path)
+        session.close()
+        cold = S2RDFSession.open_dataset(path)
+        try:
+            cold.append_triples([Triple(IRI("c"), IRI("http://two.example/name"), IRI("d"))])
+            manifest = read_manifest(path)
+            names = [
+                info["table"] for info in manifest.vp_tables.values()
+            ]
+            assert len(set(names)) == 2  # no clobbering
+            result = cold.query("SELECT * WHERE { ?x <http://two.example/name> ?y }")
+            assert len(result) == 1
+        finally:
+            cold.close()
+
+
+class TestDictionaryAppendSemantics:
+    def test_ids_stable_across_appends(self, dataset_path):
+        before = read_manifest(dataset_path)
+        old_dictionary = StoredTermDictionary.open(dataset_path, expected_size=before.dictionary_size)
+        old_ids = {old_dictionary.decode(i): i for i in range(len(old_dictionary))}
+        DatasetAppender(dataset_path).append(update_triples())
+        after = read_manifest(dataset_path)
+        assert after.dictionary_size > before.dictionary_size
+        new_dictionary = StoredTermDictionary.open(dataset_path, expected_size=after.dictionary_size)
+        for term, term_id in old_ids.items():
+            assert new_dictionary.decode(term_id) == term
+            assert new_dictionary.lookup(term) == term_id
+        # Appended terms occupy the new tail of the id range only.
+        assert new_dictionary.lookup(IRI("oNEW")) is not None
+        assert new_dictionary.lookup(IRI("oNEW")) >= before.dictionary_size
+
+    def test_decode_rejects_ids_beyond_committed_range(self, dataset_path):
+        manifest = read_manifest(dataset_path)
+        dictionary = StoredTermDictionary.open(dataset_path, expected_size=manifest.dictionary_size)
+        with pytest.raises(KeyError):
+            dictionary.decode(manifest.dictionary_size)
+        with pytest.raises(KeyError):
+            dictionary.decode(-1)
+
+    def test_uncommitted_trailing_lines_are_ignored(self, dataset_path):
+        """A crash between dictionary append and manifest rewrite leaves
+        trailing lines; the manifest size is the commit point."""
+        manifest = read_manifest(dataset_path)
+        with open(dictionary_path(dataset_path), "a", encoding="ascii", newline="\n") as handle:
+            handle.write(encode_term_line(IRI("uncommitted-term")) + "\n")
+        dictionary = StoredTermDictionary.open(dataset_path, expected_size=manifest.dictionary_size)
+        assert len(dictionary) == manifest.dictionary_size
+        assert dictionary.lookup(IRI("uncommitted-term")) is None
+        with pytest.raises(KeyError):
+            dictionary.decode(manifest.dictionary_size)
+
+    def test_reopen_after_append_roundtrips(self, dataset_path):
+        DatasetAppender(dataset_path).append(update_triples())
+        manifest = read_manifest(dataset_path)
+        dictionary = StoredTermDictionary.open(dataset_path, expected_size=manifest.dictionary_size)
+        for term_id in range(len(dictionary)):
+            term = dictionary.decode(term_id)
+            assert dictionary.lookup(term) == term_id
+
+    def test_manifest_commit_is_atomic_swap(self, dataset_path):
+        """The manifest is written to a temp file and swapped in — no temp
+        residue, and the committed manifest always parses."""
+        DatasetAppender(dataset_path).append(update_triples())
+        assert not os.path.exists(manifest_path(dataset_path) + ".tmp")
+        assert read_manifest(dataset_path).append_epoch == 1
+
+    def test_retried_append_repairs_orphan_lines(self, dataset_path, rebuilt):
+        """A retry after a crash mid-append must truncate the crashed
+        attempt's orphan dictionary lines, or the retry's ids would point at
+        the wrong line numbers."""
+        manifest = read_manifest(dataset_path)
+        with open(dictionary_path(dataset_path), "a", encoding="ascii", newline="\n") as handle:
+            for i in range(5):
+                handle.write(encode_term_line(IRI(f"crashed-orphan-{i}")) + "\n")
+        DatasetAppender(dataset_path).append(update_triples())
+        after = read_manifest(dataset_path)
+        dictionary = StoredTermDictionary.open(dataset_path, expected_size=after.dictionary_size)
+        assert dictionary.raw_line_count == after.dictionary_size  # orphans gone
+        assert dictionary.lookup(IRI("crashed-orphan-0")) is None
+        session = S2RDFSession.open_dataset(dataset_path)
+        try:
+            for query in QUERIES:
+                assert bag(session.query(query).relation) == bag(rebuilt.query(query).relation), query
+        finally:
+            session.close()
+
+
+class TestDeltaZonePruning:
+    def test_all_base_segments_pruned_deltas_still_scanned(self, dataset_path):
+        """An equality predicate on a term that only exists in deltas: every
+        base segment is zone-map-pruned, yet the matching delta rows are
+        found, and scanned + pruned reconciles with the total segment count."""
+        DatasetAppender(dataset_path).append(update_triples())
+        session = S2RDFSession.open_dataset(dataset_path)
+        try:
+            manifest = read_manifest(dataset_path)
+            entry = manifest.tables["vp_p"]
+            # "oNEW" entered the dictionary during the append, so its id is
+            # beyond every base segment's zone-map range by construction.
+            scan = session.layout.catalog.scan("vp_p", conditions={"o": IRI("oNEW")})
+            assert len(scan.relation) == 10
+            assert {row[1] for row in scan.relation.rows} == {IRI("oNEW")}
+            columns = len(entry.columns)
+            assert scan.segments_pruned >= len(entry.partitions) * columns
+            assert scan.segments_scanned > 0
+            assert scan.segments_scanned + scan.segments_pruned == entry.segment_count() * columns
+            # No base segment was read: only delta rows entered the scan.
+            assert scan.rows_scanned <= entry.delta_row_count()
+        finally:
+            session.close()
+
+    def test_metrics_reconcile_through_query(self, dataset_path):
+        DatasetAppender(dataset_path).append(update_triples())
+        session = S2RDFSession.open_dataset(dataset_path)
+        try:
+            result = session.query('SELECT ?s WHERE { ?s <p> <oNEW> }')
+            assert len(result) == 10
+            assert result.metrics.store_segments_pruned > 0
+            assert result.metrics.store_segments_scanned > 0
+        finally:
+            session.close()
+
+    def test_bucket_pruning_applies_to_deltas(self, dataset_path):
+        """A bound subject prunes delta segments of other buckets too."""
+        DatasetAppender(dataset_path).append(update_triples())
+        session = S2RDFSession.open_dataset(dataset_path)
+        try:
+            manifest = read_manifest(dataset_path)
+            entry = manifest.tables["vp_q"]
+            subject = IRI("s30")  # appended row: s30 -q-> s31
+            target = key_partition_index((subject,), entry.num_partitions)
+            scan = session.layout.catalog.scan("vp_q", conditions={"s": subject})
+            assert [row[0] for row in scan.relation.rows] == [subject]
+            scanned_rows_in_target = sum(
+                segment.row_count for segment in entry.segments_for_bucket(target)
+            )
+            assert scan.rows_scanned <= scanned_rows_in_target
+        finally:
+            session.close()
+
+
+class TestCompaction:
+    def test_compaction_preserves_results_with_fewer_segments(self, dataset_path, rebuilt):
+        session = S2RDFSession.open_dataset(dataset_path)
+        try:
+            session.append_triples(update_triples())
+            before = {
+                query: session.query(query).metrics.store_segments_scanned for query in QUERIES
+            }
+            manifest = read_manifest(dataset_path)
+            segments_with_deltas = sum(e.segment_count() for e in manifest.tables.values())
+            report = session.compact()
+            assert report.tables_compacted > 0
+            assert report.segments_after < report.segments_before == segments_with_deltas
+            manifest = read_manifest(dataset_path)
+            assert not any(entry.has_deltas for entry in manifest.tables.values())
+            for query in QUERIES:
+                result = session.query(query)
+                assert bag(result.relation) == bag(rebuilt.query(query).relation), query
+                assert result.metrics.store_segments_scanned <= before[query], query
+            # The table-5-style merged-scan query must touch strictly fewer
+            # segments once its deltas are folded in.
+            merged_scan_query = QUERIES[0]
+            assert (
+                session.query(merged_scan_query).metrics.store_segments_scanned
+                < before[merged_scan_query]
+            )
+        finally:
+            session.close()
+
+    def test_compacted_dataset_reopens_equivalent(self, dataset_path, rebuilt):
+        session = S2RDFSession.open_dataset(dataset_path)
+        session.append_triples(update_triples())
+        session.compact()
+        session.close()
+        cold = S2RDFSession.open_dataset(dataset_path)
+        try:
+            for query in QUERIES:
+                assert bag(cold.query(query).relation) == bag(rebuilt.query(query).relation), query
+        finally:
+            cold.close()
+
+    def test_threshold_bounds_compaction(self, dataset_path):
+        DatasetAppender(dataset_path).append(update_triples())
+        manifest = read_manifest(dataset_path)
+        max_deltas = max(len(entry.deltas) for entry in manifest.tables.values())
+        report = DatasetCompactor(compaction_threshold=max_deltas + 1).compact(dataset_path)
+        assert report.tables_compacted == 0
+        assert report.tables_skipped > 0
+        assert report.segments_after == report.segments_before
+
+    def test_compaction_without_deltas_is_a_noop(self, dataset_path):
+        report = DatasetCompactor().compact(dataset_path)
+        assert report.tables_compacted == 0
+        assert report.delta_rows_merged == 0
+
+    def test_compaction_threshold_validation(self):
+        with pytest.raises(ValueError):
+            DatasetCompactor(compaction_threshold=0)
+
+    def test_delta_only_table_gains_base_partitions(self, dataset_path):
+        DatasetAppender(dataset_path).append(update_triples())
+        manifest = read_manifest(dataset_path)
+        assert manifest.tables["vp_r"].partitions == []  # delta-only so far
+        DatasetCompactor().compact(dataset_path)
+        manifest = read_manifest(dataset_path)
+        entry = manifest.tables["vp_r"]
+        assert len(entry.partitions) == entry.num_partitions
+        assert not entry.has_deltas
+        session = S2RDFSession.open_dataset(dataset_path)
+        try:
+            assert len(session.layout.catalog.table("vp_r")) == 2
+        finally:
+            session.close()
+
+    def test_compaction_writes_new_files_then_deletes_old(self, dataset_path):
+        """The previous manifest stays valid until the new one commits:
+        merged segments land under new generation-stamped names, and the
+        superseded base + delta files are gone only after the commit."""
+        import pathlib
+
+        DatasetAppender(dataset_path).append(update_triples())
+        before = read_manifest(dataset_path)
+        old_files = {
+            segment.file
+            for entry in before.tables.values()
+            if entry.has_deltas
+            for segment in list(entry.partitions) + list(entry.deltas)
+        }
+        DatasetCompactor().compact(dataset_path)
+        after = read_manifest(dataset_path)
+        assert after.append_epoch == before.append_epoch + 1
+        new_files = {
+            segment.file for entry in after.tables.values() for segment in entry.partitions
+        }
+        assert not (new_files & old_files)  # nothing overwritten in place
+        for file in old_files:
+            assert not (pathlib.Path(dataset_path) / file).exists(), file
+
+    def test_zone_maps_tightened_after_compaction(self, dataset_path):
+        """Merged base segments carry zone maps recomputed from actual ids."""
+        DatasetAppender(dataset_path).append(update_triples())
+        DatasetCompactor().compact(dataset_path)
+        manifest = read_manifest(dataset_path)
+        dictionary = StoredTermDictionary.open(dataset_path, expected_size=manifest.dictionary_size)
+        for entry in manifest.tables.values():
+            for partition in entry.partitions:
+                for column, zone in partition.zones.items():
+                    assert zone.row_count == partition.row_count
+                    if zone.row_count and zone.min_id >= 0:
+                        assert zone.min_id <= zone.max_id < manifest.dictionary_size
