@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Validate machine-readable benchmark output files (BENCH_*.json).
+
+Every ``BENCH_*.json`` under ``benchmarks/output/`` (or the paths given on
+the command line) must follow the ``s2rdf-bench/v1`` schema written by
+:func:`repro.bench.reporting.write_bench_json`:
+
+* top-level keys: schema, name, description, columns, rows, notes,
+  counters, timings, stash;
+* ``rows`` is a list of dicts whose keys are all listed in ``columns``;
+* ``counters`` / ``timings`` map column names to numbers;
+* the file parses as *strict* JSON (no Infinity/NaN).
+
+Exit code 0 when every file validates, 1 otherwise.  Used by CI after the
+smoke benchmarks run with ``--json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_bench_schema.py [files...]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from typing import List
+
+EXPECTED_SCHEMA = "s2rdf-bench/v1"
+REQUIRED_KEYS = {
+    "schema",
+    "name",
+    "description",
+    "columns",
+    "rows",
+    "notes",
+    "counters",
+    "timings",
+    "stash",
+}
+
+
+def check_file(path: pathlib.Path) -> List[str]:
+    """Return a list of problems with ``path`` (empty = valid)."""
+    problems: List[str] = []
+    try:
+        # parse_constant rejects Infinity/-Infinity/NaN, which json.loads
+        # would otherwise accept despite being invalid strict JSON.
+        payload = json.loads(
+            path.read_text(encoding="utf-8"),
+            parse_constant=lambda token: (_ for _ in ()).throw(ValueError(token)),
+        )
+    except (ValueError, OSError) as error:
+        return [f"not strict JSON: {error}"]
+
+    if not isinstance(payload, dict):
+        return ["top level is not an object"]
+    missing = REQUIRED_KEYS - payload.keys()
+    if missing:
+        problems.append(f"missing keys: {sorted(missing)}")
+        return problems
+    if payload["schema"] != EXPECTED_SCHEMA:
+        problems.append(f"schema is {payload['schema']!r}, expected {EXPECTED_SCHEMA!r}")
+    if not isinstance(payload["name"], str) or not payload["name"]:
+        problems.append("name must be a non-empty string")
+    columns = payload["columns"]
+    if not isinstance(columns, list) or not all(isinstance(c, str) for c in columns):
+        problems.append("columns must be a list of strings")
+        columns = []
+    rows = payload["rows"]
+    if not isinstance(rows, list):
+        problems.append("rows must be a list")
+        rows = []
+    for index, row in enumerate(rows):
+        if not isinstance(row, dict):
+            problems.append(f"row {index} is not an object")
+            continue
+        unknown = set(row) - set(columns)
+        if unknown:
+            problems.append(f"row {index} has keys outside columns: {sorted(unknown)}")
+    for section in ("counters", "timings"):
+        mapping = payload[section]
+        if not isinstance(mapping, dict):
+            problems.append(f"{section} must be an object")
+            continue
+        for key, value in mapping.items():
+            if key not in columns:
+                problems.append(f"{section} key {key!r} is not a column")
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"{section}[{key!r}] is not a number")
+    if not isinstance(payload["notes"], list):
+        problems.append("notes must be a list")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    if argv:
+        paths = [pathlib.Path(arg) for arg in argv]
+    else:
+        output_dir = pathlib.Path(__file__).parent / "output"
+        paths = sorted(output_dir.glob("BENCH_*.json"))
+    if not paths:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in paths:
+        problems = check_file(path)
+        if problems:
+            failures += 1
+            print(f"FAIL {path}")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"ok   {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -35,7 +35,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence
 
-from repro.bench.reporting import ExperimentReport
+from repro.bench.reporting import ExperimentReport, write_bench_json
 from repro.core.session import S2RDFSession, SessionConfig
 from repro.mappings.extvp import ExtVPLayout
 from repro.rdf.graph import Graph
@@ -150,12 +150,17 @@ def run_aqe(
     _stale_statistics(layout.catalog, stale_factor)
     queries = _workload()
 
-    def session_for(adaptive: bool, broadcast_threshold: Optional[int] = None) -> S2RDFSession:
+    def session_for(
+        adaptive: bool,
+        broadcast_threshold: Optional[int] = None,
+        tracing_enabled: bool = False,
+    ) -> S2RDFSession:
         config = SessionConfig(
             selectivity_threshold=selectivity_threshold,
             num_partitions=num_partitions,
             adaptive_enabled=adaptive,
             skew_factor=skew_factor,
+            tracing_enabled=tracing_enabled,
         )
         if broadcast_threshold is not None:
             config.broadcast_threshold = broadcast_threshold
@@ -227,6 +232,15 @@ def run_aqe(
     report.add_note(
         "result_tuples must be identical in every mode: adaptivity changes schedules, never answers."
     )
+
+    # One extra *traced* pass, outside the measured rows, so the machine-
+    # readable output carries a span-level picture of the adaptive run.  A
+    # fresh layout copy is not needed: tracing never changes plans, and this
+    # pass runs after every measurement.
+    with session_for(adaptive=True, tracing_enabled=True) as traced_session:
+        _run_workload(traced_session, queries)
+        report.stash["trace"] = traced_session.tracer.summary()
+        report.stash["metrics"] = traced_session.metrics.snapshot()["counters"]
     return report
 
 
@@ -241,11 +255,18 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         action="store_true",
         help="tiny scale for CI: exercises every mode, asserts the invariants",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="also write machine-readable benchmarks/output/BENCH_aqe.json",
+    )
     args = parser.parse_args(argv)
     scale = 0.3 if args.smoke else args.scale
     partitions = 4 if args.smoke else args.partitions
     report = run_aqe(scale_factor=scale, num_partitions=partitions)
     print(report.to_text())
+    if args.json:
+        print(f"wrote {write_bench_json(report, 'aqe')}")
     if args.smoke:
         tuples = {row["result_tuples"] for row in report.rows}
         assert len(tuples) == 1, f"modes disagree on results: {tuples}"

@@ -29,7 +29,7 @@ import tempfile
 import time
 from typing import Dict, List, Optional, Sequence
 
-from repro.bench.reporting import ExperimentReport
+from repro.bench.reporting import ExperimentReport, write_bench_json
 from repro.core.session import S2RDFSession
 from repro.rdf.graph import Graph
 from repro.store.format import read_manifest
@@ -266,11 +266,18 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         action="store_true",
         help="tiny scale for CI: asserts equivalence, speedup and compaction wins",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="also write machine-readable benchmarks/output/BENCH_incremental_store.json",
+    )
     args = parser.parse_args(argv)
     scale = 0.5 if args.smoke else args.scale
     batches = 2 if args.smoke else args.batches
     report = run_incremental_store(scale_factor=scale, batches=batches)
     print(report.to_text())
+    if args.json:
+        print(f"wrote {write_bench_json(report, 'incremental_store')}")
     if args.smoke:
         stash = report.stash
         # The deterministic win: appends write only deltas, rebuilds rewrite

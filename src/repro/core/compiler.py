@@ -14,6 +14,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.bgp import BGPCompilationResult, compile_bgp
 from repro.core.table_selection import TableSelector
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.engine.plan import (
     DistinctNode,
     EmptyNode,
@@ -73,9 +74,15 @@ class CompiledQuery:
 class QueryCompiler:
     """Compiles parsed SPARQL queries into logical plans."""
 
-    def __init__(self, selector: TableSelector, optimize_join_order: bool = True) -> None:
+    def __init__(
+        self,
+        selector: TableSelector,
+        optimize_join_order: bool = True,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.selector = selector
         self.optimize_join_order = optimize_join_order
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------ #
     def compile(self, query: Query) -> CompiledQuery:
@@ -99,7 +106,14 @@ class QueryCompiler:
     # ------------------------------------------------------------------ #
     def _compile_pattern(self, node: PatternNode, bgp_results: List[BGPCompilationResult]) -> PlanNode:
         if isinstance(node, BGP):
-            result = compile_bgp(node, self.selector, self.optimize_join_order)
+            with self.tracer.span(
+                "table-selection", category="compile", patterns=len(node.patterns)
+            ) as span:
+                result = compile_bgp(node, self.selector, self.optimize_join_order)
+                span.set(
+                    selected_tables=list(result.selected_tables),
+                    statically_empty=result.statically_empty,
+                )
             bgp_results.append(result)
             return result.plan
         if isinstance(node, Filter):

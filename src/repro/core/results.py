@@ -25,8 +25,13 @@ class QueryResult:
     sql: str
     metrics: ExecutionMetrics
     simulated_runtime_ms: float
-    wallclock_ms: float
+    #: Total wall-clock time of the query() call, in milliseconds.
+    wall_clock_ms: float
     statically_empty: bool = False
+    #: Wall-clock milliseconds per query phase (``parse``, ``compile``,
+    #: ``plan``, ``execute``).  Populated even when tracing is disabled — the
+    #: session times the phases directly; the tracer only adds span detail.
+    phase_ms: Dict[str, float] = field(default_factory=dict)
     selected_tables: List[str] = field(default_factory=list)
     #: Physical join strategies chosen by the runtime's *static* planning
     #: step, in bottom-up order (e.g. ``"BroadcastHashJoin(build=right, ...)"``).
@@ -38,6 +43,11 @@ class QueryResult:
     #: Human-readable ``"initial -> executed"`` entries for every join whose
     #: executed strategy differs from the plan.
     replanned_joins: List[str] = field(default_factory=list)
+
+    @property
+    def wallclock_ms(self) -> float:
+        """Backwards-compatible alias for :attr:`wall_clock_ms`."""
+        return self.wall_clock_ms
 
     @property
     def variables(self) -> Sequence[str]:

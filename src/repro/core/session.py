@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterable, Optional, Union
+from typing import Dict, Iterable, Optional, Tuple, Union
 
 from repro.core.compiler import CompiledQuery, QueryCompiler
 from repro.core.results import QueryResult
@@ -33,6 +33,13 @@ from repro.engine.cluster import SparkCostModel
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.runtime import DEFAULT_BROADCAST_THRESHOLD, DEFAULT_SKEW_FACTOR, ParallelExecutor
 from repro.mappings.extvp import ExtVPLayout
+from repro.obs.explain import (
+    ExplainAnalyzeResult,
+    collect_estimates,
+    render_explain_analyze,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.rdf.graph import Graph
 from repro.rdf.ntriples import parse_ntriples
 from repro.rdf.triple import Triple
@@ -85,6 +92,11 @@ class SessionConfig:
     #: :meth:`S2RDFSession.compact` merges a table's delta segments back into
     #: base segments once it has accumulated at least this many of them.
     compaction_threshold: int = 1
+    #: Record query-lifecycle spans (parse → compile → plan → execute, with
+    #: per-scan/per-join/per-task children) on the session's tracer.  Disabled
+    #: by default: every instrumentation site then sees a shared no-op span,
+    #: so the query path stays allocation-free.
+    tracing_enabled: bool = False
 
 
 class S2RDFSession:
@@ -95,18 +107,37 @@ class S2RDFSession:
         layout: ExtVPLayout,
         config: Optional[SessionConfig] = None,
         cost_model: Optional[SparkCostModel] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.layout = layout
         self.config = config or SessionConfig()
         self.cost_model = cost_model or SparkCostModel()
+        #: Query-lifecycle tracer; the shared no-op tracer unless tracing is
+        #: enabled (or a caller injects one, e.g. ``open_dataset`` so the cold
+        #: open itself is on the timeline).
+        if tracer is not None:
+            self.tracer = tracer
+        elif self.config.tracing_enabled:
+            self.tracer = Tracer(enabled=True)
+        else:
+            self.tracer = NULL_TRACER
+        #: Session-level counters and histograms, aggregated across queries,
+        #: appends, compactions and cold opens.
+        self.metrics = MetricsRegistry()
         self.selector = TableSelector(layout, use_extvp=self.config.use_extvp)
-        self.compiler = QueryCompiler(self.selector, optimize_join_order=self.config.optimize_join_order)
+        self.compiler = QueryCompiler(
+            self.selector,
+            optimize_join_order=self.config.optimize_join_order,
+            tracer=self.tracer,
+        )
         self.executor = ParallelExecutor(
             layout.catalog,
             num_partitions=self.config.num_partitions,
             broadcast_threshold=self.config.broadcast_threshold,
             adaptive_enabled=self.config.adaptive_enabled,
             skew_factor=self.config.skew_factor,
+            tracer=self.tracer,
+            metrics_registry=self.metrics,
         )
         #: Set by :meth:`open_dataset`: instrumentation of the cold open.
         self.load_report: Optional[DatasetLoadReport] = None
@@ -132,6 +163,7 @@ class S2RDFSession:
         broadcast_threshold: int = DEFAULT_BROADCAST_THRESHOLD,
         adaptive_enabled: bool = True,
         skew_factor: float = DEFAULT_SKEW_FACTOR,
+        tracing_enabled: bool = False,
     ) -> "S2RDFSession":
         """Build the data layout for ``graph`` and return a ready session."""
         config = SessionConfig(
@@ -144,6 +176,7 @@ class S2RDFSession:
             broadcast_threshold=broadcast_threshold,
             adaptive_enabled=adaptive_enabled,
             skew_factor=skew_factor,
+            tracing_enabled=tracing_enabled,
         )
         layout = ExtVPLayout(
             selectivity_threshold=selectivity_threshold if use_extvp else 0.0,
@@ -177,8 +210,17 @@ class S2RDFSession:
         runtime's shuffle partitioning.
         """
         buckets = num_buckets if num_buckets is not None else max(self.config.num_partitions, 1)
-        report = DatasetWriter(num_buckets=buckets).write(path, self.layout, overwrite=overwrite)
+        with self.tracer.span("store.save", category="store", path=path) as span:
+            report = DatasetWriter(num_buckets=buckets).write(path, self.layout, overwrite=overwrite)
+            span.set(tables=report.table_count, bytes=report.total_bytes)
         self.dataset_path = path
+        self.metrics.inc("s2rdf_store_saves_total", help="Full dataset writes")
+        self.metrics.inc(
+            "s2rdf_store_bytes_written_total",
+            report.total_bytes,
+            help="Bytes written to the dataset store (saves + appends + compactions)",
+        )
+        self.metrics.observe("s2rdf_store_save_ms", report.write_seconds * 1000.0)
         return report
 
     @classmethod
@@ -194,6 +236,7 @@ class S2RDFSession:
         adaptive_enabled: bool = True,
         skew_factor: float = DEFAULT_SKEW_FACTOR,
         compaction_threshold: int = 1,
+        tracing_enabled: bool = False,
     ) -> "S2RDFSession":
         """Cold-start a session from a dataset written by :meth:`save_dataset`.
 
@@ -202,8 +245,16 @@ class S2RDFSession:
         them (with projection + equality-predicate pushdown and zone-map
         segment pruning).  ``num_partitions`` defaults to the stored bucket
         count, which lets shuffle joins consume scans partition-aligned.
+        With ``tracing_enabled`` the cold open itself appears on the trace
+        timeline as a ``store.open`` span.
         """
-        layout, load_report, _dataset = _open_stored_dataset(path)
+        tracer = Tracer(enabled=True) if tracing_enabled else NULL_TRACER
+        with tracer.span("store.open", category="store", path=path) as span:
+            layout, load_report, _dataset = _open_stored_dataset(path, tracer=tracer)
+            span.set(
+                tables=load_report.table_count,
+                dictionary_terms=load_report.dictionary_terms,
+            )
         config = SessionConfig(
             selectivity_threshold=layout.selectivity_threshold,
             use_extvp=use_extvp,
@@ -215,10 +266,19 @@ class S2RDFSession:
             adaptive_enabled=adaptive_enabled,
             skew_factor=skew_factor,
             compaction_threshold=compaction_threshold,
+            tracing_enabled=tracing_enabled,
         )
-        session = cls(layout, config=config, cost_model=cost_model)
+        session = cls(layout, config=config, cost_model=cost_model, tracer=tracer)
         session.load_report = load_report
         session.dataset_path = path
+        session.metrics.inc(
+            "s2rdf_store_cold_opens_total", help="Dataset cold opens performed"
+        )
+        session.metrics.observe(
+            "s2rdf_store_open_ms",
+            load_report.load_seconds * 1000.0,
+            help="Cold-open latency",
+        )
         return session
 
     # ------------------------------------------------------------------ #
@@ -240,9 +300,26 @@ class S2RDFSession:
         Requires a session that was persisted: either opened with
         :meth:`open_dataset` or saved with :meth:`save_dataset`.
         """
-        report = DatasetAppender(self._require_dataset_path()).append(triples)
+        with self.tracer.span("store.append", category="store") as span:
+            report = DatasetAppender(self._require_dataset_path()).append(triples)
+            span.set(
+                triples=report.triples_appended,
+                delta_segments=report.delta_segments,
+                bytes=report.bytes_written,
+            )
+            if report.triples_appended:
+                self._refresh_from_store()
+        self.metrics.inc("s2rdf_store_appends_total", help="Delta appends performed")
+        self.metrics.inc("s2rdf_store_bytes_written_total", report.bytes_written)
+        self.metrics.observe("s2rdf_store_append_ms", report.append_seconds * 1000.0)
         if report.triples_appended:
-            self._refresh_from_store()
+            # Write amplification of the append path: bytes written to the
+            # store per logical triple appended.
+            self.metrics.observe(
+                "s2rdf_append_bytes_per_triple",
+                report.bytes_written / report.triples_appended,
+                help="Append write amplification (bytes written per triple)",
+            )
         return report
 
     def compact(self, compaction_threshold: Optional[int] = None) -> CompactionReport:
@@ -258,11 +335,28 @@ class S2RDFSession:
             if compaction_threshold is not None
             else self.config.compaction_threshold
         )
-        report = DatasetCompactor(compaction_threshold=threshold).compact(
-            self._require_dataset_path()
-        )
-        if report.tables_compacted:
-            self._refresh_from_store()
+        with self.tracer.span("store.compact", category="store") as span:
+            report = DatasetCompactor(compaction_threshold=threshold).compact(
+                self._require_dataset_path()
+            )
+            span.set(
+                tables=report.tables_compacted,
+                delta_rows=report.delta_rows_merged,
+                bytes=report.bytes_written,
+            )
+            if report.tables_compacted:
+                self._refresh_from_store()
+        self.metrics.inc("s2rdf_store_compactions_total", help="Compaction runs")
+        self.metrics.inc("s2rdf_store_bytes_written_total", report.bytes_written)
+        self.metrics.observe("s2rdf_store_compact_ms", report.compact_seconds * 1000.0)
+        if report.delta_rows_merged:
+            # Write amplification of compaction: bytes rewritten per delta
+            # row folded back into a base segment.
+            self.metrics.observe(
+                "s2rdf_compact_bytes_per_row",
+                report.bytes_written / report.delta_rows_merged,
+                help="Compaction write amplification (bytes written per merged delta row)",
+            )
         return report
 
     def _require_dataset_path(self) -> str:
@@ -275,7 +369,8 @@ class S2RDFSession:
     def _refresh_from_store(self) -> None:
         """Re-register every stored table from the freshly rewritten manifest."""
         assert self.dataset_path is not None
-        _refresh_stored_dataset(self.layout, self.dataset_path)
+        with self.tracer.span("store.refresh", category="store"):
+            _refresh_stored_dataset(self.layout, self.dataset_path)
 
     # ------------------------------------------------------------------ #
     # Query execution
@@ -293,35 +388,140 @@ class S2RDFSession:
 
     def query(self, query: Union[str, Query]) -> QueryResult:
         """Parse, compile and execute a SPARQL query."""
-        compiled = self.compile(query)
-        metrics = ExecutionMetrics()
-        start = time.perf_counter()
-        relation = self.executor.execute(compiled.plan, metrics)
-        wallclock_ms = (time.perf_counter() - start) * 1000.0
-        scaled_metrics = metrics.scaled(self.config.work_scale) if self.config.work_scale != 1.0 else metrics
-        simulated = self.cost_model.runtime_ms(scaled_metrics)
+        result, _, _ = self._run(query)
+        return result
+
+    def explain_analyze(self, query: Union[str, Query]) -> ExplainAnalyzeResult:
+        """Execute ``query`` and render its physical plan with observations.
+
+        Each operator is annotated with estimated vs. observed rows (the
+        estimates are captured *before* execution, so stale statistics show
+        up as mis-estimates), the statically chosen vs. actually executed
+        join strategy (with the AQE revision reason when they differ),
+        elapsed wall-clock time, and exchange volume.  The returned object
+        carries both the rendered report (``str(...)``) and the full
+        :class:`~repro.core.results.QueryResult`.
+        """
+        result, compiled, estimates = self._run(query, capture_estimates=True)
         physical = self.executor.last_physical_plan
-        return QueryResult(
-            relation=relation,
-            sql=compiled.sql(),
-            metrics=metrics,
-            simulated_runtime_ms=simulated,
-            wallclock_ms=wallclock_ms,
-            statically_empty=compiled.statically_empty,
-            selected_tables=compiled.selected_tables,
-            join_strategies=physical.describe() if physical is not None else [],
-            executed_join_strategies=(
-                physical.describe(executed=True) if physical is not None else []
-            ),
-            replanned_joins=(
-                [
-                    f"{initial.describe()} -> {executed.describe()}"
-                    for initial, executed in physical.replans()
-                ]
-                if physical is not None
-                else []
-            ),
+        replan_events = (
+            self.executor.adaptive.replan_events if self.executor.adaptive is not None else ()
         )
+        tree = render_explain_analyze(
+            compiled.plan,
+            estimates or {},
+            self.executor.last_node_stats,
+            self.executor.last_exchange_stats,
+            physical,
+            replan_events,
+        )
+        phases = ", ".join(f"{name}={ms:.2f} ms" for name, ms in result.phase_ms.items())
+        lines = [
+            "== Physical Plan (analyzed) ==",
+            tree,
+            "",
+            f"Phases: {phases}",
+            f"Wall clock: {result.wall_clock_ms:.2f} ms; "
+            f"simulated cluster runtime: {result.simulated_runtime_ms:.2f} ms",
+        ]
+        if result.replanned_joins:
+            lines.append("AQE replans:")
+            lines.extend(f"  - {entry}" for entry in result.replanned_joins)
+        return ExplainAnalyzeResult(result=result, text="\n".join(lines))
+
+    def _run(
+        self, query: Union[str, Query], capture_estimates: bool = False
+    ) -> Tuple[QueryResult, CompiledQuery, Optional[Dict[int, int]]]:
+        """The traced query pipeline: parse → compile → plan → execute → render."""
+        total_start = time.perf_counter()
+        phase_ms: Dict[str, float] = {}
+        with self.tracer.span("query", category="query") as root:
+            phase_start = time.perf_counter()
+            with self.tracer.span("parse", category="query"):
+                parsed = self.parse(query) if isinstance(query, str) else query
+            phase_ms["parse"] = (time.perf_counter() - phase_start) * 1000.0
+
+            phase_start = time.perf_counter()
+            with self.tracer.span("compile", category="query"):
+                compiled = self.compiler.compile(parsed)
+            phase_ms["compile"] = (time.perf_counter() - phase_start) * 1000.0
+
+            # Estimates must be captured before execution: adaptive runs feed
+            # observed cardinalities back into the catalog's statistics cache.
+            estimates = (
+                collect_estimates(
+                    compiled.plan,
+                    self.layout.catalog,
+                    use_observed=self.executor.adaptive_enabled,
+                )
+                if capture_estimates
+                else None
+            )
+
+            metrics = ExecutionMetrics()
+            phase_start = time.perf_counter()
+            with self.tracer.span("execute", category="query"):
+                relation = self.executor.execute(compiled.plan, metrics)
+            execute_ms = (time.perf_counter() - phase_start) * 1000.0
+            # The physical-planning step runs inside executor.execute(); split
+            # it out so the phase dict matches the span structure.
+            plan_ms = min(self.executor.last_plan_ms, execute_ms)
+            phase_ms["plan"] = plan_ms
+            phase_ms["execute"] = execute_ms - plan_ms
+
+            with self.tracer.span("render", category="query"):
+                scaled_metrics = (
+                    metrics.scaled(self.config.work_scale)
+                    if self.config.work_scale != 1.0
+                    else metrics
+                )
+                simulated = self.cost_model.runtime_ms(scaled_metrics)
+                physical = self.executor.last_physical_plan
+                result = QueryResult(
+                    relation=relation,
+                    sql=compiled.sql(),
+                    metrics=metrics,
+                    simulated_runtime_ms=simulated,
+                    wall_clock_ms=(time.perf_counter() - total_start) * 1000.0,
+                    statically_empty=compiled.statically_empty,
+                    phase_ms=phase_ms,
+                    selected_tables=compiled.selected_tables,
+                    join_strategies=physical.describe() if physical is not None else [],
+                    executed_join_strategies=(
+                        physical.describe(executed=True) if physical is not None else []
+                    ),
+                    replanned_joins=(
+                        [
+                            f"{initial.describe()} -> {executed.describe()}"
+                            for initial, executed in physical.replans()
+                        ]
+                        if physical is not None
+                        else []
+                    ),
+                )
+            root.set(rows=len(relation))
+        self._record_query_metrics(result)
+        return result, compiled, estimates
+
+    def _record_query_metrics(self, result: QueryResult) -> None:
+        """Fold one query's execution metrics into the session registry."""
+        metrics = result.metrics
+        registry = self.metrics
+        registry.inc("s2rdf_queries_total", help="Queries executed by this session")
+        registry.inc("s2rdf_input_tuples_total", metrics.input_tuples)
+        registry.inc("s2rdf_output_tuples_total", metrics.output_tuples)
+        registry.inc("s2rdf_shuffled_bytes_total", metrics.shuffled_bytes)
+        registry.inc("s2rdf_broadcast_bytes_total", metrics.broadcast_bytes)
+        registry.inc("s2rdf_aqe_replans_total", metrics.aqe_replans)
+        registry.inc("s2rdf_aqe_skew_splits_total", metrics.aqe_skew_splits)
+        registry.observe("s2rdf_query_wall_ms", result.wall_clock_ms)
+        segments = metrics.store_segments_scanned + metrics.store_segments_pruned
+        if segments:
+            registry.observe(
+                "s2rdf_segment_prune_ratio",
+                metrics.store_segments_pruned / segments,
+                help="Fraction of store segments skipped by pruning, per query",
+            )
 
     # ------------------------------------------------------------------ #
     # Lifecycle

@@ -8,13 +8,22 @@ can report exactly these quantities and feed them to the cost models.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass, field, fields
+from typing import ClassVar, Dict, FrozenSet, Tuple
 
 
 @dataclass
 class ExecutionMetrics:
-    """Counters collected while executing one query."""
+    """Counters collected while executing one query.
+
+    ``merge``/``copy``/``as_dict`` are derived from ``dataclasses.fields()``,
+    so adding a counter field needs no lockstep edits — only the *scaling
+    category* must be declared: a new field's name goes into
+    :data:`DATA_PROPORTIONAL` if it grows with data size, into
+    :data:`UNSCALED_TIMINGS` if it is an observed wall-clock measurement, and
+    nowhere otherwise (structural counters are copied unscaled).  The
+    fields-audit test asserts every field is classified.
+    """
 
     #: Tuples read from base tables (query input size).
     input_tuples: int = 0
@@ -60,6 +69,31 @@ class ExecutionMetrics:
     aqe_skew_splits: int = 0
     #: Per-table scan counts, useful for debugging table selection.
     scanned_tables: Dict[str, int] = field(default_factory=dict)
+
+    #: Fields multiplied by :meth:`scaled`'s factor (tuple and byte counts,
+    #: including the per-table ``scanned_tables`` map): they grow with data
+    #: size, so the benchmark harness extrapolates them to the paper's scale.
+    DATA_PROPORTIONAL: ClassVar[FrozenSet[str]] = frozenset(
+        {
+            "input_tuples",
+            "shuffled_tuples",
+            "join_comparisons",
+            "output_tuples",
+            "intermediate_tuples",
+            "shuffled_bytes",
+            "broadcast_bytes",
+            "scanned_tables",
+        }
+    )
+    #: Observed wall-clock timings: copied *unscaled* by :meth:`scaled` — they
+    #: measure this machine at this data scale, and extrapolated runtimes must
+    #: come from the cost models' counter-derived terms.
+    UNSCALED_TIMINGS: ClassVar[FrozenSet[str]] = frozenset({"critical_path_ms"})
+
+    @classmethod
+    def field_names(cls) -> Tuple[str, ...]:
+        """Every counter field, in declaration order."""
+        return tuple(f.name for f in fields(cls))
 
     def record_scan(self, table_name: str, rows: int) -> None:
         self.input_tuples += rows
@@ -107,103 +141,59 @@ class ExecutionMetrics:
         self.aqe_skew_splits += extra_tasks
 
     def merge(self, other: "ExecutionMetrics") -> None:
-        """Accumulate another metrics object into this one."""
-        self.input_tuples += other.input_tuples
-        self.shuffled_tuples += other.shuffled_tuples
-        self.join_comparisons += other.join_comparisons
-        self.output_tuples += other.output_tuples
-        self.intermediate_tuples += other.intermediate_tuples
-        self.joins += other.joins
-        self.table_scans += other.table_scans
-        self.stages += other.stages
-        self.shuffled_bytes += other.shuffled_bytes
-        self.broadcast_bytes += other.broadcast_bytes
-        self.shuffle_joins += other.shuffle_joins
-        self.broadcast_joins += other.broadcast_joins
-        self.parallel_tasks += other.parallel_tasks
-        self.critical_path_ms += other.critical_path_ms
-        self.store_segments_scanned += other.store_segments_scanned
-        self.store_segments_pruned += other.store_segments_pruned
-        self.partition_aligned_inputs += other.partition_aligned_inputs
-        self.aqe_replans += other.aqe_replans
-        self.aqe_skew_splits += other.aqe_skew_splits
-        for table, rows in other.scanned_tables.items():
-            self.scanned_tables[table] = self.scanned_tables.get(table, 0) + rows
+        """Accumulate another metrics object into this one (field-derived)."""
+        for name in self.field_names():
+            value = getattr(other, name)
+            if isinstance(value, dict):
+                mine = getattr(self, name)
+                for key, amount in value.items():
+                    mine[key] = mine.get(key, 0) + amount
+            else:
+                setattr(self, name, getattr(self, name) + value)
 
     def scaled(self, factor: float) -> "ExecutionMetrics":
         """Return a copy with all data-proportional counters multiplied.
 
         The benchmark harness uses this to extrapolate counters measured on a
         laptop-scale dataset to the paper's data scale before feeding them to
-        the cost models.  The scaling contract:
+        the cost models.  The scaling contract, encoded by the two class-level
+        category sets:
 
-        * *data-proportional* counters (tuple and byte counts, including the
-          per-table ``scanned_tables`` map) are multiplied by ``factor``;
-        * *structural* counters (``joins``, ``table_scans``, ``stages``,
-          strategy and task counts, ``aqe_replans``, ``aqe_skew_splits``) do
-          not grow with data size and stay unchanged;
-        * *observed wall-clock* timings (``critical_path_ms``) are
-          deliberately copied unscaled: they measure this machine at this
-          data scale, and extrapolated runtimes must come from the cost
-          models' counter-derived terms — multiplying a measured time by the
-          data factor would double-count hardware speed.
+        * fields in :data:`DATA_PROPORTIONAL` are multiplied by ``factor``;
+        * fields in :data:`UNSCALED_TIMINGS` are copied unscaled — multiplying
+          a measured time by the data factor would double-count hardware
+          speed;
+        * every other field is *structural* (``joins``, ``table_scans``,
+          ``stages``, strategy and task counts, ``aqe_replans``,
+          ``aqe_skew_splits``): it does not grow with data size and stays
+          unchanged.
         """
         clone = self.copy()
-        clone.input_tuples = int(self.input_tuples * factor)
-        clone.shuffled_tuples = int(self.shuffled_tuples * factor)
-        clone.join_comparisons = int(self.join_comparisons * factor)
-        clone.output_tuples = int(self.output_tuples * factor)
-        clone.intermediate_tuples = int(self.intermediate_tuples * factor)
-        clone.shuffled_bytes = int(self.shuffled_bytes * factor)
-        clone.broadcast_bytes = int(self.broadcast_bytes * factor)
-        clone.scanned_tables = {table: int(rows * factor) for table, rows in self.scanned_tables.items()}
+        for name in self.field_names():
+            if name not in self.DATA_PROPORTIONAL:
+                continue
+            value = getattr(self, name)
+            if isinstance(value, dict):
+                setattr(clone, name, {key: int(v * factor) for key, v in value.items()})
+            else:
+                setattr(clone, name, int(value * factor))
         return clone
 
     def copy(self) -> "ExecutionMetrics":
-        clone = ExecutionMetrics(
-            input_tuples=self.input_tuples,
-            shuffled_tuples=self.shuffled_tuples,
-            join_comparisons=self.join_comparisons,
-            output_tuples=self.output_tuples,
-            intermediate_tuples=self.intermediate_tuples,
-            joins=self.joins,
-            table_scans=self.table_scans,
-            stages=self.stages,
-            shuffled_bytes=self.shuffled_bytes,
-            broadcast_bytes=self.broadcast_bytes,
-            shuffle_joins=self.shuffle_joins,
-            broadcast_joins=self.broadcast_joins,
-            parallel_tasks=self.parallel_tasks,
-            critical_path_ms=self.critical_path_ms,
-            store_segments_scanned=self.store_segments_scanned,
-            store_segments_pruned=self.store_segments_pruned,
-            partition_aligned_inputs=self.partition_aligned_inputs,
-            aqe_replans=self.aqe_replans,
-            aqe_skew_splits=self.aqe_skew_splits,
-        )
-        clone.scanned_tables = dict(self.scanned_tables)
+        clone = ExecutionMetrics()
+        for name in self.field_names():
+            value = getattr(self, name)
+            setattr(clone, name, dict(value) if isinstance(value, dict) else value)
         return clone
 
     def as_dict(self) -> Dict[str, object]:
-        return {
-            "input_tuples": self.input_tuples,
-            "shuffled_tuples": self.shuffled_tuples,
-            "join_comparisons": self.join_comparisons,
-            "output_tuples": self.output_tuples,
-            "intermediate_tuples": self.intermediate_tuples,
-            "joins": self.joins,
-            "table_scans": self.table_scans,
-            "stages": self.stages,
-            "shuffled_bytes": self.shuffled_bytes,
-            "broadcast_bytes": self.broadcast_bytes,
-            "shuffle_joins": self.shuffle_joins,
-            "broadcast_joins": self.broadcast_joins,
-            "parallel_tasks": self.parallel_tasks,
-            "critical_path_ms": round(self.critical_path_ms, 3),
-            "store_segments_scanned": self.store_segments_scanned,
-            "store_segments_pruned": self.store_segments_pruned,
-            "partition_aligned_inputs": self.partition_aligned_inputs,
-            "aqe_replans": self.aqe_replans,
-            "aqe_skew_splits": self.aqe_skew_splits,
-            "scanned_tables": dict(self.scanned_tables),
-        }
+        out: Dict[str, object] = {}
+        for name in self.field_names():
+            value = getattr(self, name)
+            if isinstance(value, dict):
+                out[name] = dict(value)
+            elif isinstance(value, float):
+                out[name] = round(value, 3)
+            else:
+                out[name] = value
+        return out

@@ -15,6 +15,8 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.engine.catalog import Catalog
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.relation import Relation
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sparql.expressions import Expression
 
 
@@ -303,17 +305,56 @@ def count_joins(node: PlanNode) -> int:
     return own + sum(count_joins(child) for child in node.children())
 
 
-class PlanExecutor:
-    """Executes logical plans against a catalog."""
+@dataclass
+class NodeExecution:
+    """Observed execution of one plan node (keyed by ``id(node)``).
 
-    def __init__(self, catalog: Catalog) -> None:
+    ``elapsed_ms`` is *cumulative*: it includes the node's children, because
+    operators materialize bottom-up inside their parent's frame.  Renderers
+    (``explain_analyze``) subtract child times for self-time displays.
+    """
+
+    rows: int
+    elapsed_ms: float
+
+
+def _node_span_name(plan: PlanNode) -> str:
+    if isinstance(plan, (TableScanNode, SubqueryNode)):
+        return f"scan {plan.table_name}"
+    return type(plan).__name__.removesuffix("Node")
+
+
+class PlanExecutor:
+    """Executes logical plans against a catalog.
+
+    Every operator is wrapped in a tracer span (no-op unless the tracer is
+    enabled) and records a :class:`NodeExecution` into ``last_node_stats``,
+    which ``explain_analyze`` reads to annotate the plan with observed rows
+    and elapsed time per operator.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        tracer: Optional[Tracer] = None,
+        metrics_registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.catalog = catalog
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.registry = metrics_registry
+        #: Per-node observations of the most recently executed plan.
+        self.last_node_stats: Dict[int, NodeExecution] = {}
 
     def execute(self, plan: PlanNode, metrics: Optional[ExecutionMetrics] = None) -> Relation:
         metrics = metrics if metrics is not None else ExecutionMetrics()
+        self.last_node_stats = {}
         result = self._execute(plan, metrics)
         metrics.output_tuples = len(result)
         return result
+
+    def _observe(self, name: str, value: float) -> None:
+        if self.registry is not None:
+            self.registry.observe(name, value)
 
     def _record_scan(self, table_name: str, scan, metrics: ExecutionMetrics) -> None:
         """Record a scan; store-backed scans also report segment pruning.
@@ -324,9 +365,27 @@ class PlanExecutor:
         metrics.record_scan(table_name, scan.rows_scanned)
         if scan.segments_scanned or scan.segments_pruned:
             metrics.record_segment_scan(scan.segments_scanned, scan.segments_pruned)
+            if scan.segments_pruned:
+                # Pruning decision, visible on the scan's span timeline.
+                self.tracer.current().event(
+                    "segment-pruning",
+                    table=table_name,
+                    segments_scanned=scan.segments_scanned,
+                    segments_pruned=scan.segments_pruned,
+                )
 
     # ------------------------------------------------------------------ #
     def _execute(self, plan: PlanNode, metrics: ExecutionMetrics) -> Relation:
+        """Execute ``plan`` inside a span, recording per-node observations."""
+        with self.tracer.span(_node_span_name(plan), category="operator") as span:
+            start = time.perf_counter()
+            result = self._execute_node(plan, metrics)
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            span.set(rows=len(result))
+        self.last_node_stats[id(plan)] = NodeExecution(rows=len(result), elapsed_ms=elapsed_ms)
+        return result
+
+    def _execute_node(self, plan: PlanNode, metrics: ExecutionMetrics) -> Relation:
         if isinstance(plan, EmptyNode):
             return Relation.empty(plan.columns)
         if isinstance(plan, TableScanNode):
@@ -399,7 +458,9 @@ class PlanExecutor:
     ) -> Relation:
         start = time.perf_counter()
         result = left.natural_join(right, metrics)
-        metrics.record_critical_path((time.perf_counter() - start) * 1000.0)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        metrics.record_critical_path(elapsed_ms)
+        self._observe("s2rdf_join_critical_path_ms", elapsed_ms)
         return result
 
     def _left_outer_join(
@@ -407,5 +468,7 @@ class PlanExecutor:
     ) -> Relation:
         start = time.perf_counter()
         result = left.left_outer_join(right, metrics)
-        metrics.record_critical_path((time.perf_counter() - start) * 1000.0)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        metrics.record_critical_path(elapsed_ms)
+        self._observe("s2rdf_join_critical_path_ms", elapsed_ms)
         return result

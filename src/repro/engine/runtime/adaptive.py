@@ -86,6 +86,9 @@ class ReplanEvent:
     initial: JoinStrategy
     revised: JoinStrategy
     reason: str
+    #: ``id()`` of the revised join's plan node, so ``explain_analyze`` can
+    #: attach the revision (and its reason) to the right operator.
+    node_id: int = 0
 
     def describe(self) -> str:
         return f"{self.initial.name} -> {self.revised.name}: {self.reason}"
@@ -173,9 +176,21 @@ class AdaptivePlanner:
 
         if revised.same_decision(planned):
             return revised, None
-        event = ReplanEvent(planned, revised, self._reason(planned, revised, left_bytes, right_bytes))
+        event = ReplanEvent(
+            planned,
+            revised,
+            self._reason(planned, revised, left_bytes, right_bytes),
+            node_id=id(node),
+        )
         self.replan_events.append(event)
         return revised, event
+
+    def replan_event_for(self, node: PlanNode) -> Optional[ReplanEvent]:
+        """The revision recorded for ``node`` during the last execution."""
+        for event in self.replan_events:
+            if event.node_id == id(node):
+                return event
+        return None
 
     def _reason(
         self,

@@ -34,12 +34,15 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.catalog import Catalog, ScanResult
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.plan import LeftOuterJoinNode, NaturalJoinNode, PlanExecutor, PlanNode
 from repro.engine.relation import Relation
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.engine.runtime.adaptive import DEFAULT_SKEW_FACTOR, AdaptivePlanner
 from repro.engine.runtime.partitioned import PartitionedRelation, estimated_bytes
 from repro.engine.runtime.strategies import (
@@ -54,6 +57,16 @@ from repro.engine.runtime.strategies import (
 _TaskResult = Tuple[Relation, int, float]
 
 
+@dataclass
+class ExchangeStats:
+    """Observed I/O of one join's exchange (keyed by ``id(plan node)``)."""
+
+    kind: str  # "shuffle" | "broadcast"
+    transferred_bytes: int
+    tasks: int
+    critical_path_ms: float = 0.0
+
+
 class ParallelExecutor(PlanExecutor):
     """Executes logical plans with partitioned, pooled join operators."""
 
@@ -65,8 +78,10 @@ class ParallelExecutor(PlanExecutor):
         max_workers: Optional[int] = None,
         adaptive_enabled: bool = True,
         skew_factor: float = DEFAULT_SKEW_FACTOR,
+        tracer: Optional[Tracer] = None,
+        metrics_registry: Optional[MetricsRegistry] = None,
     ) -> None:
-        super().__init__(catalog)
+        super().__init__(catalog, tracer=tracer, metrics_registry=metrics_registry)
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
         self.num_partitions = num_partitions
@@ -75,6 +90,10 @@ class ParallelExecutor(PlanExecutor):
         self._pool: Optional[ThreadPoolExecutor] = None
         #: Join-strategy annotations of the most recently executed plan.
         self.last_physical_plan: Optional[PhysicalPlan] = None
+        #: Time spent in the physical-planning step of the last execute().
+        self.last_plan_ms: float = 0.0
+        #: Observed exchange I/O per join node of the last executed plan.
+        self.last_exchange_stats: Dict[int, ExchangeStats] = {}
         #: Adaptive re-planning; ``None`` reproduces the static plan exactly.
         self.adaptive: Optional[AdaptivePlanner] = (
             AdaptivePlanner(catalog, broadcast_threshold, skew_factor=skew_factor)
@@ -90,7 +109,12 @@ class ParallelExecutor(PlanExecutor):
     def execute(self, plan: PlanNode, metrics: Optional[ExecutionMetrics] = None) -> Relation:
         if self.adaptive is not None:
             self.adaptive.reset()
-        self.last_physical_plan = self.plan_physical(plan)
+        self.last_exchange_stats = {}
+        start = time.perf_counter()
+        with self.tracer.span("physical-plan", category="query") as span:
+            self.last_physical_plan = self.plan_physical(plan)
+            span.set(joins=len(self.last_physical_plan.strategies()))
+        self.last_plan_ms = (time.perf_counter() - start) * 1000.0
         return super().execute(plan, metrics)
 
     def plan_physical(self, plan: PlanNode) -> PhysicalPlan:
@@ -171,18 +195,27 @@ class ParallelExecutor(PlanExecutor):
             strategy, event = self.adaptive.revise(plan, planned, left, right)
             if event is not None:
                 metrics.record_replan()
+                # Replan decision, timestamped on the join operator's span.
+                self.tracer.current().event(
+                    "aqe-replan",
+                    initial=event.initial.name,
+                    revised=event.revised.name,
+                    reason=event.reason,
+                )
         if physical is not None and strategy is not None:
             physical.record_executed(plan, strategy)
 
         if isinstance(strategy, BroadcastHashJoin):
             # Only the non-preserved (right) side of an outer join may build.
             build_left = strategy.build_side == "left" and not outer
-            return self._broadcast_join(left, right, build_left=build_left, metrics=metrics, outer=outer)
+            return self._broadcast_join(
+                plan, left, right, build_left=build_left, metrics=metrics, outer=outer
+            )
         if outer:
             join = lambda l, r, scratch: l.left_outer_join(r, scratch)  # noqa: E731
         else:
             join = lambda l, r, scratch: l.natural_join(r, scratch)  # noqa: E731
-        return self._shuffle_join(left, right, shared, join=join, metrics=metrics, outer=outer)
+        return self._shuffle_join(plan, left, right, shared, join=join, metrics=metrics, outer=outer)
 
     def _worth_parallelising(self, left: Relation, right: Relation, shared: Sequence[str]) -> bool:
         """Fall back to the serial operator for degenerate inputs.
@@ -206,6 +239,7 @@ class ParallelExecutor(PlanExecutor):
     # ------------------------------------------------------------------ #
     def _shuffle_join(
         self,
+        plan: PlanNode,
         left: Relation,
         right: Relation,
         keys: Sequence[str],
@@ -225,39 +259,51 @@ class ParallelExecutor(PlanExecutor):
         *non-preserved* (right) side of an outer join are never split — only
         the preserved side can be chunked without fabricating rows.
         """
-        left_parts, left_aligned = self._partition_input(left, keys)
-        right_parts, right_aligned = self._partition_input(right, keys)
-        assert left_parts.is_co_partitioned_with(right_parts)
-        pairs: List[Tuple[Relation, Relation]] = list(
-            zip(left_parts.partitions, right_parts.partitions)
-        )
-        if self.adaptive is not None:
-            pairs, extra = self.adaptive.split_skewed(
-                pairs,
-                splittable_left=not left_aligned,
-                # Splitting the right side of an outer join would fabricate
-                # null-padded rows for left rows matched in another chunk.
-                splittable_right=not right_aligned and not outer,
+        with self.tracer.span(
+            "shuffle-exchange", category="exchange", keys=",".join(keys)
+        ) as exchange_span:
+            left_parts, left_aligned = self._partition_input(left, keys)
+            right_parts, right_aligned = self._partition_input(right, keys)
+            assert left_parts.is_co_partitioned_with(right_parts)
+            pairs: List[Tuple[Relation, Relation]] = list(
+                zip(left_parts.partitions, right_parts.partitions)
             )
-            if extra:
-                metrics.record_skew_split(extra)
+            if self.adaptive is not None:
+                pairs, extra = self.adaptive.split_skewed(
+                    pairs,
+                    splittable_left=not left_aligned,
+                    # Splitting the right side of an outer join would fabricate
+                    # null-padded rows for left rows matched in another chunk.
+                    splittable_right=not right_aligned and not outer,
+                )
+                if extra:
+                    metrics.record_skew_split(extra)
+                    exchange_span.event("aqe-skew-split", extra_tasks=extra)
 
-        def task(pair: Tuple[Relation, Relation]) -> _TaskResult:
-            left_part, right_part = pair
-            scratch = ExecutionMetrics()
-            start = time.perf_counter()
-            joined = join(left_part, right_part, scratch)
-            return joined, scratch.join_comparisons, (time.perf_counter() - start) * 1000.0
+            def task(indexed: Tuple[int, Tuple[Relation, Relation]]) -> _TaskResult:
+                index, (left_part, right_part) = indexed
+                scratch = ExecutionMetrics()
+                with self.tracer.span(
+                    "join-task", category="task", parent=exchange_span, partition=index
+                ) as task_span:
+                    start = time.perf_counter()
+                    joined = join(left_part, right_part, scratch)
+                    task_span.set(rows=len(joined))
+                return joined, scratch.join_comparisons, (time.perf_counter() - start) * 1000.0
 
-        results = self._run_tasks(task, pairs)
-        shuffled = (0 if left_aligned else left_parts.estimated_bytes()) + (
-            0 if right_aligned else right_parts.estimated_bytes()
-        )
-        metrics.record_shuffle(shuffled, tasks=len(results))
-        aligned = int(left_aligned) + int(right_aligned)
-        if aligned:
-            metrics.record_aligned_input(aligned)
-        return self._merge(left, right, results, metrics)
+            results = self._run_tasks(task, list(enumerate(pairs)))
+            shuffled = (0 if left_aligned else left_parts.estimated_bytes()) + (
+                0 if right_aligned else right_parts.estimated_bytes()
+            )
+            metrics.record_shuffle(shuffled, tasks=len(results))
+            exchange_span.set(transferred_bytes=shuffled, tasks=len(results))
+            aligned = int(left_aligned) + int(right_aligned)
+            if aligned:
+                metrics.record_aligned_input(aligned)
+            self.last_exchange_stats[id(plan)] = ExchangeStats(
+                kind="shuffle", transferred_bytes=shuffled, tasks=len(results)
+            )
+            return self._merge(plan, left, right, results, metrics)
 
     def _partition_input(
         self, relation: Relation, keys: Sequence[str]
@@ -274,6 +320,7 @@ class ParallelExecutor(PlanExecutor):
 
     def _broadcast_join(
         self,
+        plan: PlanNode,
         left: Relation,
         right: Relation,
         build_left: bool,
@@ -286,25 +333,36 @@ class ParallelExecutor(PlanExecutor):
         joins against the full broadcast build side, preserving the serial
         operator's left-first column order.
         """
-        build, probe = (left, right) if build_left else (right, left)
-        probe_parts = PartitionedRelation.from_relation(probe, self.num_partitions)
+        with self.tracer.span(
+            "broadcast-exchange", category="exchange", build="left" if build_left else "right"
+        ) as exchange_span:
+            build, probe = (left, right) if build_left else (right, left)
+            probe_parts = PartitionedRelation.from_relation(probe, self.num_partitions)
 
-        def task(probe_part: Relation) -> _TaskResult:
-            scratch = ExecutionMetrics()
-            start = time.perf_counter()
-            if outer:
-                joined = probe_part.left_outer_join(build, scratch)
-            elif build_left:
-                joined = build.natural_join(probe_part, scratch)
-            else:
-                joined = probe_part.natural_join(build, scratch)
-            return joined, scratch.join_comparisons, (time.perf_counter() - start) * 1000.0
+            def task(indexed: Tuple[int, Relation]) -> _TaskResult:
+                index, probe_part = indexed
+                scratch = ExecutionMetrics()
+                with self.tracer.span(
+                    "join-task", category="task", parent=exchange_span, partition=index
+                ) as task_span:
+                    start = time.perf_counter()
+                    if outer:
+                        joined = probe_part.left_outer_join(build, scratch)
+                    elif build_left:
+                        joined = build.natural_join(probe_part, scratch)
+                    else:
+                        joined = probe_part.natural_join(build, scratch)
+                    task_span.set(rows=len(joined))
+                return joined, scratch.join_comparisons, (time.perf_counter() - start) * 1000.0
 
-        results = self._run_tasks(task, list(probe_parts.partitions))
-        metrics.record_broadcast(
-            estimated_bytes(build) * probe_parts.num_partitions, tasks=len(results)
-        )
-        return self._merge(left, right, results, metrics)
+            results = self._run_tasks(task, list(enumerate(probe_parts.partitions)))
+            broadcast = estimated_bytes(build) * probe_parts.num_partitions
+            metrics.record_broadcast(broadcast, tasks=len(results))
+            exchange_span.set(transferred_bytes=broadcast, tasks=len(results))
+            self.last_exchange_stats[id(plan)] = ExchangeStats(
+                kind="broadcast", transferred_bytes=broadcast, tasks=len(results)
+            )
+            return self._merge(plan, left, right, results, metrics)
 
     # ------------------------------------------------------------------ #
     def _run_tasks(self, task: Callable, items: List) -> List[_TaskResult]:
@@ -320,6 +378,7 @@ class ParallelExecutor(PlanExecutor):
 
     def _merge(
         self,
+        plan: PlanNode,
         left: Relation,
         right: Relation,
         results: List[_TaskResult],
@@ -334,6 +393,11 @@ class ParallelExecutor(PlanExecutor):
             rows.extend(partition.rows)
             comparisons += partition_comparisons
             slowest_ms = max(slowest_ms, elapsed_ms)
+            self._observe("s2rdf_task_ms", elapsed_ms)
         metrics.record_join(len(left), len(right), comparisons, len(rows))
         metrics.record_critical_path(slowest_ms)
+        self._observe("s2rdf_join_critical_path_ms", slowest_ms)
+        exchange = self.last_exchange_stats.get(id(plan))
+        if exchange is not None:
+            exchange.critical_path_ms = slowest_ms
         return Relation(columns, rows)

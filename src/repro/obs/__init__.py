@@ -1,0 +1,26 @@
+"""Observability: query tracing, metrics registry, and EXPLAIN ANALYZE.
+
+This package is deliberately dependency-free within the engine: the tracer and
+registry are imported *by* the engine layers, never the other way round, so
+instrumentation can be threaded through scans, joins and store operations
+without import cycles.
+"""
+
+from repro.obs.registry import (
+    DEFAULT_BUCKET_BOUNDS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import NULL_SPAN, NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKET_BOUNDS",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,194 @@
+"""EXPLAIN ANALYZE rendering: the executed plan, annotated with observations.
+
+``S2RDFSession.explain_analyze`` executes a query and feeds this module the
+logical plan, the per-node estimates captured *before* execution, the
+per-node/per-exchange observations captured by the runtime, and the physical
+plan's strategy annotations.  The renderer draws the operator tree with, per
+operator:
+
+* estimated vs. observed rows (``est=?`` when statistics were missing —
+  exactly the inputs that make the static planner mis-plan);
+* the join strategy that was chosen statically and, when it differs, the
+  strategy adaptive execution actually ran plus the revision's reason;
+* elapsed wall-clock milliseconds (cumulative over the operator's subtree);
+* bytes moved and task counts for shuffle/broadcast exchanges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.engine.catalog import Catalog
+from repro.engine.plan import (
+    DistinctNode,
+    EmptyNode,
+    FilterNode,
+    LeftOuterJoinNode,
+    LimitNode,
+    NaturalJoinNode,
+    NodeExecution,
+    OrderByNode,
+    PlanNode,
+    ProjectNode,
+    SubqueryNode,
+    TableScanNode,
+    UnionNode,
+)
+from repro.engine.runtime.adaptive import ReplanEvent
+from repro.engine.runtime.executor import ExchangeStats
+from repro.engine.runtime.strategies import UNKNOWN_ROWS, PhysicalPlan, estimate_rows
+
+
+def collect_estimates(
+    plan: PlanNode, catalog: Catalog, use_observed: bool = True
+) -> Dict[int, int]:
+    """Pre-execution cardinality estimates for every node, keyed by ``id()``.
+
+    Must be called *before* the plan runs: execution feeds observed
+    cardinalities back into the catalog, and estimating afterwards would
+    compare observed rows against themselves.
+    """
+    estimates: Dict[int, int] = {}
+
+    def walk(node: PlanNode) -> None:
+        estimates[id(node)] = estimate_rows(node, catalog, use_observed)
+        for child in node.children():
+            walk(child)
+
+    walk(plan)
+    return estimates
+
+
+@dataclass
+class ExplainAnalyzeResult:
+    """The outcome of ``explain_analyze``: the query result plus the report."""
+
+    result: Any  # QueryResult; untyped to keep obs free of core imports.
+    text: str
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def _format_rows(rows: Optional[int]) -> str:
+    if rows is None or rows == UNKNOWN_ROWS:
+        return "?"
+    return str(rows)
+
+
+def format_bytes(count: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(count) < 1024.0 or unit == "GiB":
+            return f"{count:.1f} {unit}" if unit != "B" else f"{int(count)} {unit}"
+        count /= 1024.0
+    return f"{count:.1f} GiB"
+
+
+def _node_label(node: PlanNode) -> str:
+    if isinstance(node, (TableScanNode, SubqueryNode)):
+        label = f"Scan {node.table_name}"
+        if isinstance(node, SubqueryNode) and node.conditions:
+            conditions = ", ".join(column for column, _ in node.conditions)
+            label += f" [pushdown: {conditions}]"
+        return label
+    if isinstance(node, EmptyNode):
+        return "Empty (statically pruned)"
+    if isinstance(node, (NaturalJoinNode, LeftOuterJoinNode)):
+        left = node.left.output_columns()
+        right = node.right.output_columns()
+        keys = [c for c in left if c in right]
+        kind = "LeftOuterJoin" if isinstance(node, LeftOuterJoinNode) else "Join"
+        return f"{kind} [{', '.join(keys)}]" if keys else f"{kind} [cross]"
+    if isinstance(node, ProjectNode):
+        return f"Project [{', '.join(node.columns)}]"
+    if isinstance(node, FilterNode):
+        return f"Filter [{node.expression.to_sql()}]"
+    if isinstance(node, UnionNode):
+        return "Union"
+    if isinstance(node, DistinctNode):
+        return "Distinct"
+    if isinstance(node, OrderByNode):
+        keys = ", ".join(f"{c} {'ASC' if asc else 'DESC'}" for c, asc in node.keys)
+        return f"OrderBy [{keys}]"
+    if isinstance(node, LimitNode):
+        parts = []
+        if node.limit is not None:
+            parts.append(f"LIMIT {node.limit}")
+        if node.offset:
+            parts.append(f"OFFSET {node.offset}")
+        return f"Limit [{' '.join(parts) or 'all'}]"
+    return type(node).__name__
+
+
+def _strategy_lines(
+    node: PlanNode,
+    physical: Optional[PhysicalPlan],
+    replan_events: Sequence[ReplanEvent],
+) -> List[str]:
+    """Chosen vs. executed strategy, with the AQE reason when they differ."""
+    if physical is None or not isinstance(node, (NaturalJoinNode, LeftOuterJoinNode)):
+        return []
+    initial = physical.strategy_for(node)
+    if initial is None:
+        return []
+    executed = physical.executed_strategy_for(node)
+    if executed is None or executed.same_decision(initial):
+        suffix = " (as planned)" if executed is not None else " (not executed)"
+        return [f"strategy: {initial.describe()}{suffix}"]
+    lines = [f"strategy: {initial.name} -> {executed.name}"]
+    lines.append(f"  planned:  {initial.describe()}")
+    lines.append(f"  executed: {executed.describe()}")
+    for event in replan_events:
+        if event.node_id == id(node):
+            lines.append(f"  reason:   {event.reason}")
+            break
+    else:
+        if executed.name == "SerialJoin":
+            reason = getattr(executed, "reason", "")
+            lines.append(f"  reason:   serial fallback ({reason or 'degenerate input'})")
+    return lines
+
+
+def _exchange_line(stats: ExchangeStats) -> str:
+    return (
+        f"exchange: {stats.kind}, {format_bytes(stats.transferred_bytes)} moved, "
+        f"{stats.tasks} task(s), critical path {stats.critical_path_ms:.2f} ms"
+    )
+
+
+def render_explain_analyze(
+    plan: PlanNode,
+    estimates: Dict[int, int],
+    node_stats: Dict[int, NodeExecution],
+    exchange_stats: Dict[int, ExchangeStats],
+    physical: Optional[PhysicalPlan] = None,
+    replan_events: Sequence[ReplanEvent] = (),
+) -> str:
+    """Draw the annotated operator tree, root first."""
+    lines: List[str] = []
+
+    def annotate(node: PlanNode) -> str:
+        est = _format_rows(estimates.get(id(node)))
+        execution = node_stats.get(id(node))
+        if execution is None:
+            return f"(est={est} rows, not executed)"
+        return f"(est={est} rows, actual={execution.rows} rows, {execution.elapsed_ms:.2f} ms)"
+
+    def walk(node: PlanNode, prefix: str, is_last: bool, is_root: bool) -> None:
+        connector = "" if is_root else ("└─ " if is_last else "├─ ")
+        lines.append(f"{prefix}{connector}{_node_label(node)}  {annotate(node)}")
+        detail_prefix = prefix if is_root else prefix + ("   " if is_last else "│  ")
+        children = list(node.children())
+        child_bar = "│  " if children else "   "
+        for line in _strategy_lines(node, physical, replan_events):
+            bullet = "  " if line.startswith(" ") else "* "
+            lines.append(f"{detail_prefix}{child_bar}{bullet}{line}")
+        exchange = exchange_stats.get(id(node))
+        if exchange is not None:
+            lines.append(f"{detail_prefix}{child_bar}* {_exchange_line(exchange)}")
+        for index, child in enumerate(children):
+            walk(child, detail_prefix, index == len(children) - 1, False)
+
+    walk(plan, "", True, True)
+    return "\n".join(lines)

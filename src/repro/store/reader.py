@@ -33,6 +33,7 @@ from repro.engine.relation import Partitioning, Relation
 from repro.engine.runtime.partitioner import key_partition_index
 from repro.engine.storage import NULL_ID
 from repro.mappings.extvp import CorrelationKind, ExtVPLayout, ExtVPStatistics, ExtVPTableInfo
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.rdf import ntriples as ntriples_io
 from repro.rdf.namespaces import NamespaceManager
 from repro.rdf.terms import IRI, Term, term_from_string
@@ -307,16 +308,23 @@ def _populate_layout(layout: ExtVPLayout, dataset: StoredDataset, started_at: fl
     layout.restore(vp_tables, vp_sizes, statistics, load_seconds=elapsed)
 
 
-def open_dataset(path: str) -> Tuple[ExtVPLayout, DatasetLoadReport, StoredDataset]:
+def open_dataset(
+    path: str, tracer: Optional[Tracer] = None
+) -> Tuple[ExtVPLayout, DatasetLoadReport, StoredDataset]:
     """Open ``path`` and restore a query-ready ExtVP layout from it.
 
     No N-Triples parsing and no ExtVP semi-join computation happens here —
     only manifest/dictionary I/O plus statistics reconstruction.  Table rows
-    stay on disk until a query scans them.
+    stay on disk until a query scans them.  With an enabled ``tracer``, the
+    two cold-open stages (manifest + dictionary I/O vs. statistics
+    reconstruction) appear as child spans.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     start = time.perf_counter()
     parses_before = ntriples_io.documents_parsed()
-    dataset = StoredDataset.open(path)
+    with tracer.span("store.read-manifest", category="store") as span:
+        dataset = StoredDataset.open(path)
+        span.set(tables=len(dataset.manifest.tables))
     manifest = dataset.manifest
 
     layout = ExtVPLayout(
@@ -325,7 +333,8 @@ def open_dataset(path: str) -> Tuple[ExtVPLayout, DatasetLoadReport, StoredDatas
         selectivity_threshold=manifest.selectivity_threshold,
         include_oo=manifest.include_oo,
     )
-    _populate_layout(layout, dataset, start)
+    with tracer.span("store.restore-layout", category="store"):
+        _populate_layout(layout, dataset, start)
 
     report = DatasetLoadReport(
         path=path,

@@ -17,6 +17,7 @@ from repro.engine.metrics import ExecutionMetrics
 from repro.engine.plan import PlanExecutor
 from repro.engine.runtime import ParallelExecutor
 from repro.mappings.extvp import ExtVPLayout
+from repro.obs.trace import Tracer
 from repro.rdf.graph import Graph
 from repro.watdiv.basic_queries import BASIC_TEMPLATES
 from repro.watdiv.incremental_queries import INCREMENTAL_TEMPLATES
@@ -147,7 +148,9 @@ def differential_setup(small_dataset, tmp_path_factory):
     path = str(tmp_path_factory.mktemp("differential") / "dataset")
     saver.save_dataset(path)
     saver.close()
-    stored = S2RDFSession.open_dataset(path)
+    # tracing_enabled exercises the instrumented store/query paths on the
+    # stored-scan mode; tracing must never change answers.
+    stored = S2RDFSession.open_dataset(path, tracing_enabled=True)
     report = stored.append_triples(pending)
     assert report.triples_appended == len(pending)
     assert report.delta_segments > 0  # the deltas really are pending
@@ -173,10 +176,19 @@ def test_differential_equivalence_across_execution_modes(differential_setup, see
             ("parallel-static-shuffle", {"num_partitions": 4, "adaptive_enabled": False, "broadcast_threshold": 0}),
             ("parallel-adaptive", {"num_partitions": 4, "adaptive_enabled": True}),
         ):
-            with ParallelExecutor(catalog, **executor_kwargs) as executor:
-                result = executor.execute(compiled.plan, ExecutionMetrics())
-            assert result.columns == reference.columns, (label, query_text)
-            assert bag(result) == bag(reference), (label, query_text)
+            # Each mode runs with tracing off and on: the span instrumentation
+            # wraps every operator and task, and must never change the bag.
+            for traced in (False, True):
+                kwargs = dict(executor_kwargs)
+                if traced:
+                    kwargs["tracer"] = Tracer(enabled=True)
+                    label_run = f"{label}-traced"
+                else:
+                    label_run = label
+                with ParallelExecutor(catalog, **kwargs) as executor:
+                    result = executor.execute(compiled.plan, ExecutionMetrics())
+                assert result.columns == reference.columns, (label_run, query_text)
+                assert bag(result) == bag(reference), (label_run, query_text)
         stored_result = stored.query(query_text)
         assert sorted(stored_result.relation.columns) == sorted(reference.columns), query_text
         projected = stored_result.relation.project(reference.columns)

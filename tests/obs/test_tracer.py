@@ -1,0 +1,224 @@
+"""Tracer unit tests: nesting, the zero-allocation disabled path, and
+Chrome trace-event export validity."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import NULL_SPAN, NULL_TRACER, Span, Tracer
+
+
+# --------------------------------------------------------------------------- #
+# Disabled path: the zero-allocation contract
+# --------------------------------------------------------------------------- #
+def test_disabled_tracer_returns_the_shared_null_span():
+    tracer = Tracer(enabled=False)
+    # Identity, not just equality: span() must not allocate when disabled.
+    assert tracer.span("anything", category="query", rows=3) is NULL_SPAN
+    assert tracer.span("other") is NULL_SPAN
+    assert tracer.current() is NULL_SPAN
+
+
+def test_null_span_operations_are_noops():
+    with NULL_SPAN as span:
+        assert span is NULL_SPAN
+        span.set(rows=10, table="VP_p")
+        span.event("aqe-replan", reason="stale stats")
+    assert not NULL_SPAN.enabled
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    with tracer.span("query"):
+        with tracer.span("execute"):
+            tracer.current().event("skipped")
+    assert tracer.finished_spans() == []
+    assert tracer.summary() == {"spans": 0, "events": 0, "spans_by_category": {}}
+    assert tracer.to_chrome_trace()["traceEvents"] == []
+
+
+def test_null_tracer_singleton_is_disabled():
+    assert not NULL_TRACER.enabled
+    assert NULL_TRACER.span("x") is NULL_SPAN
+
+
+# --------------------------------------------------------------------------- #
+# Nesting
+# --------------------------------------------------------------------------- #
+def test_spans_nest_automatically_on_one_thread():
+    tracer = Tracer(enabled=True)
+    with tracer.span("query") as root:
+        with tracer.span("parse"):
+            pass
+        with tracer.span("execute") as execute:
+            assert tracer.current() is execute
+            with tracer.span("scan"):
+                pass
+            with tracer.span("join"):
+                pass
+    spans = {span.name: span for span in tracer.finished_spans()}
+    assert spans["parse"].parent_id == root.span_id
+    assert spans["execute"].parent_id == root.span_id
+    assert spans["scan"].parent_id == spans["execute"].span_id
+    assert spans["join"].parent_id == spans["execute"].span_id
+    assert root.parent_id is None
+    assert sorted(s.name for s in tracer.children_of(root)) == ["execute", "parse"]
+    assert [s.name for s in tracer.children_of(None)] == ["query"]
+
+
+def test_explicit_parent_crosses_threads():
+    """Pool tasks pass parent= explicitly; the tree survives the thread hop."""
+    tracer = Tracer(enabled=True)
+    with tracer.span("shuffle-exchange", category="exchange") as exchange:
+
+        def task(partition):
+            with tracer.span("join-task", category="task", parent=exchange, partition=partition):
+                pass
+
+        threads = [threading.Thread(target=task, args=(i,)) for i in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    tasks = tracer.find("join-task")
+    assert len(tasks) == 3
+    assert all(span.parent_id == exchange.span_id for span in tasks)
+    # Each task recorded the worker thread it ran on, not the caller's.
+    assert all(span.thread_id != exchange.thread_id for span in tasks)
+    assert sorted(span.attrs["partition"] for span in tasks) == [0, 1, 2]
+
+
+def test_current_and_find_and_clear():
+    tracer = Tracer(enabled=True)
+    assert tracer.current() is NULL_SPAN
+    with tracer.span("a"):
+        pass
+    with tracer.span("a"):
+        pass
+    assert len(tracer.find("a")) == 2
+    assert tracer.find("missing") == []
+    tracer.clear()
+    assert tracer.finished_spans() == []
+
+
+def test_span_timing_and_events():
+    tracer = Tracer(enabled=True)
+    with tracer.span("work", category="exchange", tables=2) as span:
+        span.event("aqe-skew-split", partition=3, factor=4)
+        span.set(rows=17)
+    (finished,) = tracer.finished_spans()
+    assert finished.duration_us >= 0
+    assert finished.start_us > 0
+    assert finished.attrs == {"tables": 2, "rows": 17}
+    ((name, ts, attrs),) = finished.events
+    assert name == "aqe-skew-split"
+    assert finished.start_us <= ts <= finished.start_us + finished.duration_us
+    assert attrs == {"partition": 3, "factor": 4}
+
+
+def test_summary_counts_by_category():
+    tracer = Tracer(enabled=True)
+    with tracer.span("query", category="query") as span:
+        span.event("one")
+        with tracer.span("scan", category="operator"):
+            pass
+        with tracer.span("join", category="operator"):
+            pass
+    summary = tracer.summary()
+    assert summary["spans"] == 3
+    assert summary["events"] == 1
+    assert summary["spans_by_category"] == {"query": 1, "operator": 2}
+
+
+# --------------------------------------------------------------------------- #
+# Chrome trace-event export
+# --------------------------------------------------------------------------- #
+def test_chrome_trace_structure(tmp_path):
+    tracer = Tracer(enabled=True)
+    with tracer.span("query", category="query", sparql="SELECT *") as root:
+        root.event("aqe-replan", reason="stale stats")
+        with tracer.span("execute", category="query"):
+            pass
+
+    trace = tracer.to_chrome_trace()
+    assert set(trace) == {"traceEvents", "displayTimeUnit"}
+    assert trace["displayTimeUnit"] == "ms"
+    events = trace["traceEvents"]
+    # 2 complete spans + 1 instant event.
+    assert len(events) == 3
+    for event in events:
+        assert {"name", "cat", "ph", "ts", "pid", "tid", "args"} <= set(event)
+        assert event["ph"] in {"X", "i"}
+    complete = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert {e["name"] for e in complete} == {"query", "execute"}
+    assert all("dur" in e and e["dur"] >= 0 for e in complete)
+    (instant,) = instants
+    assert instant["name"] == "aqe-replan"
+    assert instant["s"] == "t"  # thread-scoped instant
+    assert instant["args"] == {"reason": "stale stats"}
+    # Events are sorted by timestamp for the viewer.
+    assert [e["ts"] for e in events] == sorted(e["ts"] for e in events)
+    # parent_span_id links the tree inside args.
+    by_name = {e["name"]: e for e in complete}
+    assert by_name["execute"]["args"]["parent_span_id"] == by_name["query"]["args"]["span_id"]
+
+    # The written file is valid strict JSON.
+    path = tmp_path / "trace.json"
+    assert tracer.write_chrome_trace(str(path)) == str(path)
+    loaded = json.loads(path.read_text(encoding="utf-8"))
+    assert loaded == trace
+
+
+def test_chrome_trace_coerces_non_json_args():
+    tracer = Tracer(enabled=True)
+
+    class Opaque:
+        def __repr__(self):
+            return "<opaque>"
+
+    with tracer.span("query", payload=Opaque(), fine=1.5):
+        pass
+    (event,) = tracer.to_chrome_trace()["traceEvents"]
+    assert event["args"]["payload"] == "<opaque>"
+    assert event["args"]["fine"] == 1.5
+    json.dumps(event)  # must be serialisable
+
+
+def test_explicit_parent_accepts_null_span():
+    """Sites that pass tracer.current() as parent= work when tracing was on
+    in the caller but the parent happened to be NULL_SPAN."""
+    tracer = Tracer(enabled=True)
+    with tracer.span("orphan", parent=NULL_SPAN) as span:
+        assert isinstance(span, Span)
+    (finished,) = tracer.finished_spans()
+    assert finished.parent_id is None
+
+
+def test_span_ids_are_unique_across_threads():
+    tracer = Tracer(enabled=True)
+    errors = []
+
+    def worker():
+        try:
+            for _ in range(50):
+                with tracer.span("w"):
+                    pass
+        except Exception as error:  # pragma: no cover - defensive
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    spans = tracer.finished_spans()
+    assert len(spans) == 200
+    assert len({span.span_id for span in spans}) == 200
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
