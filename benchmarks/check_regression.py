@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Bench regression gate CLI — thin wrapper over :mod:`repro.bench.regression`.
+
+Compares freshly produced ``BENCH_*.json`` smoke outputs against committed
+baselines with per-metric-kind tolerances (counters: symmetric relative
+deviation; timings: growth-ratio only) and exits non-zero on any violation,
+so CI fails the build when the perf contract breaks.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \\
+        --baseline-dir /tmp/bench-baselines --current-dir benchmarks/output
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.regression import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

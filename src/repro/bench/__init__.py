@@ -8,6 +8,7 @@ measured outcomes next to the paper's numbers.
 """
 
 from repro.bench.reporting import ExperimentReport, arithmetic_mean, format_runtime, geometric_mean
+from repro.bench.regression import RegressionReport, compare_directories, compare_reports
 from repro.bench.aqe import run_aqe
 from repro.bench.incremental_store import run_incremental_store
 from repro.bench.partition_scaling import run_partition_scaling
@@ -21,6 +22,9 @@ from repro.bench.ablations import run_join_order_ablation, run_oo_correlation_ab
 
 __all__ = [
     "ExperimentReport",
+    "RegressionReport",
+    "compare_directories",
+    "compare_reports",
     "arithmetic_mean",
     "geometric_mean",
     "format_runtime",

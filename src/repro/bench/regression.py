@@ -1,0 +1,312 @@
+"""The bench regression gate: compare fresh ``BENCH_*.json`` files to baselines.
+
+The benchmarks emit machine-readable reports (``s2rdf-bench/v1``: aggregated
+``counters`` and ``timings`` plus rows/notes/stash).  This module turns the
+committed copies under ``benchmarks/output/`` into an *enforced contract*:
+CI re-runs the smoke benches, then compares every fresh report against its
+committed baseline with per-kind tolerances and fails the build on a
+violation.
+
+The two metric kinds need different rules:
+
+* **counters** (tuples scanned, joins, replans, bytes …) are deterministic on
+  a fixed smoke workload, so they must match the baseline within a small
+  symmetric relative tolerance — a drop is as suspicious as a rise, since it
+  usually means the workload silently shrank;
+* **timings** are machine-dependent, so only *increases* beyond a generous
+  ratio fail — enough headroom that a slow CI runner never trips it, while a
+  genuine complexity regression (10×–100×) still does.
+
+Verdicts per baseline file: ``PASS``, ``REGRESS`` (tolerance violated),
+``MISSING_METRIC`` (a baseline counter/timing disappeared), ``SCHEMA_DRIFT``
+(schema tag changed), ``MISSING_FILE`` (no fresh counterpart).  Extra current
+files or metrics are fine — new benchmarks and new counters are growth, not
+regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.bench.reporting import BENCH_SCHEMA, read_bench_json
+
+#: Symmetric relative tolerance for counter totals (|cur-base| / max(|base|, 1)).
+DEFAULT_COUNTER_TOLERANCE = 0.25
+
+#: A timing may grow to this multiple of its baseline before failing.  Timings
+#: compare across machines (committed baseline vs. CI runner), so the ratio is
+#: deliberately generous: it catches complexity blowups, not jitter.
+DEFAULT_TIMING_RATIO = 20.0
+
+#: Timings below this baseline (ms or s alike) are never compared — the
+#: relative error of a sub-millisecond measurement is meaningless.
+MIN_COMPARABLE_TIMING = 1.0
+
+PASS = "PASS"
+REGRESS = "REGRESS"
+MISSING_METRIC = "MISSING_METRIC"
+SCHEMA_DRIFT = "SCHEMA_DRIFT"
+MISSING_FILE = "MISSING_FILE"
+
+
+@dataclass
+class MetricCheck:
+    """One compared metric and its outcome."""
+
+    metric: str
+    kind: str  # "counter" | "timing"
+    baseline: Optional[float]
+    current: Optional[float]
+    verdict: str
+    detail: str = ""
+
+
+@dataclass
+class FileResult:
+    """All checks of one baseline BENCH file."""
+
+    name: str
+    verdict: str
+    checks: List[MetricCheck] = field(default_factory=list)
+    detail: str = ""
+
+    @property
+    def failed_checks(self) -> List[MetricCheck]:
+        return [c for c in self.checks if c.verdict != PASS]
+
+
+@dataclass
+class RegressionReport:
+    """The gate's outcome over a whole baseline directory."""
+
+    results: List[FileResult] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[FileResult]:
+        return [r for r in self.results if r.verdict != PASS]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render_text(self) -> str:
+        lines = ["== Bench regression gate =="]
+        for result in self.results:
+            lines.append(f"{result.verdict:>14}  {result.name}")
+            if result.detail:
+                lines.append(f"                ({result.detail})")
+            for check in result.failed_checks:
+                lines.append(
+                    f"                - [{check.kind}] {check.metric}: "
+                    f"baseline={check.baseline} current={check.current} "
+                    f"({check.verdict}: {check.detail})"
+                )
+        lines.append(
+            f"{len(self.results)} baseline file(s) checked, {len(self.failures)} failing"
+        )
+        return "\n".join(lines)
+
+
+def _check_counter(
+    metric: str, baseline: float, current: Optional[float], tolerance: float
+) -> MetricCheck:
+    if current is None:
+        return MetricCheck(
+            metric, "counter", baseline, None, MISSING_METRIC, "counter absent in current run"
+        )
+    deviation = abs(current - baseline) / max(abs(baseline), 1.0)
+    if deviation > tolerance:
+        return MetricCheck(
+            metric,
+            "counter",
+            baseline,
+            current,
+            REGRESS,
+            f"relative deviation {deviation:.2f} > tolerance {tolerance:.2f}",
+        )
+    return MetricCheck(metric, "counter", baseline, current, PASS)
+
+
+def _check_timing(
+    metric: str, baseline: float, current: Optional[float], ratio: float
+) -> MetricCheck:
+    if current is None:
+        return MetricCheck(
+            metric, "timing", baseline, None, MISSING_METRIC, "timing absent in current run"
+        )
+    if baseline < MIN_COMPARABLE_TIMING:
+        return MetricCheck(
+            metric, "timing", baseline, current, PASS, "baseline below comparison floor"
+        )
+    if current > baseline * ratio:
+        return MetricCheck(
+            metric,
+            "timing",
+            baseline,
+            current,
+            REGRESS,
+            f"grew {current / baseline:.1f}x > allowed {ratio:.1f}x",
+        )
+    return MetricCheck(metric, "timing", baseline, current, PASS)
+
+
+def compare_reports(
+    name: str,
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    counter_tolerance: float = DEFAULT_COUNTER_TOLERANCE,
+    timing_ratio: float = DEFAULT_TIMING_RATIO,
+) -> FileResult:
+    """Compare one fresh BENCH dict against its baseline dict."""
+    base_schema = baseline.get("schema")
+    current_schema = current.get("schema")
+    if base_schema != current_schema or current_schema != BENCH_SCHEMA:
+        return FileResult(
+            name,
+            SCHEMA_DRIFT,
+            detail=f"baseline schema {base_schema!r} vs current {current_schema!r} "
+            f"(gate expects {BENCH_SCHEMA!r})",
+        )
+    checks: List[MetricCheck] = []
+    current_counters = current.get("counters", {})
+    current_timings = current.get("timings", {})
+    for metric, value in sorted(baseline.get("counters", {}).items()):
+        checks.append(
+            _check_counter(metric, value, current_counters.get(metric), counter_tolerance)
+        )
+    for metric, value in sorted(baseline.get("timings", {}).items()):
+        checks.append(_check_timing(metric, value, current_timings.get(metric), timing_ratio))
+    failed = [c for c in checks if c.verdict != PASS]
+    if not failed:
+        return FileResult(name, PASS, checks=checks)
+    # The file verdict is the most severe check verdict: REGRESS > MISSING.
+    verdict = REGRESS if any(c.verdict == REGRESS for c in failed) else MISSING_METRIC
+    return FileResult(name, verdict, checks=checks)
+
+
+def compare_directories(
+    baseline_dir: Path,
+    current_dir: Path,
+    counter_tolerance: float = DEFAULT_COUNTER_TOLERANCE,
+    timing_ratio: float = DEFAULT_TIMING_RATIO,
+) -> RegressionReport:
+    """Gate every ``BENCH_*.json`` baseline against its fresh counterpart.
+
+    Every baseline file must have a current counterpart; current files without
+    a baseline are ignored (new benchmarks land with their baseline in the
+    same PR).
+    """
+    report = RegressionReport()
+    baseline_files = sorted(Path(baseline_dir).glob("BENCH_*.json"))
+    if not baseline_files:
+        report.results.append(
+            FileResult(
+                str(baseline_dir), MISSING_FILE, detail="no BENCH_*.json baselines found"
+            )
+        )
+        return report
+    for baseline_path in baseline_files:
+        name = baseline_path.name
+        current_path = Path(current_dir) / name
+        try:
+            baseline = read_bench_json(baseline_path)
+        except (OSError, ValueError) as error:
+            report.results.append(
+                FileResult(name, SCHEMA_DRIFT, detail=f"unreadable baseline: {error}")
+            )
+            continue
+        if not current_path.is_file():
+            report.results.append(
+                FileResult(name, MISSING_FILE, detail=f"no fresh run at {current_path}")
+            )
+            continue
+        try:
+            current = read_bench_json(current_path)
+        except (OSError, ValueError) as error:
+            report.results.append(
+                FileResult(name, SCHEMA_DRIFT, detail=f"unreadable current file: {error}")
+            )
+            continue
+        report.results.append(
+            compare_reports(name, baseline, current, counter_tolerance, timing_ratio)
+        )
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_regression.py",
+        description="Compare fresh BENCH_*.json smoke outputs against committed baselines.",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        required=True,
+        help="directory holding the committed baseline BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--current-dir",
+        type=Path,
+        required=True,
+        help="directory holding the freshly produced BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--counter-tolerance",
+        type=float,
+        default=DEFAULT_COUNTER_TOLERANCE,
+        help="symmetric relative tolerance for counter totals",
+    )
+    parser.add_argument(
+        "--timing-ratio",
+        type=float,
+        default=DEFAULT_TIMING_RATIO,
+        help="allowed growth multiple for timing totals",
+    )
+    parser.add_argument("--json", action="store_true", help="emit the verdicts as JSON")
+    args = parser.parse_args(argv)
+    report = compare_directories(
+        args.baseline_dir,
+        args.current_dir,
+        counter_tolerance=args.counter_tolerance,
+        timing_ratio=args.timing_ratio,
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "ok": report.ok,
+                    "results": [
+                        {
+                            "name": r.name,
+                            "verdict": r.verdict,
+                            "detail": r.detail,
+                            "failed_checks": [
+                                {
+                                    "metric": c.metric,
+                                    "kind": c.kind,
+                                    "baseline": c.baseline,
+                                    "current": c.current,
+                                    "verdict": c.verdict,
+                                    "detail": c.detail,
+                                }
+                                for c in r.failed_checks
+                            ],
+                        }
+                        for r in report.results
+                    ],
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -174,3 +174,9 @@ def write_bench_json(
     path = directory / f"BENCH_{slug}.json"
     path.write_text(report.to_json() + "\n", encoding="utf-8")
     return path
+
+
+def read_bench_json(path: Path) -> Dict[str, Any]:
+    """Load one ``BENCH_<slug>.json`` file (as written by :func:`write_bench_json`)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -31,12 +31,25 @@ from repro.core.results import QueryResult
 from repro.core.table_selection import TableSelector
 from repro.engine.cluster import SparkCostModel
 from repro.engine.metrics import ExecutionMetrics
-from repro.engine.runtime import DEFAULT_BROADCAST_THRESHOLD, DEFAULT_SKEW_FACTOR, ParallelExecutor
+from repro.engine.runtime import (
+    DEFAULT_BROADCAST_MEMORY_LIMIT,
+    DEFAULT_BROADCAST_THRESHOLD,
+    DEFAULT_SKEW_FACTOR,
+    UNKNOWN_ROWS,
+    ParallelExecutor,
+    estimate_rows,
+)
 from repro.mappings.extvp import ExtVPLayout
 from repro.obs.explain import (
     ExplainAnalyzeResult,
     collect_estimates,
     render_explain_analyze,
+)
+from repro.obs.journal import (
+    JournalRecord,
+    QueryJournal,
+    open_dataset_journal,
+    q_error,
 )
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
@@ -82,6 +95,11 @@ class SessionConfig:
     #: Spark's ``autoBroadcastJoinThreshold``: a join side estimated at or
     #: below this many bytes is broadcast instead of shuffled.
     broadcast_threshold: int = DEFAULT_BROADCAST_THRESHOLD
+    #: Hard memory cap on the *observed* materialized build side of a
+    #: broadcast join.  Unlike ``broadcast_threshold`` (an estimate-driven
+    #: preference), exceeding this demotes the join to a shuffle in every
+    #: mode; trips are counted in ``broadcast_guard_trips``.
+    broadcast_memory_limit: int = DEFAULT_BROADCAST_MEMORY_LIMIT
     #: Adaptive query execution: re-decide each join's strategy from observed
     #: input sizes, split skewed partitions and cache observed cardinalities.
     #: ``False`` executes the static plan exactly as annotated.
@@ -97,6 +115,11 @@ class SessionConfig:
     #: by default: every instrumentation site then sees a shared no-op span,
     #: so the query path stays allocation-free.
     tracing_enabled: bool = False
+    #: Append one structured record per executed query to the session's
+    #: journal: in-memory for ephemeral sessions, persisted as JSONL under
+    #: ``<dataset>/journal/`` once the session is saved or opened from disk.
+    #: The journal is the workload analyzer's input (:mod:`repro.obs.workload`).
+    journal_enabled: bool = True
 
 
 class S2RDFSession:
@@ -138,7 +161,18 @@ class S2RDFSession:
             skew_factor=self.config.skew_factor,
             tracer=self.tracer,
             metrics_registry=self.metrics,
+            broadcast_memory_limit=self.config.broadcast_memory_limit,
         )
+        #: Per-query workload journal (``None`` when journaling is disabled).
+        #: Ephemeral sessions journal in memory; ``save_dataset`` /
+        #: ``open_dataset`` switch to the dataset's persistent ``journal/``.
+        self.journal: Optional[QueryJournal] = (
+            QueryJournal() if self.config.journal_enabled else None
+        )
+        #: Manifest append epoch stamped into journal records: ``None`` until
+        #: the session touches a stored dataset, then updated only *after*
+        #: each mutation's manifest swap (see :meth:`_refresh_from_store`).
+        self._journal_epoch: Optional[int] = None
         #: Set by :meth:`open_dataset`: instrumentation of the cold open.
         self.load_report: Optional[DatasetLoadReport] = None
         #: Directory this session is persisted to; set by :meth:`save_dataset`
@@ -164,6 +198,8 @@ class S2RDFSession:
         adaptive_enabled: bool = True,
         skew_factor: float = DEFAULT_SKEW_FACTOR,
         tracing_enabled: bool = False,
+        broadcast_memory_limit: int = DEFAULT_BROADCAST_MEMORY_LIMIT,
+        journal_enabled: bool = True,
     ) -> "S2RDFSession":
         """Build the data layout for ``graph`` and return a ready session."""
         config = SessionConfig(
@@ -177,6 +213,8 @@ class S2RDFSession:
             adaptive_enabled=adaptive_enabled,
             skew_factor=skew_factor,
             tracing_enabled=tracing_enabled,
+            broadcast_memory_limit=broadcast_memory_limit,
+            journal_enabled=journal_enabled,
         )
         layout = ExtVPLayout(
             selectivity_threshold=selectivity_threshold if use_extvp else 0.0,
@@ -214,6 +252,16 @@ class S2RDFSession:
             report = DatasetWriter(num_buckets=buckets).write(path, self.layout, overwrite=overwrite)
             span.set(tables=report.table_count, bytes=report.total_bytes)
         self.dataset_path = path
+        self._journal_epoch = 0  # A fresh manifest starts at epoch 0.
+        if self.journal is not None:
+            # Migrate to the dataset's persistent journal, carrying over any
+            # records this session already collected in memory (their
+            # timestamps are preserved; pre-save records keep epoch=None).
+            pending = self.journal.records() if not self.journal.persistent else []
+            self.journal.close()
+            self.journal = open_dataset_journal(path)
+            for record in pending:
+                self.journal.append(record)
         self.metrics.inc("s2rdf_store_saves_total", help="Full dataset writes")
         self.metrics.inc(
             "s2rdf_store_bytes_written_total",
@@ -237,6 +285,8 @@ class S2RDFSession:
         skew_factor: float = DEFAULT_SKEW_FACTOR,
         compaction_threshold: int = 1,
         tracing_enabled: bool = False,
+        broadcast_memory_limit: int = DEFAULT_BROADCAST_MEMORY_LIMIT,
+        journal_enabled: bool = True,
     ) -> "S2RDFSession":
         """Cold-start a session from a dataset written by :meth:`save_dataset`.
 
@@ -267,10 +317,15 @@ class S2RDFSession:
             skew_factor=skew_factor,
             compaction_threshold=compaction_threshold,
             tracing_enabled=tracing_enabled,
+            broadcast_memory_limit=broadcast_memory_limit,
+            journal_enabled=journal_enabled,
         )
         session = cls(layout, config=config, cost_model=cost_model, tracer=tracer)
         session.load_report = load_report
         session.dataset_path = path
+        session._journal_epoch = load_report.append_epoch
+        if session.journal is not None:
+            session.journal = open_dataset_journal(path)
         session.metrics.inc(
             "s2rdf_store_cold_opens_total", help="Dataset cold opens performed"
         )
@@ -370,7 +425,11 @@ class S2RDFSession:
         """Re-register every stored table from the freshly rewritten manifest."""
         assert self.dataset_path is not None
         with self.tracer.span("store.refresh", category="store"):
-            _refresh_stored_dataset(self.layout, self.dataset_path)
+            dataset = _refresh_stored_dataset(self.layout, self.dataset_path)
+        # The journal epoch advances only here — after the mutation's atomic
+        # manifest swap — so a record written mid-append (before the swap)
+        # still carries the pre-append epoch it actually executed against.
+        self._journal_epoch = dataset.manifest.append_epoch
 
     # ------------------------------------------------------------------ #
     # Query execution
@@ -457,6 +516,20 @@ class S2RDFSession:
                 if capture_estimates
                 else None
             )
+            # Journal records carry the root estimate (for the q-error field);
+            # like the full estimate capture, it must precede execution.
+            if self.journal is not None:
+                root_estimate = (
+                    estimates[id(compiled.plan)]
+                    if estimates is not None
+                    else estimate_rows(
+                        compiled.plan,
+                        self.layout.catalog,
+                        use_observed=self.executor.adaptive_enabled,
+                    )
+                )
+            else:
+                root_estimate = None
 
             metrics = ExecutionMetrics()
             phase_start = time.perf_counter()
@@ -501,7 +574,48 @@ class S2RDFSession:
                 )
             root.set(rows=len(relation))
         self._record_query_metrics(result)
+        self._journal_query(parsed, result, root_estimate)
         return result, compiled, estimates
+
+    def _journal_query(
+        self, parsed: Query, result: QueryResult, root_estimate: Optional[int]
+    ) -> None:
+        """Append one workload-journal record for an executed query.
+
+        The fingerprint is left empty and the parsed algebra handed along, so
+        the journal renders the template and fingerprint itself (see
+        :meth:`~repro.obs.journal.QueryJournal.append`).
+        """
+        journal = self.journal
+        if journal is None:
+            return
+        metrics = result.metrics
+        estimated = (
+            None if root_estimate is None or root_estimate == UNKNOWN_ROWS else root_estimate
+        )
+        rows = len(result.relation)
+        journal.append(
+            JournalRecord(
+                fingerprint="",
+                template="",
+                epoch=self._journal_epoch,
+                rows=rows,
+                wall_ms=result.wall_clock_ms,
+                phase_ms=dict(result.phase_ms),
+                scanned_tables=dict(metrics.scanned_tables),
+                estimated_rows=estimated,
+                estimate_q_error=q_error(estimated, rows),
+                aqe_replans=metrics.aqe_replans,
+                aqe_skew_splits=metrics.aqe_skew_splits,
+                broadcast_guard_trips=metrics.broadcast_guard_trips,
+                segments_scanned=metrics.store_segments_scanned,
+                segments_pruned=metrics.store_segments_pruned,
+                shuffled_bytes=metrics.shuffled_bytes,
+                broadcast_bytes=metrics.broadcast_bytes,
+                statically_empty=result.statically_empty,
+            ),
+            query=parsed,
+        )
 
     def _record_query_metrics(self, result: QueryResult) -> None:
         """Fold one query's execution metrics into the session registry."""
@@ -514,6 +628,11 @@ class S2RDFSession:
         registry.inc("s2rdf_broadcast_bytes_total", metrics.broadcast_bytes)
         registry.inc("s2rdf_aqe_replans_total", metrics.aqe_replans)
         registry.inc("s2rdf_aqe_skew_splits_total", metrics.aqe_skew_splits)
+        registry.inc(
+            "s2rdf_broadcast_guard_trips_total",
+            metrics.broadcast_guard_trips,
+            help="Broadcasts demoted to shuffles by the memory guard",
+        )
         registry.observe("s2rdf_query_wall_ms", result.wall_clock_ms)
         segments = metrics.store_segments_scanned + metrics.store_segments_pruned
         if segments:
@@ -527,8 +646,10 @@ class S2RDFSession:
     # Lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Release the runtime's worker threads (no-op for serial sessions)."""
+        """Release the runtime's worker threads and the journal's file handle."""
         self.executor.close()
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "S2RDFSession":
         return self

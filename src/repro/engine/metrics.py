@@ -67,6 +67,9 @@ class ExecutionMetrics:
     aqe_replans: int = 0
     #: Extra join tasks created by subdividing skewed shuffle partitions.
     aqe_skew_splits: int = 0
+    #: Broadcasts demoted to shuffles because the *observed* materialized
+    #: build side exceeded the hard ``broadcast_memory_limit`` cap.
+    broadcast_guard_trips: int = 0
     #: Per-table scan counts, useful for debugging table selection.
     scanned_tables: Dict[str, int] = field(default_factory=dict)
 
@@ -139,6 +142,10 @@ class ExecutionMetrics:
     def record_skew_split(self, extra_tasks: int) -> None:
         """Skew handling subdivided partitions into ``extra_tasks`` more tasks."""
         self.aqe_skew_splits += extra_tasks
+
+    def record_guard_trip(self) -> None:
+        """The broadcast memory guard demoted one broadcast to a shuffle."""
+        self.broadcast_guard_trips += 1
 
     def merge(self, other: "ExecutionMetrics") -> None:
         """Accumulate another metrics object into this one (field-derived)."""

@@ -30,6 +30,7 @@ from repro.engine.runtime.executor import ParallelExecutor
 from repro.engine.runtime.partitioned import BYTES_PER_VALUE, PartitionedRelation, estimated_bytes
 from repro.engine.runtime.partitioner import HashPartitioner, key_partition_index, stable_hash
 from repro.engine.runtime.strategies import (
+    DEFAULT_BROADCAST_MEMORY_LIMIT,
     DEFAULT_BROADCAST_THRESHOLD,
     UNKNOWN_ROWS,
     BroadcastHashJoin,
@@ -44,6 +45,7 @@ from repro.engine.runtime.strategies import (
 
 __all__ = [
     "BYTES_PER_VALUE",
+    "DEFAULT_BROADCAST_MEMORY_LIMIT",
     "DEFAULT_BROADCAST_THRESHOLD",
     "DEFAULT_SKEW_FACTOR",
     "UNKNOWN_ROWS",

@@ -43,13 +43,16 @@ from repro.engine.plan import LeftOuterJoinNode, NaturalJoinNode, PlanExecutor, 
 from repro.engine.relation import Relation
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import Tracer
-from repro.engine.runtime.adaptive import DEFAULT_SKEW_FACTOR, AdaptivePlanner
+from repro.engine.runtime.adaptive import DEFAULT_SKEW_FACTOR, AdaptivePlanner, ReplanEvent
 from repro.engine.runtime.partitioned import PartitionedRelation, estimated_bytes
 from repro.engine.runtime.strategies import (
+    DEFAULT_BROADCAST_MEMORY_LIMIT,
     DEFAULT_BROADCAST_THRESHOLD,
     BroadcastHashJoin,
+    JoinStrategy,
     PhysicalPlan,
     SerialJoin,
+    ShuffleHashJoin,
     plan_join_strategies,
 )
 
@@ -80,12 +83,20 @@ class ParallelExecutor(PlanExecutor):
         skew_factor: float = DEFAULT_SKEW_FACTOR,
         tracer: Optional[Tracer] = None,
         metrics_registry: Optional[MetricsRegistry] = None,
+        broadcast_memory_limit: int = DEFAULT_BROADCAST_MEMORY_LIMIT,
     ) -> None:
         super().__init__(catalog, tracer=tracer, metrics_registry=metrics_registry)
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
+        if broadcast_memory_limit < 1:
+            raise ValueError("broadcast_memory_limit must be >= 1")
         self.num_partitions = num_partitions
         self.broadcast_threshold = broadcast_threshold
+        #: Hard cap on the observed materialized build side of a broadcast.
+        #: Unlike ``broadcast_threshold`` (an estimate-driven *preference*),
+        #: this is a memory-safety bound enforced in every mode, adaptive or
+        #: not: exceeding it demotes the join to a shuffle.
+        self.broadcast_memory_limit = broadcast_memory_limit
         self.max_workers = max_workers or min(num_partitions, max(1, os.cpu_count() or 1))
         self._pool: Optional[ThreadPoolExecutor] = None
         #: Join-strategy annotations of the most recently executed plan.
@@ -202,6 +213,7 @@ class ParallelExecutor(PlanExecutor):
                     revised=event.revised.name,
                     reason=event.reason,
                 )
+        strategy = self._apply_broadcast_guard(plan, strategy, left, right, outer, metrics)
         if physical is not None and strategy is not None:
             physical.record_executed(plan, strategy)
 
@@ -216,6 +228,50 @@ class ParallelExecutor(PlanExecutor):
         else:
             join = lambda l, r, scratch: l.natural_join(r, scratch)  # noqa: E731
         return self._shuffle_join(plan, left, right, shared, join=join, metrics=metrics, outer=outer)
+
+    def _apply_broadcast_guard(
+        self,
+        plan: PlanNode,
+        strategy: Optional["JoinStrategy"],
+        left: Relation,
+        right: Relation,
+        outer: bool,
+        metrics: ExecutionMetrics,
+    ) -> Optional["JoinStrategy"]:
+        """Demote a broadcast whose *observed* build side breaks the memory cap.
+
+        The planners decide from estimates; this guard is the last check
+        before dispatch, against the relation that actually materialized.  It
+        runs in every mode (adaptive or not) — it is a memory-safety bound,
+        not a cost decision.  Joins reaching this point always have shared
+        keys (``_worth_parallelising`` filtered cross joins into the serial
+        path), so a shuffle substitute always exists.
+        """
+        if not isinstance(strategy, BroadcastHashJoin) or not strategy.keys:
+            return strategy
+        # Mirror the dispatch rule below: an outer join always builds right.
+        build = left if (strategy.build_side == "left" and not outer) else right
+        build_bytes = estimated_bytes(build)
+        if build_bytes <= self.broadcast_memory_limit:
+            return strategy
+        demoted = ShuffleHashJoin(strategy.keys, len(left), len(right))
+        metrics.record_guard_trip()
+        reason = (
+            f"broadcast memory guard: observed build side {build_bytes} B > "
+            f"limit {self.broadcast_memory_limit} B"
+        )
+        if self.adaptive is not None:
+            # Surface the demotion in explain_analyze like any AQE revision.
+            self.adaptive.replan_events.append(
+                ReplanEvent(strategy, demoted, reason, node_id=id(plan))
+            )
+        self.tracer.current().event(
+            "broadcast-guard-trip",
+            build_bytes=build_bytes,
+            limit=self.broadcast_memory_limit,
+        )
+        self._observe("s2rdf_broadcast_guard_build_bytes", float(build_bytes))
+        return demoted
 
     def _worth_parallelising(self, left: Relation, right: Relation, shared: Sequence[str]) -> bool:
         """Fall back to the serial operator for degenerate inputs.

@@ -54,6 +54,14 @@ from repro.engine.runtime.partitioned import BYTES_PER_VALUE
 #: Spark's default ``spark.sql.autoBroadcastJoinThreshold``.
 DEFAULT_BROADCAST_THRESHOLD = 10 * 1024 * 1024
 
+#: Hard cap on the *observed* materialized size of a broadcast build side.
+#: The broadcast threshold above is advisory and estimate-driven; this limit
+#: is the memory-safety backstop checked by the executor against the build
+#: relation that actually materialized — a broadcast whose build side exceeds
+#: it is demoted to a shuffle regardless of what any planner decided
+#: (analogous to driver/executor memory limits bounding Spark broadcasts).
+DEFAULT_BROADCAST_MEMORY_LIMIT = 256 * 1024 * 1024
+
 #: Cardinality sentinel for inputs the catalog knows nothing about.  An
 #: unknown side is treated as arbitrarily large for broadcast decisions
 #: (never broadcast), the exact opposite of the old 0-row default.

@@ -1,11 +1,26 @@
-"""Observability: query tracing, metrics registry, and EXPLAIN ANALYZE.
+"""Observability: tracing, metrics, EXPLAIN ANALYZE, and the workload journal.
 
 This package is deliberately dependency-free within the engine: the tracer and
 registry are imported *by* the engine layers, never the other way round, so
 instrumentation can be threaded through scans, joins and store operations
 without import cycles.
+
+Per-query observability (tracer spans, :mod:`~repro.obs.explain`) answers
+"what did this query do"; the workload layer (:mod:`~repro.obs.journal`,
+:mod:`~repro.obs.workload`) answers "what does this *workload* do over time" —
+a persistent JSONL journal of every executed query, and an analyzer that
+aggregates it into hot templates, table reuse and materialization advice.
 """
 
+from repro.obs.journal import (
+    JournalRecord,
+    QueryJournal,
+    fingerprint_query,
+    fingerprint_text,
+    open_dataset_journal,
+    read_dataset_journal,
+    template_text,
+)
 from repro.obs.registry import (
     DEFAULT_BUCKET_BOUNDS,
     Counter,
@@ -13,14 +28,35 @@ from repro.obs.registry import (
     MetricsRegistry,
 )
 from repro.obs.trace import NULL_SPAN, NULL_TRACER, Span, Tracer
+from repro.obs.workload import (
+    CacheCandidate,
+    TableReuse,
+    TemplateStats,
+    WorkloadAnalysis,
+    analyze_dataset,
+    analyze_journal,
+)
 
 __all__ = [
+    "CacheCandidate",
     "Counter",
     "DEFAULT_BUCKET_BOUNDS",
     "Histogram",
+    "JournalRecord",
     "MetricsRegistry",
     "NULL_SPAN",
     "NULL_TRACER",
+    "QueryJournal",
     "Span",
+    "TableReuse",
+    "TemplateStats",
     "Tracer",
+    "WorkloadAnalysis",
+    "analyze_dataset",
+    "analyze_journal",
+    "fingerprint_query",
+    "fingerprint_text",
+    "open_dataset_journal",
+    "read_dataset_journal",
+    "template_text",
 ]

@@ -394,10 +394,14 @@ class TableEntry:
     def delta_row_count(self) -> int:
         return sum(delta.row_count for delta in self.deltas)
 
+    def base_bytes(self) -> int:
+        return sum(partition.size_bytes for partition in self.partitions)
+
+    def delta_bytes(self) -> int:
+        return sum(delta.size_bytes for delta in self.deltas)
+
     def total_bytes(self) -> int:
-        return sum(partition.size_bytes for partition in self.partitions) + sum(
-            delta.size_bytes for delta in self.deltas
-        )
+        return self.base_bytes() + self.delta_bytes()
 
     def to_json(self) -> dict:
         return {

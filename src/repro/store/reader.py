@@ -56,6 +56,9 @@ class DatasetLoadReport:
     statistics_only_count: int
     dictionary_terms: int
     num_buckets: int
+    #: Manifest append epoch at open time (0 = never appended/compacted);
+    #: the session stamps this into journal records until the next mutation.
+    append_epoch: int = 0
     #: Observed instrumentation: whether the open invoked the N-Triples
     #: parser (process-wide parse counter) or the ExtVP builder (the restored
     #: layout's build counter).  Both must be False for a true cold start.
@@ -343,6 +346,7 @@ def open_dataset(
         statistics_only_count=len(manifest.statistics_only),
         dictionary_terms=manifest.dictionary_size,
         num_buckets=manifest.num_buckets,
+        append_epoch=manifest.append_epoch,
         ntriples_parsed=ntriples_io.documents_parsed() > parses_before,
         extvp_rebuilt=layout.build_count > 0,
         original_build_seconds=float(manifest.build.get("build_seconds", 0.0)),

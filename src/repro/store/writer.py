@@ -291,6 +291,13 @@ class DatasetAppendReport:
     bytes_written: int
     append_seconds: float
 
+    @property
+    def write_amplification(self) -> float:
+        """Bytes written to the store per logical triple appended."""
+        if self.triples_appended == 0:
+            return 0.0
+        return self.bytes_written / self.triples_appended
+
 
 class _DictionaryAppender:
     """Extends a stored dictionary append-only, in id space.

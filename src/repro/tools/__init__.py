@@ -1,0 +1,22 @@
+"""Operator-facing command-line tools.
+
+* ``python -m repro.tools.inspect <dataset>`` — store health inspector:
+  manifest epoch, per-table base/delta segment and byte counts, zone-map
+  tightness, dictionary size, write amplification, journal activity and a
+  compaction recommendation.
+
+Submodules are imported lazily: eagerly importing them here would trigger
+runpy's double-import warning every time a tool runs via ``python -m``.
+"""
+
+from typing import Any
+
+__all__ = ["StoreHealthReport", "TableHealth", "inspect_dataset"]
+
+
+def __getattr__(name: str) -> Any:
+    if name in __all__:
+        from repro.tools import inspect as _inspect
+
+        return getattr(_inspect, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

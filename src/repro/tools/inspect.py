@@ -1,0 +1,315 @@
+"""Store health inspector: ``python -m repro.tools.inspect <dataset>``.
+
+Reads a persisted dataset's manifest (and, when present, its query journal)
+without loading a single table row, and reports the numbers an operator needs
+to decide whether the store is healthy:
+
+* manifest epoch, bucket count, dictionary size (terms and bytes on disk);
+* per-table base vs. delta segment and byte counts — deltas are the part of
+  the table appends have not yet folded back into tight base segments;
+* write amplification: stored bytes per logical triple;
+* zone-map tightness (static): the mean fraction of the dictionary id space a
+  base segment's zone covers — wide zones cannot prune;
+* observed pruning effectiveness, from the dataset's journal when one exists;
+* a compaction recommendation per table that has accumulated enough deltas.
+
+Everything comes from ``MANIFEST.json`` plus ``os.path.getsize``, so the
+inspector is safe to run against a live dataset of any size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.journal import read_dataset_journal
+from repro.store.format import Manifest, TableEntry, dictionary_path, read_manifest
+
+#: Recommend compaction once a table holds at least this many delta segments
+#: (matches the session's default ``compaction_threshold``).
+DEFAULT_DELTA_SEGMENT_THRESHOLD = 2
+
+#: ...or once deltas hold more than this fraction of the table's bytes.
+DELTA_BYTES_FRACTION_THRESHOLD = 0.5
+
+
+@dataclass
+class TableHealth:
+    """Per-table storage health derived from its manifest entry."""
+
+    name: str
+    rows: int
+    base_rows: int
+    delta_rows: int
+    base_segments: int
+    delta_segments: int
+    base_bytes: int
+    delta_bytes: int
+    #: Mean fraction of the dictionary id space covered by the zones of the
+    #: table's base segments (0 = perfectly tight, 1 = unprunable); ``None``
+    #: for delta-only tables.
+    zone_width_fraction: Optional[float]
+    needs_compaction: bool
+    compaction_reason: str = ""
+
+    @property
+    def total_bytes(self) -> int:
+        return self.base_bytes + self.delta_bytes
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "rows": self.rows,
+            "base_rows": self.base_rows,
+            "delta_rows": self.delta_rows,
+            "base_segments": self.base_segments,
+            "delta_segments": self.delta_segments,
+            "base_bytes": self.base_bytes,
+            "delta_bytes": self.delta_bytes,
+            "zone_width_fraction": (
+                round(self.zone_width_fraction, 4)
+                if self.zone_width_fraction is not None
+                else None
+            ),
+            "needs_compaction": self.needs_compaction,
+            "compaction_reason": self.compaction_reason,
+        }
+
+
+@dataclass
+class StoreHealthReport:
+    """The inspector's full output; ``as_dict``/``render_text`` for consumers."""
+
+    path: str
+    format_version: int
+    append_epoch: int
+    num_buckets: int
+    table_count: int
+    statistics_only_count: int
+    dictionary_terms: int
+    dictionary_bytes: int
+    total_bytes: int
+    base_bytes: int
+    delta_bytes: int
+    triples: int
+    #: Stored bytes per logical triple (all tables, VP/ExtVP redundancy
+    #: included) — the store's overall write amplification.
+    bytes_per_triple: float
+    tables: List[TableHealth] = field(default_factory=list)
+    compaction_candidates: List[str] = field(default_factory=list)
+    journal_records: int = 0
+    journal_files: int = 0
+    #: Observed fraction of store segments pruned across journaled queries
+    #: (``None`` when no journaled query scanned stored segments).
+    observed_prune_fraction: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "format_version": self.format_version,
+            "append_epoch": self.append_epoch,
+            "num_buckets": self.num_buckets,
+            "table_count": self.table_count,
+            "statistics_only_count": self.statistics_only_count,
+            "dictionary_terms": self.dictionary_terms,
+            "dictionary_bytes": self.dictionary_bytes,
+            "total_bytes": self.total_bytes,
+            "base_bytes": self.base_bytes,
+            "delta_bytes": self.delta_bytes,
+            "triples": self.triples,
+            "bytes_per_triple": round(self.bytes_per_triple, 2),
+            "tables": [table.as_dict() for table in self.tables],
+            "compaction_candidates": list(self.compaction_candidates),
+            "journal_records": self.journal_records,
+            "journal_files": self.journal_files,
+            "observed_prune_fraction": (
+                round(self.observed_prune_fraction, 4)
+                if self.observed_prune_fraction is not None
+                else None
+            ),
+        }
+
+    def render_text(self, top_tables: int = 10) -> str:
+        lines = [
+            f"== Store health: {self.path} ==",
+            f"format v{self.format_version}; manifest epoch {self.append_epoch}; "
+            f"{self.num_buckets} bucket(s)",
+            f"tables: {self.table_count} materialized "
+            f"(+{self.statistics_only_count} statistics-only)",
+            f"dictionary: {self.dictionary_terms} terms, {self.dictionary_bytes} bytes",
+            f"stored bytes: {self.total_bytes} "
+            f"(base {self.base_bytes}, delta {self.delta_bytes})",
+            f"write amplification: {self.bytes_per_triple:.1f} bytes/triple "
+            f"over {self.triples} triples",
+        ]
+        if self.observed_prune_fraction is not None:
+            lines.append(
+                f"observed zone-map pruning: {self.observed_prune_fraction:.1%} of "
+                f"segments skipped (journaled queries)"
+            )
+        if self.journal_records:
+            lines.append(
+                f"query journal: {self.journal_records} record(s) in "
+                f"{self.journal_files} file(s)"
+            )
+        else:
+            lines.append("query journal: empty")
+        shown = sorted(self.tables, key=lambda t: (-t.total_bytes, t.name))[:top_tables]
+        lines.append("")
+        lines.append(f"Largest tables (top {len(shown)} of {len(self.tables)}):")
+        for table in shown:
+            zone = (
+                f"zone width {table.zone_width_fraction:.1%}"
+                if table.zone_width_fraction is not None
+                else "no base segments"
+            )
+            lines.append(
+                f"  {table.name}: {table.rows} rows, "
+                f"{table.base_segments}+{table.delta_segments} segments, "
+                f"{table.total_bytes} bytes, {zone}"
+            )
+        lines.append("")
+        if self.compaction_candidates:
+            lines.append(f"Compaction recommended for {len(self.compaction_candidates)} table(s):")
+            for name in self.compaction_candidates:
+                table = next(t for t in self.tables if t.name == name)
+                lines.append(f"  {name}: {table.compaction_reason}")
+        else:
+            lines.append("Compaction: not needed (no table holds enough deltas)")
+        return "\n".join(lines)
+
+
+def _zone_width_fraction(entry: TableEntry, dictionary_terms: int) -> Optional[float]:
+    """Mean id-space coverage of the table's base-segment zone maps."""
+    if not entry.partitions or dictionary_terms <= 0:
+        return None
+    widths: List[float] = []
+    for partition in entry.partitions:
+        for zone in partition.zones.values():
+            if zone.row_count == 0 or zone.max_id < zone.min_id:
+                continue
+            widths.append((zone.max_id - zone.min_id + 1) / dictionary_terms)
+    if not widths:
+        return None
+    return sum(widths) / len(widths)
+
+
+def _table_health(
+    entry: TableEntry,
+    dictionary_terms: int,
+    delta_segment_threshold: int,
+) -> TableHealth:
+    base_bytes = entry.base_bytes()
+    delta_bytes = entry.delta_bytes()
+    needs = False
+    reason = ""
+    if len(entry.deltas) >= delta_segment_threshold:
+        needs = True
+        reason = f"{len(entry.deltas)} delta segments (threshold {delta_segment_threshold})"
+    elif entry.deltas and base_bytes and delta_bytes > DELTA_BYTES_FRACTION_THRESHOLD * (
+        base_bytes + delta_bytes
+    ):
+        needs = True
+        reason = (
+            f"deltas hold {delta_bytes / (base_bytes + delta_bytes):.0%} of the "
+            "table's bytes"
+        )
+    return TableHealth(
+        name=entry.name,
+        rows=entry.row_count,
+        base_rows=entry.base_row_count(),
+        delta_rows=entry.delta_row_count(),
+        base_segments=len(entry.partitions),
+        delta_segments=len(entry.deltas),
+        base_bytes=base_bytes,
+        delta_bytes=delta_bytes,
+        zone_width_fraction=_zone_width_fraction(entry, dictionary_terms),
+        needs_compaction=needs,
+        compaction_reason=reason,
+    )
+
+
+def inspect_dataset(
+    path: str,
+    delta_segment_threshold: int = DEFAULT_DELTA_SEGMENT_THRESHOLD,
+) -> StoreHealthReport:
+    """Build a :class:`StoreHealthReport` from a dataset directory."""
+    manifest: Manifest = read_manifest(path)
+    tables = [
+        _table_health(entry, manifest.dictionary_size, delta_segment_threshold)
+        for entry in manifest.tables.values()
+    ]
+    tables.sort(key=lambda t: t.name)
+    base_bytes = sum(t.base_bytes for t in tables)
+    delta_bytes = sum(t.delta_bytes for t in tables)
+    total_bytes = base_bytes + delta_bytes
+    triples_entry = manifest.tables.get("triples")
+    triples = triples_entry.row_count if triples_entry is not None else 0
+
+    dict_file = dictionary_path(path)
+    dictionary_bytes = os.path.getsize(dict_file) if os.path.isfile(dict_file) else 0
+
+    records = read_dataset_journal(path)
+    scanned = sum(r.segments_scanned for r in records)
+    pruned = sum(r.segments_pruned for r in records)
+    prune_fraction = pruned / (scanned + pruned) if (scanned + pruned) else None
+    journal_dir = os.path.join(path, "journal")
+    journal_files = (
+        len([n for n in os.listdir(journal_dir) if n.endswith(".jsonl")])
+        if os.path.isdir(journal_dir)
+        else 0
+    )
+
+    return StoreHealthReport(
+        path=path,
+        format_version=manifest.format_version,
+        append_epoch=manifest.append_epoch,
+        num_buckets=manifest.num_buckets,
+        table_count=len(manifest.tables),
+        statistics_only_count=len(manifest.statistics_only),
+        dictionary_terms=manifest.dictionary_size,
+        dictionary_bytes=dictionary_bytes,
+        total_bytes=total_bytes,
+        base_bytes=base_bytes,
+        delta_bytes=delta_bytes,
+        triples=triples,
+        bytes_per_triple=(total_bytes / triples) if triples else 0.0,
+        tables=tables,
+        compaction_candidates=[t.name for t in tables if t.needs_compaction],
+        journal_records=len(records),
+        journal_files=journal_files,
+        observed_prune_fraction=prune_fraction,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.inspect",
+        description="Inspect the storage health of a persisted S2RDF dataset.",
+    )
+    parser.add_argument("dataset", help="path to a dataset directory (holds MANIFEST.json)")
+    parser.add_argument("--json", action="store_true", help="emit the report as JSON")
+    parser.add_argument(
+        "--top-tables", type=int, default=10, help="tables shown in the text report"
+    )
+    parser.add_argument(
+        "--delta-threshold",
+        type=int,
+        default=DEFAULT_DELTA_SEGMENT_THRESHOLD,
+        help="delta segments per table before compaction is recommended",
+    )
+    args = parser.parse_args(argv)
+    report = inspect_dataset(args.dataset, delta_segment_threshold=args.delta_threshold)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text(top_tables=args.top_tables))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""Bench regression gate tests: per-kind tolerances, every verdict, the
+directory comparison and the CLI exit codes CI relies on."""
+
+import json
+
+import pytest
+
+from repro.bench.regression import (
+    DEFAULT_COUNTER_TOLERANCE,
+    MIN_COMPARABLE_TIMING,
+    MISSING_FILE,
+    MISSING_METRIC,
+    PASS,
+    REGRESS,
+    SCHEMA_DRIFT,
+    compare_directories,
+    compare_reports,
+    main,
+)
+from repro.bench.reporting import BENCH_SCHEMA
+
+
+def bench(counters=None, timings=None, schema=BENCH_SCHEMA):
+    return {
+        "schema": schema,
+        "name": "synthetic",
+        "counters": dict(counters or {}),
+        "timings": dict(timings or {}),
+    }
+
+
+BASELINE = bench(
+    counters={"input_tuples": 1000, "joins": 12},
+    timings={"wall_ms": 80.0, "tiny_ms": 0.4},
+)
+
+
+# --------------------------------------------------------------------------- #
+# compare_reports verdicts
+# --------------------------------------------------------------------------- #
+def test_identical_reports_pass():
+    result = compare_reports("b.json", BASELINE, bench(**{
+        "counters": BASELINE["counters"], "timings": BASELINE["timings"]}))
+    assert result.verdict == PASS
+    assert result.failed_checks == []
+
+
+def test_counters_tolerate_small_symmetric_drift():
+    within = 1 + DEFAULT_COUNTER_TOLERANCE - 0.01
+    current = bench(
+        counters={"input_tuples": 1000 * within, "joins": 12 / within},
+        timings=BASELINE["timings"],
+    )
+    assert compare_reports("b.json", BASELINE, current).verdict == PASS
+
+
+@pytest.mark.parametrize("direction", [2.0, 0.5])
+def test_counter_drift_beyond_tolerance_regresses_both_ways(direction):
+    current = bench(
+        counters={"input_tuples": 1000 * direction, "joins": 12},
+        timings=BASELINE["timings"],
+    )
+    result = compare_reports("b.json", BASELINE, current)
+    assert result.verdict == REGRESS
+    (failed,) = result.failed_checks
+    assert failed.metric == "input_tuples"
+    assert failed.kind == "counter"
+    assert "deviation" in failed.detail
+
+
+def test_timings_only_fail_on_large_growth():
+    slower = bench(counters=BASELINE["counters"], timings={"wall_ms": 80.0 * 19, "tiny_ms": 0.4})
+    assert compare_reports("b.json", BASELINE, slower).verdict == PASS
+    # A faster run is never a regression.
+    faster = bench(counters=BASELINE["counters"], timings={"wall_ms": 1.0, "tiny_ms": 0.4})
+    assert compare_reports("b.json", BASELINE, faster).verdict == PASS
+    blowup = bench(counters=BASELINE["counters"], timings={"wall_ms": 80.0 * 25, "tiny_ms": 0.4})
+    result = compare_reports("b.json", BASELINE, blowup)
+    assert result.verdict == REGRESS
+    assert "grew" in result.failed_checks[0].detail
+
+
+def test_sub_floor_timings_are_never_compared():
+    assert MIN_COMPARABLE_TIMING == 1.0
+    current = bench(
+        counters=BASELINE["counters"],
+        timings={"wall_ms": 80.0, "tiny_ms": 0.4 * 10_000},  # below the 1.0 floor
+    )
+    assert compare_reports("b.json", BASELINE, current).verdict == PASS
+
+
+def test_missing_metric_is_its_own_verdict():
+    current = bench(counters={"input_tuples": 1000}, timings=BASELINE["timings"])
+    result = compare_reports("b.json", BASELINE, current)
+    assert result.verdict == MISSING_METRIC
+    (failed,) = result.failed_checks
+    assert (failed.metric, failed.current) == ("joins", None)
+
+
+def test_regress_outranks_missing_metric():
+    current = bench(counters={"input_tuples": 5000}, timings=BASELINE["timings"])
+    assert compare_reports("b.json", BASELINE, current).verdict == REGRESS
+
+
+def test_new_metrics_in_the_current_run_are_welcome():
+    current = bench(
+        counters={**BASELINE["counters"], "new_counter": 7},
+        timings={**BASELINE["timings"], "new_ms": 1.0},
+    )
+    assert compare_reports("b.json", BASELINE, current).verdict == PASS
+
+
+def test_schema_drift_fails_before_any_metric_check():
+    drifted = bench(counters=BASELINE["counters"], timings=BASELINE["timings"],
+                    schema="s2rdf-bench/v2")
+    result = compare_reports("b.json", BASELINE, drifted)
+    assert result.verdict == SCHEMA_DRIFT
+    assert "s2rdf-bench/v2" in result.detail
+
+
+# --------------------------------------------------------------------------- #
+# Directory comparison and CLI
+# --------------------------------------------------------------------------- #
+def write_bench(path, data):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data), encoding="utf-8")
+
+
+def test_compare_directories_covers_all_baselines(tmp_path):
+    base, cur = tmp_path / "base", tmp_path / "cur"
+    write_bench(base / "BENCH_a.json", BASELINE)
+    write_bench(base / "BENCH_b.json", BASELINE)
+    write_bench(base / "BENCH_c.json", BASELINE)
+    write_bench(cur / "BENCH_a.json", BASELINE)  # pass
+    write_bench(  # regress
+        cur / "BENCH_b.json",
+        bench(counters={"input_tuples": 9999, "joins": 12}, timings=BASELINE["timings"]),
+    )
+    # BENCH_c has no fresh counterpart; extra current files are ignored.
+    write_bench(cur / "BENCH_extra.json", BASELINE)
+    report = compare_directories(base, cur)
+    verdicts = {r.name: r.verdict for r in report.results}
+    assert verdicts == {
+        "BENCH_a.json": PASS,
+        "BENCH_b.json": REGRESS,
+        "BENCH_c.json": MISSING_FILE,
+    }
+    assert not report.ok
+    text = report.render_text()
+    assert "3 baseline file(s) checked, 2 failing" in text
+
+
+def test_empty_baseline_directory_is_a_missing_file_failure(tmp_path):
+    (tmp_path / "base").mkdir()
+    (tmp_path / "cur").mkdir()
+    report = compare_directories(tmp_path / "base", tmp_path / "cur")
+    assert not report.ok
+    assert report.results[0].verdict == MISSING_FILE
+
+
+def test_unreadable_current_file_is_schema_drift(tmp_path):
+    base, cur = tmp_path / "base", tmp_path / "cur"
+    write_bench(base / "BENCH_a.json", BASELINE)
+    cur.mkdir()
+    (cur / "BENCH_a.json").write_text("not json", encoding="utf-8")
+    report = compare_directories(base, cur)
+    assert report.results[0].verdict == SCHEMA_DRIFT
+
+
+def test_cli_exit_codes_and_json_output(tmp_path, capsys):
+    base, cur = tmp_path / "base", tmp_path / "cur"
+    write_bench(base / "BENCH_a.json", BASELINE)
+    write_bench(cur / "BENCH_a.json", BASELINE)
+    argv = ["--baseline-dir", str(base), "--current-dir", str(cur)]
+    assert main(argv) == 0
+    assert "1 baseline file(s) checked, 0 failing" in capsys.readouterr().out
+
+    # Synthetically degrade the fresh run: the gate must fail the build.
+    write_bench(
+        cur / "BENCH_a.json",
+        bench(counters={"input_tuples": 1, "joins": 12}, timings=BASELINE["timings"]),
+    )
+    assert main(argv) == 1
+    capsys.readouterr()  # drop the text report; capture the JSON mode cleanly
+    assert main(argv + ["--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["results"][0]["verdict"] == REGRESS
+    assert payload["results"][0]["failed_checks"][0]["metric"] == "input_tuples"
+
+
+def test_cli_tolerance_flags_are_honoured(tmp_path):
+    base, cur = tmp_path / "base", tmp_path / "cur"
+    write_bench(base / "BENCH_a.json", BASELINE)
+    write_bench(
+        cur / "BENCH_a.json",
+        bench(counters={"input_tuples": 1400, "joins": 12}, timings=BASELINE["timings"]),
+    )
+    argv = ["--baseline-dir", str(base), "--current-dir", str(cur)]
+    assert main(argv) == 1  # 40% drift > default 25%
+    assert main(argv + ["--counter-tolerance", "0.5"]) == 0

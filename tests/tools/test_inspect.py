@@ -1,0 +1,131 @@
+"""Store health inspector tests: per-table base/delta accounting, write
+amplification, compaction recommendations, journal-derived pruning stats and
+the ``python -m repro.tools.inspect`` CLI."""
+
+import json
+
+import pytest
+
+from repro.core.session import S2RDFSession
+from repro.rdf.graph import Graph
+from repro.rdf.triple import Triple
+from repro.store.format import read_manifest
+from repro.tools.inspect import (
+    DEFAULT_DELTA_SEGMENT_THRESHOLD,
+    StoreHealthReport,
+    inspect_dataset,
+    main,
+)
+
+
+def build_session() -> S2RDFSession:
+    triples = [Triple.of(f"u{i}", "follows", f"u{(i * 3) % 8}") for i in range(24)]
+    triples += [Triple.of(f"u{i}", "likes", f"p{i % 3}") for i in range(0, 24, 2)]
+    return S2RDFSession.from_graph(Graph(triples, name="health"), num_partitions=2)
+
+
+@pytest.fixture()
+def dataset(tmp_path):
+    """A persisted dataset with one append epoch and a few journaled queries."""
+    path = str(tmp_path / "ds")
+    with build_session() as session:
+        session.save_dataset(path)
+        session.query("SELECT ?f WHERE { <u1> <follows> ?f }")
+        session.append_triples([Triple.of(f"u{30 + i}", "follows", "u1") for i in range(4)])
+        session.query("SELECT ?f WHERE { <u2> <follows> ?f }")
+        session.query("SELECT ?x ?p WHERE { ?x <follows> ?y . ?y <likes> ?p }")
+    return path
+
+
+def test_report_reflects_manifest_and_journal(dataset):
+    report = inspect_dataset(dataset)
+    manifest = read_manifest(dataset)
+    assert isinstance(report, StoreHealthReport)
+    assert report.append_epoch == 1
+    assert report.format_version == manifest.format_version
+    assert report.table_count == len(manifest.tables)
+    assert report.statistics_only_count == len(manifest.statistics_only)
+    assert report.dictionary_terms == manifest.dictionary_size
+    assert report.dictionary_bytes > 0
+    assert report.total_bytes == report.base_bytes + report.delta_bytes
+    assert report.delta_bytes > 0  # the append left unfolded deltas
+    assert report.triples == manifest.tables["triples"].row_count
+    assert report.bytes_per_triple == pytest.approx(report.total_bytes / report.triples)
+    # Three queries were journaled; they scanned stored segments.
+    assert report.journal_records == 3
+    assert report.journal_files >= 1
+    assert report.observed_prune_fraction is None or 0.0 <= report.observed_prune_fraction <= 1.0
+
+
+def test_per_table_health_accounts_base_and_delta(dataset):
+    report = inspect_dataset(dataset)
+    by_name = {t.name: t for t in report.tables}
+    follows = by_name["vp_follows"]  # the appended predicate
+    assert follows.delta_segments > 0
+    assert follows.delta_rows > 0
+    assert follows.rows == follows.base_rows + follows.delta_rows
+    assert follows.total_bytes == follows.base_bytes + follows.delta_bytes
+    assert follows.zone_width_fraction is None or 0.0 <= follows.zone_width_fraction <= 1.0
+    likes = by_name["vp_likes"]  # untouched by the append
+    assert likes.delta_segments == 0
+    assert likes.delta_bytes == 0
+
+
+def test_compaction_recommendation_appears_and_clears(dataset):
+    report = inspect_dataset(dataset, delta_segment_threshold=1)
+    assert "vp_follows" in report.compaction_candidates
+    candidate = next(t for t in report.tables if t.name == "vp_follows")
+    assert candidate.needs_compaction
+    assert "delta segment" in candidate.compaction_reason
+
+    with S2RDFSession.open_dataset(dataset) as session:
+        session.compact(compaction_threshold=1)
+    after = inspect_dataset(dataset, delta_segment_threshold=1)
+    assert after.compaction_candidates == []
+    assert after.delta_bytes == 0
+    assert after.append_epoch >= 1  # compaction does not lose the epoch
+
+
+def test_fresh_dataset_needs_no_compaction(tmp_path):
+    path = str(tmp_path / "fresh")
+    with build_session() as session:
+        session.save_dataset(path)
+    report = inspect_dataset(path)
+    assert report.append_epoch == 0
+    assert report.compaction_candidates == []
+    assert report.delta_bytes == 0
+    assert report.journal_records == 0
+    assert report.observed_prune_fraction is None
+    assert "query journal: empty" in report.render_text()
+
+
+def test_as_dict_is_json_serializable(dataset):
+    data = inspect_dataset(dataset).as_dict()
+    encoded = json.dumps(data)
+    decoded = json.loads(encoded)
+    assert decoded["append_epoch"] == 1
+    assert decoded["tables"]
+    assert {"name", "rows", "delta_segments", "needs_compaction"} <= set(
+        decoded["tables"][0]
+    )
+
+
+def test_render_text_mentions_the_headline_numbers(dataset):
+    text = inspect_dataset(dataset).render_text(top_tables=3)
+    assert "manifest epoch 1" in text
+    assert "write amplification" in text
+    assert "Largest tables (top 3" in text
+    assert "Compaction" in text
+
+
+def test_cli_text_and_json_modes(dataset, capsys):
+    assert main([dataset]) == 0
+    assert "Store health" in capsys.readouterr().out
+    assert main([dataset, "--json", "--delta-threshold", "1"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["append_epoch"] == 1
+    assert "vp_follows" in payload["compaction_candidates"]
+
+
+def test_default_threshold_matches_module_constant():
+    assert DEFAULT_DELTA_SEGMENT_THRESHOLD == 2
