@@ -1,0 +1,153 @@
+"""Native engine vs the sqlite SQL-lowering backend on WatDiv Basic.
+
+Both engines execute the *same* compiled plan IR — the native engine as a
+visitor of in-process operators, the sqlite backend as one parameterized SQL
+statement over an in-memory sqlite3 database loaded from the catalog.  This
+benchmark runs the WatDiv Basic subset on both, asserts bag-equality on every
+query (a perf number for a wrong answer is worthless) and reports per-query
+wall clocks side by side.
+
+The sqlite numbers separate the one-time table load (paid on the first query
+that touches each table, like Spark reading Parquet into the scan cache) from
+steady-state statement execution: each query is warmed once before timing, so
+``sqlite_ms`` is the statement cost against already-loaded tables, and the
+load cost is reported once as ``load_ms``.
+
+Run directly (used by CI in smoke mode)::
+
+    PYTHONPATH=src python -c "from repro.bench.sql_backend import main; main(['--smoke', '--json'])"
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bench.reporting import ExperimentReport, write_bench_json
+from repro.core.session import S2RDFSession, SessionConfig
+from repro.mappings.extvp import ExtVPLayout
+from repro.watdiv.basic_queries import BASIC_TEMPLATES
+from repro.watdiv.generator import WatDivDataset, generate_dataset
+from repro.watdiv.template import instantiate_template
+
+
+def _bag(relation) -> List[str]:
+    return sorted(map(repr, relation.rows))
+
+
+def _time_query(session: S2RDFSession, query_text: str, repeats: int) -> Tuple[float, int]:
+    """Best-of-``repeats`` wall clock (ms) and the result cardinality."""
+    best = float("inf")
+    rows = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = session.query(query_text)
+        best = min(best, (time.perf_counter() - start) * 1000.0)
+        rows = len(result)
+    return best, rows
+
+
+def run_sql_backend(
+    scale_factor: float = 1.0,
+    seed: int = 42,
+    repeats: int = 3,
+    dataset: Optional[WatDivDataset] = None,
+) -> ExperimentReport:
+    """Compare native and sqlite execution on the WatDiv Basic subset."""
+    dataset = dataset if dataset is not None else generate_dataset(scale_factor=scale_factor, seed=seed)
+    layout = ExtVPLayout(selectivity_threshold=1.0)
+    layout.build(dataset.graph)
+    queries = [
+        (template.name, instantiate_template(template, dataset))
+        for template in BASIC_TEMPLATES
+    ]
+
+    config = {"journal_enabled": False, "tracing_enabled": False}
+    native = S2RDFSession(layout, config=SessionConfig(**config))
+    sqlite = S2RDFSession(layout, config=SessionConfig(engine="sqlite", **config))
+
+    # Pay the one-time sqlite table load up front (first touch per table) so
+    # the per-query numbers measure statement execution, not bulk INSERTs.
+    load_start = time.perf_counter()
+    for _, query_text in queries:
+        sqlite.query(query_text)
+    load_ms = (time.perf_counter() - load_start) * 1000.0
+
+    report = ExperimentReport(
+        name="SQL backend — native operators vs sqlite lowering (WatDiv Basic)",
+        description=(
+            f"WatDiv Basic subset at scale factor {dataset.scale_factor:g}, best of {repeats} "
+            "runs per engine; every query is bag-equality-checked across engines before timing "
+            "counts. sqlite numbers are steady-state (tables pre-loaded); the one-time load is "
+            "reported separately."
+        ),
+        columns=["query", "rows", "native_ms", "sqlite_ms", "speedup"],
+    )
+
+    total_native = 0.0
+    total_sqlite = 0.0
+    try:
+        for name, query_text in queries:
+            native_result = native.query(query_text)
+            sqlite_result = sqlite.query(query_text)
+            assert sqlite_result.engine == "sqlite"
+            assert _bag(native_result.relation) == _bag(sqlite_result.relation), (
+                f"engine mismatch on {name}"
+            )
+            native_ms, native_rows = _time_query(native, query_text, repeats)
+            sqlite_ms, sqlite_rows = _time_query(sqlite, query_text, repeats)
+            assert native_rows == sqlite_rows == len(native_result)
+            total_native += native_ms
+            total_sqlite += sqlite_ms
+            report.add_row(
+                query=name,
+                rows=native_rows,
+                native_ms=round(native_ms, 3),
+                sqlite_ms=round(sqlite_ms, 3),
+                # Rendered as text on purpose: a run-to-run noisy ratio must
+                # not become a gated counter in the machine-readable output.
+                speedup=f"{native_ms / sqlite_ms:.2f}x" if sqlite_ms > 0 else "-",
+            )
+    finally:
+        native.close()
+        sqlite.close()
+
+    report.add_note(
+        f"one-time sqlite table load (all {len(queries)} queries' scan sets): {load_ms:.1f} ms"
+    )
+    report.stash = {
+        "queries": len(queries),
+        "mismatches": 0,  # every query above is asserted bag-equal
+        "load_ms": load_ms,
+        "total_native_ms": total_native,
+        "total_sqlite_ms": total_sqlite,
+    }
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Native vs sqlite backend benchmark")
+    parser.add_argument("--scale", type=float, default=1.0, help="WatDiv-like scale factor")
+    parser.add_argument("--repeats", type=int, default=3, help="timed runs per query per engine")
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI mode: tiny scale, asserts cross-engine equality"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="also write machine-readable benchmarks/output/BENCH_sql_backend.json",
+    )
+    args = parser.parse_args(argv)
+    scale = min(args.scale, 1.0) if args.smoke else args.scale
+    report = run_sql_backend(scale_factor=scale, repeats=args.repeats)
+    print(report.to_text())
+    if args.json:
+        print(f"wrote {write_bench_json(report, 'sql_backend')}")
+    assert report.stash["mismatches"] == 0
+    print(f"equality check passed on {report.stash['queries']} queries")
+
+
+if __name__ == "__main__":
+    main()

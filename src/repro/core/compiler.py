@@ -15,9 +15,10 @@ from typing import List, Optional, Tuple
 from repro.core.bgp import BGPCompilationResult, compile_bgp
 from repro.core.table_selection import TableSelector
 from repro.obs.trace import NULL_TRACER, Tracer
-from repro.engine.plan import (
+from repro.engine.ops import (
+    AggregateNode,
+    AggregateSpec,
     DistinctNode,
-    EmptyNode,
     FilterNode,
     LeftOuterJoinNode,
     LimitNode,
@@ -35,7 +36,7 @@ from repro.sparql.algebra import (
     LeftJoin,
     OrderBy,
     OrderCondition,
-    PatternNode,
+    PatternVisitor,
     Projection,
     Query,
     Slice,
@@ -71,8 +72,15 @@ class CompiledQuery:
         return self.plan.to_sql()
 
 
-class QueryCompiler:
-    """Compiles parsed SPARQL queries into logical plans."""
+class QueryCompiler(PatternVisitor):
+    """Compiles parsed SPARQL queries into logical plans.
+
+    The pattern lowering is a :class:`~repro.sparql.algebra.PatternVisitor`:
+    each algebra operator dispatches to its ``visit_*`` hook, which compiles
+    children via :meth:`~repro.sparql.algebra.PatternVisitor.visit` and wraps
+    them in the corresponding plan IR node.  Per-BGP compilation details are
+    threaded through the visit as the ``bgp_results`` accumulator.
+    """
 
     def __init__(
         self,
@@ -87,8 +95,22 @@ class QueryCompiler:
     # ------------------------------------------------------------------ #
     def compile(self, query: Query) -> CompiledQuery:
         bgp_results: List[BGPCompilationResult] = []
-        plan = self._compile_pattern(query.pattern, bgp_results)
+        plan = self.visit(query.pattern, bgp_results)
 
+        if query.aggregates or query.group_by:
+            plan = AggregateNode(
+                plan,
+                tuple(v.name for v in query.group_by),
+                tuple(
+                    AggregateSpec(
+                        function=binding.function,
+                        column=binding.variable.name if binding.variable is not None else None,
+                        alias=binding.alias.name,
+                        distinct=binding.distinct,
+                    )
+                    for binding in query.aggregates
+                ),
+            )
         if query.order_by:
             keys = self._order_keys(query.order_by)
             if keys:
@@ -104,48 +126,54 @@ class QueryCompiler:
         return CompiledQuery(plan=plan, bgp_results=bgp_results)
 
     # ------------------------------------------------------------------ #
-    def _compile_pattern(self, node: PatternNode, bgp_results: List[BGPCompilationResult]) -> PlanNode:
-        if isinstance(node, BGP):
-            with self.tracer.span(
-                "table-selection", category="compile", patterns=len(node.patterns)
-            ) as span:
-                result = compile_bgp(node, self.selector, self.optimize_join_order)
-                span.set(
-                    selected_tables=list(result.selected_tables),
-                    statically_empty=result.statically_empty,
-                )
-            bgp_results.append(result)
-            return result.plan
-        if isinstance(node, Filter):
-            child = self._compile_pattern(node.pattern, bgp_results)
-            return FilterNode(child, node.expression)
-        if isinstance(node, Join):
-            left = self._compile_pattern(node.left, bgp_results)
-            right = self._compile_pattern(node.right, bgp_results)
-            return NaturalJoinNode(left, right)
-        if isinstance(node, LeftJoin):
-            left = self._compile_pattern(node.left, bgp_results)
-            right = self._compile_pattern(node.right, bgp_results)
-            return LeftOuterJoinNode(left, right, node.expression)
-        if isinstance(node, Union):
-            left = self._compile_pattern(node.left, bgp_results)
-            right = self._compile_pattern(node.right, bgp_results)
-            return UnionNode(left, right)
-        if isinstance(node, Projection):
-            child = self._compile_pattern(node.pattern, bgp_results)
-            if node.variables_list:
-                return ProjectNode(child, tuple(v.name for v in node.variables_list))
-            return child
-        if isinstance(node, Distinct):
-            return DistinctNode(self._compile_pattern(node.pattern, bgp_results))
-        if isinstance(node, OrderBy):
-            child = self._compile_pattern(node.pattern, bgp_results)
-            keys = self._order_keys(node.conditions)
-            return OrderByNode(child, keys) if keys else child
-        if isinstance(node, Slice):
-            child = self._compile_pattern(node.pattern, bgp_results)
-            return LimitNode(child, node.limit, node.offset)
-        raise TypeError(f"unsupported algebra node {type(node).__name__}")
+    # Algebra visitor hooks
+    # ------------------------------------------------------------------ #
+    def visit_bgp(self, node: BGP, bgp_results: List[BGPCompilationResult]) -> PlanNode:
+        with self.tracer.span(
+            "table-selection", category="compile", patterns=len(node.patterns)
+        ) as span:
+            result = compile_bgp(node, self.selector, self.optimize_join_order)
+            span.set(
+                selected_tables=list(result.selected_tables),
+                statically_empty=result.statically_empty,
+            )
+        bgp_results.append(result)
+        return result.plan
+
+    def visit_filter(self, node: Filter, bgp_results: List[BGPCompilationResult]) -> PlanNode:
+        return FilterNode(self.visit(node.pattern, bgp_results), node.expression)
+
+    def visit_join(self, node: Join, bgp_results: List[BGPCompilationResult]) -> PlanNode:
+        left = self.visit(node.left, bgp_results)
+        right = self.visit(node.right, bgp_results)
+        return NaturalJoinNode(left, right)
+
+    def visit_left_join(self, node: LeftJoin, bgp_results: List[BGPCompilationResult]) -> PlanNode:
+        left = self.visit(node.left, bgp_results)
+        right = self.visit(node.right, bgp_results)
+        return LeftOuterJoinNode(left, right, node.expression)
+
+    def visit_union(self, node: Union, bgp_results: List[BGPCompilationResult]) -> PlanNode:
+        left = self.visit(node.left, bgp_results)
+        right = self.visit(node.right, bgp_results)
+        return UnionNode(left, right)
+
+    def visit_projection(self, node: Projection, bgp_results: List[BGPCompilationResult]) -> PlanNode:
+        child = self.visit(node.pattern, bgp_results)
+        if node.variables_list:
+            return ProjectNode(child, tuple(v.name for v in node.variables_list))
+        return child
+
+    def visit_distinct(self, node: Distinct, bgp_results: List[BGPCompilationResult]) -> PlanNode:
+        return DistinctNode(self.visit(node.pattern, bgp_results))
+
+    def visit_order_by(self, node: OrderBy, bgp_results: List[BGPCompilationResult]) -> PlanNode:
+        child = self.visit(node.pattern, bgp_results)
+        keys = self._order_keys(node.conditions)
+        return OrderByNode(child, keys) if keys else child
+
+    def visit_slice(self, node: Slice, bgp_results: List[BGPCompilationResult]) -> PlanNode:
+        return LimitNode(self.visit(node.pattern, bgp_results), node.limit, node.offset)
 
     @staticmethod
     def _order_keys(conditions: Tuple[OrderCondition, ...]) -> Tuple[Tuple[str, bool], ...]:

@@ -43,6 +43,9 @@ class QueryResult:
     #: Human-readable ``"initial -> executed"`` entries for every join whose
     #: executed strategy differs from the plan.
     replanned_joins: List[str] = field(default_factory=list)
+    #: Which engine executed the plan: ``"native"`` (in-process operators) or
+    #: ``"sqlite"`` (the SQL lowering backend).
+    engine: str = "native"
 
     @property
     def wallclock_ms(self) -> float:

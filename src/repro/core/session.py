@@ -39,6 +39,7 @@ from repro.engine.runtime import (
     ParallelExecutor,
     estimate_rows,
 )
+from repro.engine.sql import SqliteExecutor
 from repro.mappings.extvp import ExtVPLayout
 from repro.obs.explain import (
     ExplainAnalyzeResult,
@@ -120,6 +121,11 @@ class SessionConfig:
     #: ``<dataset>/journal/`` once the session is saved or opened from disk.
     #: The journal is the workload analyzer's input (:mod:`repro.obs.workload`).
     journal_enabled: bool = True
+    #: Execution engine: ``"native"`` runs plans on the in-process relational
+    #: operators (with the parallel/adaptive runtime); ``"sqlite"`` lowers
+    #: plans to SQL and executes them on an in-memory SQLite database
+    #: (:mod:`repro.engine.sql`) — the differential cross-check backend.
+    engine: str = "native"
 
 
 class S2RDFSession:
@@ -134,6 +140,10 @@ class S2RDFSession:
     ) -> None:
         self.layout = layout
         self.config = config or SessionConfig()
+        if self.config.engine not in ("native", "sqlite"):
+            raise ValueError(
+                f"unknown engine {self.config.engine!r}; expected 'native' or 'sqlite'"
+            )
         self.cost_model = cost_model or SparkCostModel()
         #: Query-lifecycle tracer; the shared no-op tracer unless tracing is
         #: enabled (or a caller injects one, e.g. ``open_dataset`` so the cold
@@ -162,6 +172,11 @@ class S2RDFSession:
             tracer=self.tracer,
             metrics_registry=self.metrics,
             broadcast_memory_limit=self.config.broadcast_memory_limit,
+        )
+        #: The SQLite engine (always constructed — it opens no connection and
+        #: loads no table until the first query runs with ``engine="sqlite"``).
+        self.sql_executor = SqliteExecutor(
+            layout.catalog, tracer=self.tracer, metrics_registry=self.metrics
         )
         #: Per-query workload journal (``None`` when journaling is disabled).
         #: Ephemeral sessions journal in memory; ``save_dataset`` /
@@ -200,6 +215,7 @@ class S2RDFSession:
         tracing_enabled: bool = False,
         broadcast_memory_limit: int = DEFAULT_BROADCAST_MEMORY_LIMIT,
         journal_enabled: bool = True,
+        engine: str = "native",
     ) -> "S2RDFSession":
         """Build the data layout for ``graph`` and return a ready session."""
         config = SessionConfig(
@@ -215,6 +231,7 @@ class S2RDFSession:
             tracing_enabled=tracing_enabled,
             broadcast_memory_limit=broadcast_memory_limit,
             journal_enabled=journal_enabled,
+            engine=engine,
         )
         layout = ExtVPLayout(
             selectivity_threshold=selectivity_threshold if use_extvp else 0.0,
@@ -287,6 +304,7 @@ class S2RDFSession:
         tracing_enabled: bool = False,
         broadcast_memory_limit: int = DEFAULT_BROADCAST_MEMORY_LIMIT,
         journal_enabled: bool = True,
+        engine: str = "native",
     ) -> "S2RDFSession":
         """Cold-start a session from a dataset written by :meth:`save_dataset`.
 
@@ -319,6 +337,7 @@ class S2RDFSession:
             tracing_enabled=tracing_enabled,
             broadcast_memory_limit=broadcast_memory_limit,
             journal_enabled=journal_enabled,
+            engine=engine,
         )
         session = cls(layout, config=config, cost_model=cost_model, tracer=tracer)
         session.load_report = load_report
@@ -426,6 +445,9 @@ class S2RDFSession:
         assert self.dataset_path is not None
         with self.tracer.span("store.refresh", category="store"):
             dataset = _refresh_stored_dataset(self.layout, self.dataset_path)
+        # The SQLite engine caches loaded tables per connection; a store
+        # mutation invalidates them wholesale.
+        self.sql_executor.invalidate()
         # The journal epoch advances only here — after the mutation's atomic
         # manifest swap — so a record written mid-append (before the swap)
         # still carries the pre-append epoch it actually executed against.
@@ -462,15 +484,25 @@ class S2RDFSession:
         :class:`~repro.core.results.QueryResult`.
         """
         result, compiled, estimates = self._run(query, capture_estimates=True)
-        physical = self.executor.last_physical_plan
-        replan_events = (
-            self.executor.adaptive.replan_events if self.executor.adaptive is not None else ()
-        )
+        if self.config.engine == "sqlite":
+            # The SQLite engine runs the plan as one statement: observations
+            # exist only at the root, and there is no physical join planning.
+            node_stats = self.sql_executor.last_node_stats
+            exchange_stats: Dict[int, object] = {}
+            physical = None
+            replan_events = ()
+        else:
+            node_stats = self.executor.last_node_stats
+            exchange_stats = self.executor.last_exchange_stats
+            physical = self.executor.last_physical_plan
+            replan_events = (
+                self.executor.adaptive.replan_events if self.executor.adaptive is not None else ()
+            )
         tree = render_explain_analyze(
             compiled.plan,
             estimates or {},
-            self.executor.last_node_stats,
-            self.executor.last_exchange_stats,
+            node_stats,
+            exchange_stats,
             physical,
             replan_events,
         )
@@ -479,6 +511,7 @@ class S2RDFSession:
             "== Physical Plan (analyzed) ==",
             tree,
             "",
+            f"Engine: {result.engine}",
             f"Phases: {phases}",
             f"Wall clock: {result.wall_clock_ms:.2f} ms; "
             f"simulated cluster runtime: {result.simulated_runtime_ms:.2f} ms",
@@ -531,14 +564,19 @@ class S2RDFSession:
             else:
                 root_estimate = None
 
+            use_sqlite = self.config.engine == "sqlite"
             metrics = ExecutionMetrics()
             phase_start = time.perf_counter()
-            with self.tracer.span("execute", category="query"):
-                relation = self.executor.execute(compiled.plan, metrics)
+            with self.tracer.span("execute", category="query", engine=self.config.engine):
+                if use_sqlite:
+                    relation = self.sql_executor.execute(compiled.plan, metrics)
+                else:
+                    relation = self.executor.execute(compiled.plan, metrics)
             execute_ms = (time.perf_counter() - phase_start) * 1000.0
             # The physical-planning step runs inside executor.execute(); split
-            # it out so the phase dict matches the span structure.
-            plan_ms = min(self.executor.last_plan_ms, execute_ms)
+            # it out so the phase dict matches the span structure.  The SQLite
+            # engine has no separate physical-planning step.
+            plan_ms = 0.0 if use_sqlite else min(self.executor.last_plan_ms, execute_ms)
             phase_ms["plan"] = plan_ms
             phase_ms["execute"] = execute_ms - plan_ms
 
@@ -549,7 +587,7 @@ class S2RDFSession:
                     else metrics
                 )
                 simulated = self.cost_model.runtime_ms(scaled_metrics)
-                physical = self.executor.last_physical_plan
+                physical = None if use_sqlite else self.executor.last_physical_plan
                 result = QueryResult(
                     relation=relation,
                     sql=compiled.sql(),
@@ -571,6 +609,7 @@ class S2RDFSession:
                         if physical is not None
                         else []
                     ),
+                    engine=self.config.engine,
                 )
             root.set(rows=len(relation))
         self._record_query_metrics(result)
@@ -613,6 +652,7 @@ class S2RDFSession:
                 shuffled_bytes=metrics.shuffled_bytes,
                 broadcast_bytes=metrics.broadcast_bytes,
                 statically_empty=result.statically_empty,
+                engine=result.engine,
             ),
             query=parsed,
         )
@@ -648,6 +688,7 @@ class S2RDFSession:
     def close(self) -> None:
         """Release the runtime's worker threads and the journal's file handle."""
         self.executor.close()
+        self.sql_executor.close()
         if self.journal is not None:
             self.journal.close()
 

@@ -1,308 +1,50 @@
-"""Logical query plans with a SQL renderer and an executor.
+"""Plan execution against a catalog (the native in-process engine).
 
-The S2RDF compiler maps SPARQL algebra to these plan nodes.  ``to_sql()``
-renders the plan as the Spark SQL text the paper shows (Fig. 6, Fig. 11),
-while :class:`PlanExecutor` runs it against a :class:`~repro.engine.catalog.Catalog`
-and records :class:`~repro.engine.metrics.ExecutionMetrics`.
+The plan IR itself lives in :mod:`repro.engine.ops` (and is re-exported here
+for backwards compatibility).  :class:`PlanExecutor` is the serial engine: an
+:class:`~repro.engine.ops.OperationVisitor` whose ``visit_*`` hooks evaluate
+each operator against a :class:`~repro.engine.catalog.Catalog`, recording
+:class:`~repro.engine.metrics.ExecutionMetrics` and per-node observations for
+``explain_analyze``.  The partitioned runtime subclasses it and overrides the
+physical join hooks.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
 
 from repro.engine.catalog import Catalog
 from repro.engine.metrics import ExecutionMetrics
+from repro.engine.ops import (  # noqa: F401  (re-exported compatibility surface)
+    AggregateNode,
+    AggregateSpec,
+    BinaryOperation,
+    DistinctNode,
+    EmptyNode,
+    FilterNode,
+    LeafOperation,
+    LeftOuterJoinNode,
+    LimitNode,
+    NaturalJoinNode,
+    Operation,
+    OperationVisitor,
+    OrderByNode,
+    PlanNode,
+    ProjectNode,
+    SubqueryNode,
+    TableScanNode,
+    UnaryOperation,
+    UnionNode,
+    _indent,
+    _sql_value,
+    count_joins,
+    plan_depth,
+)
 from repro.engine.relation import Relation
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
-from repro.sparql.expressions import Expression
-
-
-class PlanNode:
-    """Base class of all logical plan operators."""
-
-    def to_sql(self, indent: int = 0) -> str:
-        raise NotImplementedError
-
-    def output_columns(self) -> Tuple[str, ...]:
-        raise NotImplementedError
-
-    def children(self) -> Sequence["PlanNode"]:
-        return ()
-
-
-def _indent(text: str, indent: int) -> str:
-    prefix = "  " * indent
-    return "\n".join(prefix + line for line in text.splitlines())
-
-
-@dataclass(frozen=True)
-class TableScanNode(PlanNode):
-    """Scan a whole catalog table."""
-
-    table_name: str
-    columns: Tuple[str, ...]
-
-    def to_sql(self, indent: int = 0) -> str:
-        return _indent(f"SELECT {', '.join(self.columns)} FROM {self.table_name}", indent)
-
-    def output_columns(self) -> Tuple[str, ...]:
-        return self.columns
-
-
-@dataclass(frozen=True)
-class SubqueryNode(PlanNode):
-    """The TP2SQL building block: project/rename + equality selections.
-
-    ``projections`` maps physical column names (``s``/``o``/``p``) to variable
-    names; ``conditions`` are equality selections on physical columns.
-    """
-
-    table_name: str
-    projections: Tuple[Tuple[str, str], ...]
-    conditions: Tuple[Tuple[str, Any], ...] = ()
-
-    def to_sql(self, indent: int = 0) -> str:
-        select_list = ", ".join(f"{column} AS {alias}" for column, alias in self.projections)
-        sql = f"SELECT {select_list} FROM {self.table_name}"
-        if self.conditions:
-            rendered = " AND ".join(f"{column} = {_sql_value(value)}" for column, value in self.conditions)
-            sql += f" WHERE {rendered}"
-        return _indent(sql, indent)
-
-    def output_columns(self) -> Tuple[str, ...]:
-        return tuple(alias for _, alias in self.projections)
-
-
-@dataclass(frozen=True)
-class EmptyNode(PlanNode):
-    """A node known to produce no rows (statistics short-circuit)."""
-
-    columns: Tuple[str, ...] = ()
-
-    def to_sql(self, indent: int = 0) -> str:
-        return _indent("SELECT * FROM (VALUES ) AS empty -- statically empty", indent)
-
-    def output_columns(self) -> Tuple[str, ...]:
-        return self.columns
-
-
-@dataclass(frozen=True)
-class NaturalJoinNode(PlanNode):
-    left: PlanNode
-    right: PlanNode
-
-    def to_sql(self, indent: int = 0) -> str:
-        shared = [c for c in self.left.output_columns() if c in self.right.output_columns()]
-        using = f" USING ({', '.join(shared)})" if shared else " -- cross join"
-        return (
-            _indent("SELECT * FROM (", indent)
-            + "\n"
-            + self.left.to_sql(indent + 1)
-            + "\n"
-            + _indent(") AS lhs JOIN (", indent)
-            + "\n"
-            + self.right.to_sql(indent + 1)
-            + "\n"
-            + _indent(f") AS rhs{using}", indent)
-        )
-
-    def output_columns(self) -> Tuple[str, ...]:
-        left = self.left.output_columns()
-        right = [c for c in self.right.output_columns() if c not in left]
-        return tuple(list(left) + right)
-
-    def children(self) -> Sequence[PlanNode]:
-        return (self.left, self.right)
-
-
-@dataclass(frozen=True)
-class LeftOuterJoinNode(PlanNode):
-    left: PlanNode
-    right: PlanNode
-    expression: Optional[Expression] = None
-
-    def to_sql(self, indent: int = 0) -> str:
-        shared = [c for c in self.left.output_columns() if c in self.right.output_columns()]
-        using = f" USING ({', '.join(shared)})" if shared else ""
-        condition = f" -- filter: {self.expression.to_sql()}" if self.expression is not None else ""
-        return (
-            _indent("SELECT * FROM (", indent)
-            + "\n"
-            + self.left.to_sql(indent + 1)
-            + "\n"
-            + _indent(") AS lhs LEFT OUTER JOIN (", indent)
-            + "\n"
-            + self.right.to_sql(indent + 1)
-            + "\n"
-            + _indent(f") AS rhs{using}{condition}", indent)
-        )
-
-    def output_columns(self) -> Tuple[str, ...]:
-        left = self.left.output_columns()
-        right = [c for c in self.right.output_columns() if c not in left]
-        return tuple(list(left) + right)
-
-    def children(self) -> Sequence[PlanNode]:
-        return (self.left, self.right)
-
-
-@dataclass(frozen=True)
-class UnionNode(PlanNode):
-    left: PlanNode
-    right: PlanNode
-
-    def to_sql(self, indent: int = 0) -> str:
-        return (
-            self.left.to_sql(indent)
-            + "\n"
-            + _indent("UNION ALL", indent)
-            + "\n"
-            + self.right.to_sql(indent)
-        )
-
-    def output_columns(self) -> Tuple[str, ...]:
-        left = self.left.output_columns()
-        right = [c for c in self.right.output_columns() if c not in left]
-        return tuple(list(left) + right)
-
-    def children(self) -> Sequence[PlanNode]:
-        return (self.left, self.right)
-
-
-@dataclass(frozen=True)
-class FilterNode(PlanNode):
-    child: PlanNode
-    expression: Expression
-
-    def to_sql(self, indent: int = 0) -> str:
-        return (
-            _indent("SELECT * FROM (", indent)
-            + "\n"
-            + self.child.to_sql(indent + 1)
-            + "\n"
-            + _indent(f") AS filtered WHERE {self.expression.to_sql()}", indent)
-        )
-
-    def output_columns(self) -> Tuple[str, ...]:
-        return self.child.output_columns()
-
-    def children(self) -> Sequence[PlanNode]:
-        return (self.child,)
-
-
-@dataclass(frozen=True)
-class ProjectNode(PlanNode):
-    child: PlanNode
-    columns: Tuple[str, ...]
-
-    def to_sql(self, indent: int = 0) -> str:
-        return (
-            _indent(f"SELECT {', '.join(self.columns)} FROM (", indent)
-            + "\n"
-            + self.child.to_sql(indent + 1)
-            + "\n"
-            + _indent(") AS projected", indent)
-        )
-
-    def output_columns(self) -> Tuple[str, ...]:
-        return self.columns
-
-    def children(self) -> Sequence[PlanNode]:
-        return (self.child,)
-
-
-@dataclass(frozen=True)
-class DistinctNode(PlanNode):
-    child: PlanNode
-
-    def to_sql(self, indent: int = 0) -> str:
-        return (
-            _indent("SELECT DISTINCT * FROM (", indent)
-            + "\n"
-            + self.child.to_sql(indent + 1)
-            + "\n"
-            + _indent(") AS dedup", indent)
-        )
-
-    def output_columns(self) -> Tuple[str, ...]:
-        return self.child.output_columns()
-
-    def children(self) -> Sequence[PlanNode]:
-        return (self.child,)
-
-
-@dataclass(frozen=True)
-class OrderByNode(PlanNode):
-    child: PlanNode
-    keys: Tuple[Tuple[str, bool], ...]
-
-    def to_sql(self, indent: int = 0) -> str:
-        rendered = ", ".join(f"{column} {'ASC' if ascending else 'DESC'}" for column, ascending in self.keys)
-        return (
-            _indent("SELECT * FROM (", indent)
-            + "\n"
-            + self.child.to_sql(indent + 1)
-            + "\n"
-            + _indent(f") AS ordered ORDER BY {rendered}", indent)
-        )
-
-    def output_columns(self) -> Tuple[str, ...]:
-        return self.child.output_columns()
-
-    def children(self) -> Sequence[PlanNode]:
-        return (self.child,)
-
-
-@dataclass(frozen=True)
-class LimitNode(PlanNode):
-    child: PlanNode
-    limit: Optional[int]
-    offset: int = 0
-
-    def to_sql(self, indent: int = 0) -> str:
-        clause = ""
-        if self.limit is not None:
-            clause += f" LIMIT {self.limit}"
-        if self.offset:
-            clause += f" OFFSET {self.offset}"
-        return (
-            _indent("SELECT * FROM (", indent)
-            + "\n"
-            + self.child.to_sql(indent + 1)
-            + "\n"
-            + _indent(f") AS sliced{clause}", indent)
-        )
-
-    def output_columns(self) -> Tuple[str, ...]:
-        return self.child.output_columns()
-
-    def children(self) -> Sequence[PlanNode]:
-        return (self.child,)
-
-
-def _sql_value(value: Any) -> str:
-    if hasattr(value, "n3"):
-        return "'" + value.n3().replace("'", "''") + "'"
-    if isinstance(value, (int, float)):
-        return str(value)
-    return "'" + str(value).replace("'", "''") + "'"
-
-
-def plan_depth(node: PlanNode) -> int:
-    """Height of the plan tree (used in tests and ablation reporting)."""
-    children = node.children()
-    if not children:
-        return 1
-    return 1 + max(plan_depth(child) for child in children)
-
-
-def count_joins(node: PlanNode) -> int:
-    """Number of join operators in a plan."""
-    own = 1 if isinstance(node, (NaturalJoinNode, LeftOuterJoinNode)) else 0
-    return own + sum(count_joins(child) for child in node.children())
 
 
 @dataclass
@@ -318,13 +60,13 @@ class NodeExecution:
     elapsed_ms: float
 
 
-def _node_span_name(plan: PlanNode) -> str:
-    if isinstance(plan, (TableScanNode, SubqueryNode)):
+def _node_span_name(plan: Operation) -> str:
+    if plan.is_scan:
         return f"scan {plan.table_name}"
     return type(plan).__name__.removesuffix("Node")
 
 
-class PlanExecutor:
+class PlanExecutor(OperationVisitor):
     """Executes logical plans against a catalog.
 
     Every operator is wrapped in a tracer span (no-op unless the tracer is
@@ -345,7 +87,7 @@ class PlanExecutor:
         #: Per-node observations of the most recently executed plan.
         self.last_node_stats: Dict[int, NodeExecution] = {}
 
-    def execute(self, plan: PlanNode, metrics: Optional[ExecutionMetrics] = None) -> Relation:
+    def execute(self, plan: Operation, metrics: Optional[ExecutionMetrics] = None) -> Relation:
         metrics = metrics if metrics is not None else ExecutionMetrics()
         self.last_node_stats = {}
         result = self._execute(plan, metrics)
@@ -375,78 +117,103 @@ class PlanExecutor:
                 )
 
     # ------------------------------------------------------------------ #
-    def _execute(self, plan: PlanNode, metrics: ExecutionMetrics) -> Relation:
+    def _execute(self, plan: Operation, metrics: ExecutionMetrics) -> Relation:
         """Execute ``plan`` inside a span, recording per-node observations."""
         with self.tracer.span(_node_span_name(plan), category="operator") as span:
             start = time.perf_counter()
-            result = self._execute_node(plan, metrics)
+            result = self.visit(plan, metrics)
             elapsed_ms = (time.perf_counter() - start) * 1000.0
             span.set(rows=len(result))
         self.last_node_stats[id(plan)] = NodeExecution(rows=len(result), elapsed_ms=elapsed_ms)
         return result
 
-    def _execute_node(self, plan: PlanNode, metrics: ExecutionMetrics) -> Relation:
-        if isinstance(plan, EmptyNode):
-            return Relation.empty(plan.columns)
-        if isinstance(plan, TableScanNode):
-            scan = self.catalog.scan(plan.table_name, columns=plan.columns)
-            self._record_scan(plan.table_name, scan, metrics)
-            relation = scan.relation
-            return relation.project(plan.columns) if plan.columns != relation.columns else relation
-        if isinstance(plan, SubqueryNode):
-            columns = [column for column, _ in plan.projections]
-            scan = self.catalog.scan(
-                plan.table_name,
-                columns=columns,
-                conditions=dict(plan.conditions) if plan.conditions else None,
-            )
-            self._record_scan(plan.table_name, scan, metrics)
-            aliases = {column: alias for column, alias in plan.projections}
-            return scan.relation.project(columns).rename(aliases)
-        if isinstance(plan, NaturalJoinNode):
-            left = self._execute(plan.left, metrics)
-            right = self._execute(plan.right, metrics)
-            return self._natural_join(plan, left, right, metrics)
-        if isinstance(plan, LeftOuterJoinNode):
-            left = self._execute(plan.left, metrics)
-            right = self._execute(plan.right, metrics)
-            joined = self._left_outer_join(plan, left, right, metrics)
-            if plan.expression is not None:
-                right_only = set(plan.right.output_columns()) - set(plan.left.output_columns())
+    # ------------------------------------------------------------------ #
+    # Operator evaluation: one visitor hook per IR node.
+    # ------------------------------------------------------------------ #
+    def visit_empty(self, plan: EmptyNode, metrics: ExecutionMetrics) -> Relation:
+        return Relation.empty(plan.columns)
 
-                def keep(row: Dict[str, Any]) -> bool:
-                    # The OPTIONAL filter only applies when the optional part matched.
-                    if all(row.get(c) is None for c in right_only):
-                        return True
-                    mapping = {k: v for k, v in row.items() if v is not None}
-                    return plan.expression.evaluate_truth(mapping)
+    def visit_table_scan(self, plan: TableScanNode, metrics: ExecutionMetrics) -> Relation:
+        scan = self.catalog.scan(plan.table_name, columns=plan.columns)
+        self._record_scan(plan.table_name, scan, metrics)
+        relation = scan.relation
+        return relation.project(plan.columns) if plan.columns != relation.columns else relation
 
-                joined = joined.select(keep)
-            return joined
-        if isinstance(plan, UnionNode):
-            left = self._execute(plan.left, metrics)
-            right = self._execute(plan.right, metrics)
-            return left.union(right)
-        if isinstance(plan, FilterNode):
-            child = self._execute(plan.child, metrics)
-            return child.select(lambda row: plan.expression.evaluate_truth({k: v for k, v in row.items() if v is not None}))
-        if isinstance(plan, ProjectNode):
-            child = self._execute(plan.child, metrics)
-            missing = [c for c in plan.columns if c not in child.columns]
-            if missing:
-                padded_columns = list(child.columns) + missing
-                child = Relation(
-                    padded_columns,
-                    (row + tuple(None for _ in missing) for row in child.rows),
-                )
-            return child.project(plan.columns)
-        if isinstance(plan, DistinctNode):
-            return self._execute(plan.child, metrics).distinct()
-        if isinstance(plan, OrderByNode):
-            return self._execute(plan.child, metrics).order_by(plan.keys)
-        if isinstance(plan, LimitNode):
-            return self._execute(plan.child, metrics).limit(plan.limit, plan.offset)
-        raise TypeError(f"unknown plan node {type(plan).__name__}")
+    def visit_subquery(self, plan: SubqueryNode, metrics: ExecutionMetrics) -> Relation:
+        columns = [column for column, _ in plan.projections]
+        scan = self.catalog.scan(
+            plan.table_name,
+            columns=columns,
+            conditions=dict(plan.conditions) if plan.conditions else None,
+        )
+        self._record_scan(plan.table_name, scan, metrics)
+        aliases = {column: alias for column, alias in plan.projections}
+        return scan.relation.project(columns).rename(aliases)
+
+    def visit_natural_join(self, plan: NaturalJoinNode, metrics: ExecutionMetrics) -> Relation:
+        left = self._execute(plan.left, metrics)
+        right = self._execute(plan.right, metrics)
+        return self._natural_join(plan, left, right, metrics)
+
+    def visit_left_outer_join(self, plan: LeftOuterJoinNode, metrics: ExecutionMetrics) -> Relation:
+        left = self._execute(plan.left, metrics)
+        right = self._execute(plan.right, metrics)
+        joined = self._left_outer_join(plan, left, right, metrics)
+        if plan.expression is not None:
+            right_only = set(plan.right.output_columns()) - set(plan.left.output_columns())
+
+            def keep(row: Dict[str, Any]) -> bool:
+                # The OPTIONAL filter only applies when the optional part matched.
+                if all(row.get(c) is None for c in right_only):
+                    return True
+                mapping = {k: v for k, v in row.items() if v is not None}
+                return plan.expression.evaluate_truth(mapping)
+
+            joined = joined.select(keep)
+        return joined
+
+    def visit_union(self, plan: UnionNode, metrics: ExecutionMetrics) -> Relation:
+        left = self._execute(plan.left, metrics)
+        right = self._execute(plan.right, metrics)
+        return left.union(right)
+
+    def visit_filter(self, plan: FilterNode, metrics: ExecutionMetrics) -> Relation:
+        child = self._execute(plan.child, metrics)
+        return child.select(
+            lambda row: plan.expression.evaluate_truth({k: v for k, v in row.items() if v is not None})
+        )
+
+    def visit_project(self, plan: ProjectNode, metrics: ExecutionMetrics) -> Relation:
+        child = self._execute(plan.child, metrics)
+        return self._pad_columns(child, plan.columns).project(plan.columns)
+
+    def visit_distinct(self, plan: DistinctNode, metrics: ExecutionMetrics) -> Relation:
+        return self._execute(plan.child, metrics).distinct()
+
+    def visit_order_by(self, plan: OrderByNode, metrics: ExecutionMetrics) -> Relation:
+        return self._execute(plan.child, metrics).order_by(plan.keys)
+
+    def visit_limit(self, plan: LimitNode, metrics: ExecutionMetrics) -> Relation:
+        return self._execute(plan.child, metrics).limit(plan.limit, plan.offset)
+
+    def visit_aggregate(self, plan: AggregateNode, metrics: ExecutionMetrics) -> Relation:
+        child = self._execute(plan.child, metrics)
+        needed = list(plan.group_keys) + [
+            spec.column for spec in plan.aggregates if spec.column is not None
+        ]
+        return self._pad_columns(child, needed).aggregate(plan.group_keys, plan.aggregates)
+
+    @staticmethod
+    def _pad_columns(relation: Relation, columns) -> Relation:
+        """Add missing columns as all-``None`` (unbound variables)."""
+        missing = [c for c in columns if c not in relation.columns]
+        if not missing:
+            return relation
+        padded_columns = list(relation.columns) + missing
+        return Relation(
+            padded_columns,
+            (row + tuple(None for _ in missing) for row in relation.rows),
+        )
 
     # ------------------------------------------------------------------ #
     # Physical join hooks.  The serial executor joins in-process; the

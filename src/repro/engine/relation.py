@@ -208,6 +208,48 @@ class Relation:
         end = None if count is None else offset + count
         return Relation(self.columns, self.rows[offset:end])
 
+    def aggregate(self, group_keys: Sequence[str], aggregates: Sequence[Any]) -> "Relation":
+        """GROUP BY ``group_keys`` computing ``aggregates`` per group.
+
+        ``aggregates`` are :class:`repro.engine.ops.AggregateSpec`-shaped
+        objects (``function``/``column``/``alias``/``distinct``).  Groups are
+        emitted in first-seen order.  With no ``group_keys`` the whole input
+        forms one implicit group and exactly one row is produced, even for an
+        empty input (SPARQL's bare-aggregate form).  ``None`` values (unbound
+        variables) are excluded from every aggregate argument, as in SQL.
+        """
+        key_indexes = [self.column_index(k) for k in group_keys]
+        spec_indexes = [
+            (spec, None if spec.column is None else self.column_index(spec.column))
+            for spec in aggregates
+        ]
+        groups: Dict[Row, List[Row]] = {}
+        order: List[Row] = []
+        for row in self.rows:
+            key = tuple(row[i] for i in key_indexes)
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = bucket = []
+                order.append(key)
+            bucket.append(row)
+        if not group_keys and not order:
+            # Implicit grouping aggregates the empty bag to a single row.
+            groups[()] = []
+            order.append(())
+        output_columns = list(group_keys) + [spec.alias for spec in aggregates]
+        output_rows: List[Row] = []
+        for key in order:
+            bucket = groups[key]
+            values = list(key)
+            for spec, index in spec_indexes:
+                if index is None:
+                    values.append(len(set(bucket)) if spec.distinct else len(bucket))
+                else:
+                    argument = [row[index] for row in bucket if row[index] is not None]
+                    values.append(aggregate_value(spec.function, argument, spec.distinct))
+            output_rows.append(tuple(values))
+        return Relation(output_columns, output_rows)
+
     # ------------------------------------------------------------------ #
     # Binary operators
     # ------------------------------------------------------------------ #
@@ -358,3 +400,47 @@ def _sortable(value: Any) -> Any:
     if hasattr(value, "n3"):
         return (1, 0, value.n3())
     return (1, 0, str(value))
+
+
+def aggregate_value(function: str, values: Sequence[Any], distinct: bool) -> Any:
+    """One aggregate over the non-``None`` argument values of a group.
+
+    This is the single definition of aggregate semantics, shared by
+    :meth:`Relation.aggregate` and the SQLite backend's registered aggregate
+    functions so both engines agree bit-for-bit:
+
+    * ``count`` counts values (terms deduplicated first under ``DISTINCT``);
+    * ``min``/``max`` order values like ORDER BY does (numbers first, then
+      terms by their N3 text) and return the winning value itself;
+    * ``sum``/``avg`` convert terms to numbers the way filter comparisons do;
+      a non-numeric value makes the result unbound (``None``), and the empty
+      group sums/averages to ``0`` (SPARQL 1.1 Sum/Avg definitions).
+    """
+    if distinct:
+        seen = set()
+        deduped = []
+        for value in values:
+            if value not in seen:
+                seen.add(value)
+                deduped.append(value)
+        values = deduped
+    if function == "count":
+        return len(values)
+    if function in ("min", "max"):
+        if not values:
+            return None
+        chooser = min if function == "min" else max
+        return chooser(values, key=_sortable)
+    if function not in ("sum", "avg"):
+        raise ValueError(f"unknown aggregate function {function!r}")
+    from repro.sparql.expressions import _term_value
+
+    numbers: List[Any] = []
+    for value in values:
+        converted = _term_value(value) if hasattr(value, "n3") else value
+        if not isinstance(converted, (int, float)):
+            return None  # a non-numeric value makes the whole aggregate error out
+        numbers.append(converted)
+    if function == "sum":
+        return sum(numbers) if numbers else 0
+    return sum(numbers) / len(numbers) if numbers else 0

@@ -50,7 +50,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.engine.catalog import Catalog
-from repro.engine.plan import LeftOuterJoinNode, PlanNode
+from repro.engine.plan import PlanNode
 from repro.engine.relation import Relation
 from repro.engine.runtime.partitioned import estimated_bytes
 from repro.engine.runtime.partitioner import HashPartitioner
@@ -171,7 +171,7 @@ class AdaptivePlanner:
             left_bytes,
             right_bytes,
             self.broadcast_threshold,
-            outer=isinstance(node, LeftOuterJoinNode),
+            outer=node.is_outer_join,
         )
 
         if revised.same_decision(planned):

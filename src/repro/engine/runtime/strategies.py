@@ -35,16 +35,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.engine.catalog import Catalog
-from repro.engine.plan import (
-    DistinctNode,
+from repro.engine.ops import (
+    AggregateNode,
     EmptyNode,
-    FilterNode,
-    LeftOuterJoinNode,
     LimitNode,
-    NaturalJoinNode,
-    OrderByNode,
-    PlanNode,
-    ProjectNode,
+    Operation as PlanNode,
+    OperationVisitor,
     SubqueryNode,
     TableScanNode,
     UnionNode,
@@ -216,6 +212,73 @@ class PhysicalPlan:
         return counts
 
 
+class _RowEstimator(OperationVisitor):
+    """Cardinality estimation as a visitor over the plan IR.
+
+    Unary operators default to their child's estimate via
+    :meth:`generic_visit`; only the nodes with a sharper rule override it.
+    """
+
+    def generic_visit(self, node: PlanNode, catalog: Catalog, use_observed: bool) -> int:
+        children = node.children()
+        if len(children) == 1:
+            # Filters, projections, distinct and sorts keep the child estimate.
+            return self.visit(children[0], catalog, use_observed)
+        return 0
+
+    def visit_empty(self, node: EmptyNode, catalog: Catalog, use_observed: bool) -> int:
+        return 0
+
+    def visit_table_scan(self, node: TableScanNode, catalog: Catalog, use_observed: bool) -> int:
+        return _base_rows(node.table_name, catalog, use_observed)
+
+    def visit_subquery(self, node: SubqueryNode, catalog: Catalog, use_observed: bool) -> int:
+        rows = _base_rows(node.table_name, catalog, use_observed)
+        if rows == UNKNOWN_ROWS:
+            # Selections cannot refine an unknown base cardinality.
+            return UNKNOWN_ROWS
+        statistics = catalog.statistics(node.table_name)
+        for column, _ in node.conditions:
+            distinct = 0
+            if statistics is not None:
+                distinct = statistics.distinct_subjects if column == "s" else statistics.distinct_objects
+            rows = rows // max(1, distinct) if distinct else max(1, rows // 10)
+        return rows
+
+    def _visit_join(self, node: PlanNode, catalog: Catalog, use_observed: bool) -> int:
+        left = self.visit(node.left, catalog, use_observed)
+        right = self.visit(node.right, catalog, use_observed)
+        if UNKNOWN_ROWS in (left, right):
+            return UNKNOWN_ROWS
+        return max(left, right)
+
+    visit_natural_join = _visit_join
+    visit_left_outer_join = _visit_join
+
+    def visit_union(self, node: UnionNode, catalog: Catalog, use_observed: bool) -> int:
+        left = self.visit(node.left, catalog, use_observed)
+        right = self.visit(node.right, catalog, use_observed)
+        if UNKNOWN_ROWS in (left, right):
+            return UNKNOWN_ROWS
+        return left + right
+
+    def visit_limit(self, node: LimitNode, catalog: Catalog, use_observed: bool) -> int:
+        child_rows = self.visit(node.child, catalog, use_observed)
+        if node.limit is None:
+            return child_rows
+        # LIMIT bounds even an unknown input.
+        return node.limit if child_rows == UNKNOWN_ROWS else min(child_rows, node.limit)
+
+    def visit_aggregate(self, node: AggregateNode, catalog: Catalog, use_observed: bool) -> int:
+        if not node.group_keys:
+            return 1  # implicit grouping always yields exactly one row
+        # Grouping cannot grow the input; the child estimate is the bound.
+        return self.visit(node.child, catalog, use_observed)
+
+
+_ROW_ESTIMATOR = _RowEstimator()
+
+
 def estimate_rows(node: PlanNode, catalog: Catalog, use_observed: bool = True) -> int:
     """Bottom-up cardinality estimate from catalog statistics.
 
@@ -235,43 +298,7 @@ def estimate_rows(node: PlanNode, catalog: Catalog, use_observed: bool = True) -
     :data:`UNKNOWN_ROWS` — *not* 0 — and unknown propagates up through joins
     and unions.
     """
-    if isinstance(node, EmptyNode):
-        return 0
-    if isinstance(node, TableScanNode):
-        return _base_rows(node.table_name, catalog, use_observed)
-    if isinstance(node, SubqueryNode):
-        rows = _base_rows(node.table_name, catalog, use_observed)
-        if rows == UNKNOWN_ROWS:
-            # Selections cannot refine an unknown base cardinality.
-            return UNKNOWN_ROWS
-        statistics = catalog.statistics(node.table_name)
-        for column, _ in node.conditions:
-            distinct = 0
-            if statistics is not None:
-                distinct = statistics.distinct_subjects if column == "s" else statistics.distinct_objects
-            rows = rows // max(1, distinct) if distinct else max(1, rows // 10)
-        return rows
-    if isinstance(node, (NaturalJoinNode, LeftOuterJoinNode)):
-        left = estimate_rows(node.left, catalog, use_observed)
-        right = estimate_rows(node.right, catalog, use_observed)
-        if UNKNOWN_ROWS in (left, right):
-            return UNKNOWN_ROWS
-        return max(left, right)
-    if isinstance(node, UnionNode):
-        left = estimate_rows(node.left, catalog, use_observed)
-        right = estimate_rows(node.right, catalog, use_observed)
-        if UNKNOWN_ROWS in (left, right):
-            return UNKNOWN_ROWS
-        return left + right
-    if isinstance(node, (FilterNode, ProjectNode, DistinctNode, OrderByNode)):
-        return estimate_rows(node.child, catalog, use_observed)
-    if isinstance(node, LimitNode):
-        child_rows = estimate_rows(node.child, catalog, use_observed)
-        if node.limit is None:
-            return child_rows
-        # LIMIT bounds even an unknown input.
-        return node.limit if child_rows == UNKNOWN_ROWS else min(child_rows, node.limit)
-    return 0
+    return _ROW_ESTIMATOR.visit(node, catalog, use_observed)
 
 
 def _base_rows(table_name: str, catalog: Catalog, use_observed: bool) -> int:
@@ -375,7 +402,7 @@ def _annotate(
 ) -> None:
     for child in node.children():
         _annotate(child, catalog, threshold, physical, use_observed)
-    if not isinstance(node, (NaturalJoinNode, LeftOuterJoinNode)):
+    if not node.is_join:
         return
     left_columns = node.left.output_columns()
     right_columns = node.right.output_columns()
@@ -391,6 +418,6 @@ def _annotate(
             _estimated_bytes(left_rows, len(left_columns)),
             _estimated_bytes(right_rows, len(right_columns)),
             threshold,
-            outer=isinstance(node, LeftOuterJoinNode),
+            outer=node.is_outer_join,
         ),
     )

@@ -142,10 +142,19 @@ class ExtVPDelta:
     append.  ``info`` carries the post-append statistics.  For tables that are
     not materialised, ``rows`` still drives the statistics update but nothing
     is written.
+
+    ``distinct_subjects`` / ``distinct_objects`` are the *exact* post-append
+    distinct counts of the full table (old qualifying rows plus the delta),
+    computed from the in-memory VP rows — the store never has to re-read a
+    delta'd ExtVP table to keep its zone statistics exact.  ``None`` means
+    "unchanged": the delta carried no new rows (a denominator-only
+    selectivity update), so the stored counts are still exact.
     """
 
     info: ExtVPTableInfo
     rows: List[Tuple]
+    distinct_subjects: Optional[int] = None
+    distinct_objects: Optional[int] = None
 
 
 def compute_incremental_extvp(
@@ -258,6 +267,25 @@ def compute_incremental_extvp(
                     name = info.name
                 else:
                     continue  # provably untouched: no new rows, same denominator
+                distinct_subjects: Optional[int] = None
+                distinct_objects: Optional[int] = None
+                if rows or info is None:
+                    # The post-append table is fully determined by the
+                    # in-memory VP rows: old VP_first rows whose join value
+                    # matched before the append, plus the delta rows (which
+                    # already cover both newly-added VP_first rows and old
+                    # rows revived by values new to VP_second).  Folding the
+                    # old qualifying rows in here keeps the stored distinct
+                    # counts exact without re-reading the stored table.
+                    subjects = {row[0] for row in rows}
+                    objects = {row[1] for row in rows}
+                    index = old_rows_by_value(first, value_index)
+                    for value in second_values_old:
+                        for row in index.get(value, ()):
+                            subjects.add(row[0])
+                            objects.add(row[1])
+                    distinct_subjects = len(subjects)
+                    distinct_objects = len(objects)
                 deltas.append(
                     ExtVPDelta(
                         info=ExtVPTableInfo(
@@ -270,6 +298,8 @@ def compute_incremental_extvp(
                             materialized=materialized,
                         ),
                         rows=rows,
+                        distinct_subjects=distinct_subjects,
+                        distinct_objects=distinct_objects,
                     )
                 )
     return deltas

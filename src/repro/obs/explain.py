@@ -20,21 +20,20 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.engine.catalog import Catalog
-from repro.engine.plan import (
+from repro.engine.ops import (
+    AggregateNode,
     DistinctNode,
     EmptyNode,
     FilterNode,
-    LeftOuterJoinNode,
     LimitNode,
-    NaturalJoinNode,
-    NodeExecution,
+    Operation as PlanNode,
+    OperationVisitor,
     OrderByNode,
-    PlanNode,
     ProjectNode,
     SubqueryNode,
-    TableScanNode,
     UnionNode,
 )
+from repro.engine.plan import NodeExecution
 from repro.engine.runtime.adaptive import ReplanEvent
 from repro.engine.runtime.executor import ExchangeStats
 from repro.engine.runtime.strategies import UNKNOWN_ROWS, PhysicalPlan, estimate_rows
@@ -49,15 +48,9 @@ def collect_estimates(
     cardinalities back into the catalog, and estimating afterwards would
     compare observed rows against themselves.
     """
-    estimates: Dict[int, int] = {}
-
-    def walk(node: PlanNode) -> None:
-        estimates[id(node)] = estimate_rows(node, catalog, use_observed)
-        for child in node.children():
-            walk(child)
-
-    walk(plan)
-    return estimates
+    return {
+        id(node): estimate_rows(node, catalog, use_observed) for node in plan.walk()
+    }
 
 
 @dataclass
@@ -85,40 +78,71 @@ def format_bytes(count: float) -> str:
     return f"{count:.1f} GiB"
 
 
-def _node_label(node: PlanNode) -> str:
-    if isinstance(node, (TableScanNode, SubqueryNode)):
+class _NodeLabeler(OperationVisitor):
+    """One-line operator labels for the explain tree."""
+
+    def generic_visit(self, node: PlanNode) -> str:
+        return type(node).__name__
+
+    def visit_table_scan(self, node) -> str:
+        return f"Scan {node.table_name}"
+
+    def visit_subquery(self, node: SubqueryNode) -> str:
         label = f"Scan {node.table_name}"
-        if isinstance(node, SubqueryNode) and node.conditions:
+        if node.conditions:
             conditions = ", ".join(column for column, _ in node.conditions)
             label += f" [pushdown: {conditions}]"
         return label
-    if isinstance(node, EmptyNode):
+
+    def visit_empty(self, node: EmptyNode) -> str:
         return "Empty (statically pruned)"
-    if isinstance(node, (NaturalJoinNode, LeftOuterJoinNode)):
+
+    def _visit_join(self, node) -> str:
         left = node.left.output_columns()
         right = node.right.output_columns()
         keys = [c for c in left if c in right]
-        kind = "LeftOuterJoin" if isinstance(node, LeftOuterJoinNode) else "Join"
+        kind = "LeftOuterJoin" if node.is_outer_join else "Join"
         return f"{kind} [{', '.join(keys)}]" if keys else f"{kind} [cross]"
-    if isinstance(node, ProjectNode):
+
+    visit_natural_join = _visit_join
+    visit_left_outer_join = _visit_join
+
+    def visit_project(self, node: ProjectNode) -> str:
         return f"Project [{', '.join(node.columns)}]"
-    if isinstance(node, FilterNode):
+
+    def visit_filter(self, node: FilterNode) -> str:
         return f"Filter [{node.expression.to_sql()}]"
-    if isinstance(node, UnionNode):
+
+    def visit_union(self, node: UnionNode) -> str:
         return "Union"
-    if isinstance(node, DistinctNode):
+
+    def visit_distinct(self, node: DistinctNode) -> str:
         return "Distinct"
-    if isinstance(node, OrderByNode):
+
+    def visit_order_by(self, node: OrderByNode) -> str:
         keys = ", ".join(f"{c} {'ASC' if asc else 'DESC'}" for c, asc in node.keys)
         return f"OrderBy [{keys}]"
-    if isinstance(node, LimitNode):
+
+    def visit_limit(self, node: LimitNode) -> str:
         parts = []
         if node.limit is not None:
             parts.append(f"LIMIT {node.limit}")
         if node.offset:
             parts.append(f"OFFSET {node.offset}")
         return f"Limit [{' '.join(parts) or 'all'}]"
-    return type(node).__name__
+
+    def visit_aggregate(self, node: AggregateNode) -> str:
+        specs = ", ".join(spec.describe() for spec in node.aggregates)
+        if node.group_keys:
+            return f"Aggregate [group by {', '.join(node.group_keys)}; {specs}]"
+        return f"Aggregate [{specs}]"
+
+
+_LABELER = _NodeLabeler()
+
+
+def _node_label(node: PlanNode) -> str:
+    return _LABELER.visit(node)
 
 
 def _strategy_lines(
@@ -127,7 +151,7 @@ def _strategy_lines(
     replan_events: Sequence[ReplanEvent],
 ) -> List[str]:
     """Chosen vs. executed strategy, with the AQE reason when they differ."""
-    if physical is None or not isinstance(node, (NaturalJoinNode, LeftOuterJoinNode)):
+    if physical is None or not node.is_join:
         return []
     initial = physical.strategy_for(node)
     if initial is None:

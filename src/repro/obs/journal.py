@@ -45,7 +45,7 @@ from repro.sparql.algebra import (
     Join,
     LeftJoin,
     OrderBy,
-    PatternNode,
+    PatternVisitor,
     Projection,
     Query,
     Slice,
@@ -112,26 +112,39 @@ def _template_triple(names: Dict[str, str], pattern: TriplePattern) -> str:
     return f"{s} {p} {o}"
 
 
-def _template_walk(names: Dict[str, str], node: PatternNode) -> str:
-    node_type = type(node)
-    if node_type is BGP:
+class _TemplateRenderer(PatternVisitor):
+    """Renders a constant-stripped template string for each algebra operator.
+
+    ``names`` (the canonical-variable map) is threaded through every visit,
+    so one stateless renderer instance serves all queries.
+    """
+
+    def generic_visit(self, node, names: Dict[str, str]) -> str:
+        children = ",".join([self.visit(c, names) for c in node.children()])
+        return f"{type(node).__name__}({children})"
+
+    def visit_bgp(self, node: BGP, names: Dict[str, str]) -> str:
         return "{" + " . ".join([_template_triple(names, p) for p in node.patterns]) + "}"
-    if node_type is Join:
-        return f"Join({_template_walk(names, node.left)},{_template_walk(names, node.right)})"
-    if node_type is LeftJoin:
+
+    def visit_join(self, node: Join, names: Dict[str, str]) -> str:
+        return f"Join({self.visit(node.left, names)},{self.visit(node.right, names)})"
+
+    def visit_left_join(self, node: LeftJoin, names: Dict[str, str]) -> str:
         guard = "+F" if node.expression is not None else ""
         return (
-            f"Optional{guard}({_template_walk(names, node.left)},"
-            f"{_template_walk(names, node.right)})"
+            f"Optional{guard}({self.visit(node.left, names)},"
+            f"{self.visit(node.right, names)})"
         )
-    if node_type is Union:
-        return f"Union({_template_walk(names, node.left)},{_template_walk(names, node.right)})"
-    if node_type is Filter:
+
+    def visit_union(self, node: Union, names: Dict[str, str]) -> str:
+        return f"Union({self.visit(node.left, names)},{self.visit(node.right, names)})"
+
+    def visit_filter(self, node: Filter, names: Dict[str, str]) -> str:
         # Walk the guarded pattern first so its variables claim canonical
         # names in textual order, then rename the variables the rendered
         # expression mentions (sorted, so set order never leaks into the
         # fingerprint) — alpha-renamed FILTER queries must fingerprint alike.
-        inner = _template_walk(names, node.pattern)
+        inner = self.visit(node.pattern, names)
         expression = _FILTER_CONSTANT_RE.sub("*", node.expression.to_sql())
         filter_vars = sorted(node.expression.variables(), key=lambda v: v.name)
         if filter_vars:
@@ -140,18 +153,23 @@ def _template_walk(names: Dict[str, str], node: PatternNode) -> str:
                 lambda match: mapping.get(match.group(0), match.group(0)), expression
             )
         return f"Filter[{expression}]({inner})"
-    if node_type is Projection:
-        inner = _template_walk(names, node.pattern)
+
+    def visit_projection(self, node: Projection, names: Dict[str, str]) -> str:
+        inner = self.visit(node.pattern, names)
         projected = ",".join([_canonical_var(names, v) for v in node.variables_list])
         return f"Project[{projected}]({inner})"
-    if node_type is Distinct:
-        return f"Distinct({_template_walk(names, node.pattern)})"
-    if node_type is OrderBy:
-        return f"OrderBy({_template_walk(names, node.pattern)})"
-    if node_type is Slice:
-        return f"Slice({_template_walk(names, node.pattern)})"
-    children = ",".join([_template_walk(names, c) for c in node.children()])
-    return f"{node_type.__name__}({children})"
+
+    def visit_distinct(self, node: Distinct, names: Dict[str, str]) -> str:
+        return f"Distinct({self.visit(node.pattern, names)})"
+
+    def visit_order_by(self, node: OrderBy, names: Dict[str, str]) -> str:
+        return f"OrderBy({self.visit(node.pattern, names)})"
+
+    def visit_slice(self, node: Slice, names: Dict[str, str]) -> str:
+        return f"Slice({self.visit(node.pattern, names)})"
+
+
+_TEMPLATE_RENDERER = _TemplateRenderer()
 
 
 def template_text(query: Query) -> str:
@@ -165,13 +183,24 @@ def template_text(query: Query) -> str:
     the template.
     """
     names: Dict[str, str] = {}
-    body = _template_walk(names, query.pattern)
+    body = _TEMPLATE_RENDERER.visit(query.pattern, names)
     select = ",".join([_canonical_var(names, v) for v in query.select_variables]) or "*"
-    if not (query.distinct or query.order_by or query.limit is not None or query.offset):
+    grouped = bool(query.aggregates or query.group_by)
+    if not (
+        query.distinct or query.order_by or query.limit is not None or query.offset or grouped
+    ):
         return f"SELECT {select} WHERE {body}"
     modifiers = []
     if query.distinct:
         modifiers.append("DISTINCT")
+    if grouped:
+        # Aggregate structure is part of the template: the function list (with
+        # a DISTINCT marker) and the group-by arity distinguish e.g.
+        # COUNT(?x) from COUNT(DISTINCT ?x) over the same pattern.
+        functions = ",".join(
+            binding.function + ("~d" if binding.distinct else "") for binding in query.aggregates
+        )
+        modifiers.append(f"AGG[{functions}]GROUP[{len(query.group_by)}]")
     if query.order_by:
         modifiers.append(f"ORDER[{len(query.order_by)}]")
     if query.limit is not None or query.offset:
@@ -229,6 +258,9 @@ class JournalRecord:
     shuffled_bytes: int = 0
     broadcast_bytes: int = 0
     statically_empty: bool = False
+    #: Engine that executed the query ("native" serial/parallel in-process
+    #: engine, or "sqlite"); omitted from the JSON when "native".
+    engine: str = "native"
 
     def to_json(self, include_template: bool = True) -> Dict[str, Any]:
         """Sparse JSON form: default/empty fields are omitted entirely.
@@ -273,6 +305,8 @@ class JournalRecord:
             data["broadcast_bytes"] = self.broadcast_bytes
         if self.statically_empty:
             data["statically_empty"] = True
+        if self.engine != "native":
+            data["engine"] = self.engine
         return data
 
     def to_json_line(self, include_template: bool = True) -> str:
@@ -330,6 +364,8 @@ class JournalRecord:
             )
         if self.statically_empty:
             line += ',"statically_empty":true'
+        if self.engine != "native":
+            line += ',"engine":"%s"' % _safe_key(self.engine)
         return line + "}"
 
     @classmethod
@@ -353,6 +389,7 @@ class JournalRecord:
             shuffled_bytes=data.get("shuffled_bytes", 0),
             broadcast_bytes=data.get("broadcast_bytes", 0),
             statically_empty=data.get("statically_empty", False),
+            engine=data.get("engine", "native"),
         )
 
 

@@ -58,6 +58,10 @@ class TemplateStats:
     rows_by_epoch: Dict[Any, List[int]] = field(default_factory=dict)
     replans: int = 0
     guard_trips: int = 0
+    #: Executions split by backend (``"native"`` / ``"sqlite"``): the same
+    #: template fingerprint can run on either engine, and hot-template
+    #: rankings must show which backend actually served the repeats.
+    engines: Dict[str, int] = field(default_factory=dict)
 
     @property
     def mean_wall_ms(self) -> float:
@@ -74,6 +78,7 @@ class TemplateStats:
             "epochs": self.epochs,
             "replans": self.replans,
             "guard_trips": self.guard_trips,
+            "engines": {name: self.engines[name] for name in sorted(self.engines)},
         }
 
 
@@ -155,10 +160,16 @@ class WorkloadAnalysis:
             f"Hot templates (top {len(self.hot_templates)}):",
         ]
         for stats in self.hot_templates:
-            lines.append(
+            line = (
                 f"  {stats.fingerprint}  x{stats.count}  total {stats.total_wall_ms:.1f} ms  "
                 f"mean {stats.mean_wall_ms:.2f} ms"
             )
+            if set(stats.engines) - {"native"}:
+                split = ", ".join(
+                    f"{name} x{stats.engines[name]}" for name in sorted(stats.engines)
+                )
+                line += f"  [{split}]"
+            lines.append(line)
             lines.append(f"    {stats.template}")
         lines.append("")
         lines.append("Table reuse:")
@@ -240,6 +251,7 @@ def analyze_journal(
         stats.rows_by_epoch.setdefault(record.epoch, []).append(record.rows)
         stats.replans += record.aqe_replans
         stats.guard_trips += record.broadcast_guard_trips
+        stats.engines[record.engine] = stats.engines.get(record.engine, 0) + 1
 
         for table, rows in record.scanned_tables.items():
             reuse = tables.get(table)

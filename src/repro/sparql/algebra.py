@@ -54,6 +54,18 @@ class PatternNode:
     def children(self) -> Sequence["PatternNode"]:
         return ()
 
+    def accept(self, visitor: "PatternVisitor", *args):
+        """Double-dispatch onto ``visitor.visit_<operator>``."""
+        raise NotImplementedError
+
+    def walk(self):
+        """Pre-order iterator over this subtree (the node itself first)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
+
 
 @dataclass(frozen=True)
 class BGP(PatternNode):
@@ -76,6 +88,9 @@ class BGP(PatternNode):
     def __iter__(self):
         return iter(self.patterns)
 
+    def accept(self, visitor: "PatternVisitor", *args):
+        return visitor.visit_bgp(self, *args)
+
 
 @dataclass(frozen=True)
 class Join(PatternNode):
@@ -89,6 +104,9 @@ class Join(PatternNode):
 
     def children(self) -> Sequence[PatternNode]:
         return (self.left, self.right)
+
+    def accept(self, visitor: "PatternVisitor", *args):
+        return visitor.visit_join(self, *args)
 
 
 @dataclass(frozen=True)
@@ -105,6 +123,9 @@ class LeftJoin(PatternNode):
     def children(self) -> Sequence[PatternNode]:
         return (self.left, self.right)
 
+    def accept(self, visitor: "PatternVisitor", *args):
+        return visitor.visit_left_join(self, *args)
+
 
 @dataclass(frozen=True)
 class Filter(PatternNode):
@@ -119,6 +140,9 @@ class Filter(PatternNode):
     def children(self) -> Sequence[PatternNode]:
         return (self.pattern,)
 
+    def accept(self, visitor: "PatternVisitor", *args):
+        return visitor.visit_filter(self, *args)
+
 
 @dataclass(frozen=True)
 class Union(PatternNode):
@@ -132,6 +156,9 @@ class Union(PatternNode):
 
     def children(self) -> Sequence[PatternNode]:
         return (self.left, self.right)
+
+    def accept(self, visitor: "PatternVisitor", *args):
+        return visitor.visit_union(self, *args)
 
 
 @dataclass(frozen=True)
@@ -157,6 +184,9 @@ class Projection(PatternNode):
     def children(self) -> Sequence[PatternNode]:
         return (self.pattern,)
 
+    def accept(self, visitor: "PatternVisitor", *args):
+        return visitor.visit_projection(self, *args)
+
 
 @dataclass(frozen=True)
 class Distinct(PatternNode):
@@ -167,6 +197,9 @@ class Distinct(PatternNode):
 
     def children(self) -> Sequence[PatternNode]:
         return (self.pattern,)
+
+    def accept(self, visitor: "PatternVisitor", *args):
+        return visitor.visit_distinct(self, *args)
 
 
 @dataclass(frozen=True)
@@ -179,6 +212,9 @@ class OrderBy(PatternNode):
 
     def children(self) -> Sequence[PatternNode]:
         return (self.pattern,)
+
+    def accept(self, visitor: "PatternVisitor", *args):
+        return visitor.visit_order_by(self, *args)
 
 
 @dataclass(frozen=True)
@@ -195,6 +231,65 @@ class Slice(PatternNode):
     def children(self) -> Sequence[PatternNode]:
         return (self.pattern,)
 
+    def accept(self, visitor: "PatternVisitor", *args):
+        return visitor.visit_slice(self, *args)
+
+
+class PatternVisitor:
+    """Visitor over algebra trees; unhandled operators hit ``generic_visit``.
+
+    The compiler's plan builder and the journal's template fingerprinter are
+    both instances of this protocol, so a new algebra operator fails loudly
+    (``generic_visit`` raises) everywhere at once instead of being silently
+    skipped by one hand-rolled ``isinstance`` ladder.
+    """
+
+    def visit(self, node: PatternNode, *args):
+        return node.accept(self, *args)
+
+    def generic_visit(self, node: PatternNode, *args):
+        raise TypeError(f"{type(self).__name__} cannot handle {type(node).__name__}")
+
+    def visit_bgp(self, node: BGP, *args):
+        return self.generic_visit(node, *args)
+
+    def visit_join(self, node: Join, *args):
+        return self.generic_visit(node, *args)
+
+    def visit_left_join(self, node: LeftJoin, *args):
+        return self.generic_visit(node, *args)
+
+    def visit_filter(self, node: Filter, *args):
+        return self.generic_visit(node, *args)
+
+    def visit_union(self, node: Union, *args):
+        return self.generic_visit(node, *args)
+
+    def visit_projection(self, node: Projection, *args):
+        return self.generic_visit(node, *args)
+
+    def visit_distinct(self, node: Distinct, *args):
+        return self.generic_visit(node, *args)
+
+    def visit_order_by(self, node: OrderBy, *args):
+        return self.generic_visit(node, *args)
+
+    def visit_slice(self, node: Slice, *args):
+        return self.generic_visit(node, *args)
+
+
+@dataclass(frozen=True)
+class AggregateBinding:
+    """One ``(AGG(?var) AS ?alias)`` binding in a SELECT clause.
+
+    ``variable`` is ``None`` for ``COUNT(*)``.
+    """
+
+    function: str  # count | sum | avg | min | max
+    variable: Optional[Variable]
+    alias: Variable
+    distinct: bool = False
+
 
 @dataclass
 class Query:
@@ -208,6 +303,11 @@ class Query:
     offset: int = 0
     prefixes: dict = field(default_factory=dict)
     text: str = ""
+    #: GROUP BY variables, in clause order (empty = no explicit grouping).
+    group_by: Tuple[Variable, ...] = ()
+    #: Aggregate bindings from the SELECT clause; a non-empty tuple makes
+    #: this an aggregate query (implicitly grouped when ``group_by`` is empty).
+    aggregates: Tuple[AggregateBinding, ...] = ()
 
     def variables(self) -> Set[Variable]:
         if self.select_variables:
@@ -223,12 +323,7 @@ class Query:
 
 def collect_bgps(node: PatternNode) -> List[BGP]:
     """Collect every BGP leaf of an algebra tree (pre-order)."""
-    if isinstance(node, BGP):
-        return [node]
-    result: List[BGP] = []
-    for child in node.children():
-        result.extend(collect_bgps(child))
-    return result
+    return [n for n in node.walk() if isinstance(n, BGP)]
 
 
 def collect_triple_patterns(node: PatternNode) -> List[TriplePattern]:

@@ -36,6 +36,10 @@ class Expression:
     def variables(self) -> Set[Variable]:
         raise NotImplementedError
 
+    def accept(self, visitor: "ExpressionVisitor", *args):
+        """Double-dispatch onto ``visitor.visit_<kind>``."""
+        raise NotImplementedError
+
     def to_sql(self) -> str:
         """Render the expression as a SQL-ish condition string."""
         raise NotImplementedError
@@ -74,6 +78,9 @@ class VariableExpression(Expression):
     def variables(self) -> Set[Variable]:
         return {self.variable}
 
+    def accept(self, visitor: "ExpressionVisitor", *args):
+        return visitor.visit_variable(self, *args)
+
     def to_sql(self) -> str:
         return self.variable.name
 
@@ -89,6 +96,9 @@ class TermExpression(Expression):
 
     def variables(self) -> Set[Variable]:
         return set()
+
+    def accept(self, visitor: "ExpressionVisitor", *args):
+        return visitor.visit_term(self, *args)
 
     def to_sql(self) -> str:
         value = _term_value(self.term)
@@ -135,6 +145,9 @@ class Comparison(Expression):
     def variables(self) -> Set[Variable]:
         return self.left.variables() | self.right.variables()
 
+    def accept(self, visitor: "ExpressionVisitor", *args):
+        return visitor.visit_comparison(self, *args)
+
     def to_sql(self) -> str:
         op = "<>" if self.operator == "!=" else self.operator
         return f"{self.left.to_sql()} {op} {self.right.to_sql()}"
@@ -161,6 +174,9 @@ class Arithmetic(Expression):
     def variables(self) -> Set[Variable]:
         return self.left.variables() | self.right.variables()
 
+    def accept(self, visitor: "ExpressionVisitor", *args):
+        return visitor.visit_arithmetic(self, *args)
+
     def to_sql(self) -> str:
         return f"({self.left.to_sql()} {self.operator} {self.right.to_sql()})"
 
@@ -175,6 +191,9 @@ class And(Expression):
 
     def variables(self) -> Set[Variable]:
         return self.left.variables() | self.right.variables()
+
+    def accept(self, visitor: "ExpressionVisitor", *args):
+        return visitor.visit_and(self, *args)
 
     def to_sql(self) -> str:
         return f"({self.left.to_sql()} AND {self.right.to_sql()})"
@@ -191,6 +210,9 @@ class Or(Expression):
     def variables(self) -> Set[Variable]:
         return self.left.variables() | self.right.variables()
 
+    def accept(self, visitor: "ExpressionVisitor", *args):
+        return visitor.visit_or(self, *args)
+
     def to_sql(self) -> str:
         return f"({self.left.to_sql()} OR {self.right.to_sql()})"
 
@@ -204,6 +226,9 @@ class Not(Expression):
 
     def variables(self) -> Set[Variable]:
         return self.operand.variables()
+
+    def accept(self, visitor: "ExpressionVisitor", *args):
+        return visitor.visit_not(self, *args)
 
     def to_sql(self) -> str:
         return f"NOT ({self.operand.to_sql()})"
@@ -220,6 +245,9 @@ class Bound(Expression):
 
     def variables(self) -> Set[Variable]:
         return {self.variable}
+
+    def accept(self, visitor: "ExpressionVisitor", *args):
+        return visitor.visit_bound(self, *args)
 
     def to_sql(self) -> str:
         return f"{self.variable.name} IS NOT NULL"
@@ -260,6 +288,50 @@ class FunctionCall(Expression):
             result |= argument.variables()
         return result
 
+    def accept(self, visitor: "ExpressionVisitor", *args):
+        return visitor.visit_function_call(self, *args)
+
     def to_sql(self) -> str:
         rendered = ", ".join(argument.to_sql() for argument in self.arguments)
         return f"{self.name.upper()}({rendered})"
+
+
+class ExpressionVisitor:
+    """Visitor over filter-expression trees (dialect renderers, analyzers).
+
+    Unhandled expression kinds raise via ``generic_visit``, so a renderer
+    that claims full coverage fails loudly on a new expression type.
+    """
+
+    def visit(self, expression: Expression, *args):
+        return expression.accept(self, *args)
+
+    def generic_visit(self, expression: Expression, *args):
+        raise TypeError(f"{type(self).__name__} cannot handle {type(expression).__name__}")
+
+    def visit_variable(self, expression: VariableExpression, *args):
+        return self.generic_visit(expression, *args)
+
+    def visit_term(self, expression: TermExpression, *args):
+        return self.generic_visit(expression, *args)
+
+    def visit_comparison(self, expression: Comparison, *args):
+        return self.generic_visit(expression, *args)
+
+    def visit_arithmetic(self, expression: Arithmetic, *args):
+        return self.generic_visit(expression, *args)
+
+    def visit_and(self, expression: And, *args):
+        return self.generic_visit(expression, *args)
+
+    def visit_or(self, expression: Or, *args):
+        return self.generic_visit(expression, *args)
+
+    def visit_not(self, expression: Not, *args):
+        return self.generic_visit(expression, *args)
+
+    def visit_bound(self, expression: Bound, *args):
+        return self.generic_visit(expression, *args)
+
+    def visit_function_call(self, expression: FunctionCall, *args):
+        return self.generic_visit(expression, *args)

@@ -1,10 +1,15 @@
 """Recursive-descent parser for the SPARQL fragment used by the paper.
 
-Supported syntax: ``PREFIX`` declarations, ``SELECT [DISTINCT] (* | ?vars)``,
-group graph patterns with triple patterns (including ``;`` predicate lists and
-``,`` object lists), ``FILTER``, ``OPTIONAL``, ``UNION``, ``ORDER BY``,
-``LIMIT`` and ``OFFSET``.  This covers every query in the WatDiv Basic,
-Selectivity and Incremental Linear workloads.
+Supported syntax: ``PREFIX`` declarations, ``SELECT [DISTINCT] (* | ?vars)``
+including aggregate bindings ``(COUNT(DISTINCT ?x) AS ?c)`` with
+``COUNT/SUM/AVG/MIN/MAX``, group graph patterns with triple patterns
+(including ``;`` predicate lists and ``,`` object lists), ``FILTER``,
+``OPTIONAL``, ``UNION``, ``GROUP BY``, ``ORDER BY``, ``LIMIT`` and
+``OFFSET``.  This covers every query in the WatDiv Basic, Selectivity and
+Incremental Linear workloads.
+
+Parse errors (:class:`SparqlParseError`) carry the 1-based line/column of the
+offending token and the token text itself.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from repro.rdf.ntriples import parse_literal
 from repro.rdf.terms import IRI, Literal, Term, Variable, XSD_DECIMAL, XSD_INTEGER
 from repro.sparql.algebra import (
     BGP,
+    AggregateBinding,
     Filter,
     Join,
     LeftJoin,
@@ -43,18 +49,59 @@ RDF_TYPE = IRI(WATDIV_NAMESPACES["rdf"] + "type")
 
 
 class SparqlParseError(ValueError):
-    """Raised when the query text is not valid (supported) SPARQL."""
+    """Raised when the query text is not valid (supported) SPARQL.
+
+    Carries the source position of the failure: ``line`` and ``column`` are
+    1-based, ``token`` is the offending token's text (``None`` at end of
+    input).  The position is appended to the message, so plain ``str(exc)``
+    is already actionable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+        token: Optional[str] = None,
+    ) -> None:
+        if line is not None and column is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+        self.token = token
+
+
+def _line_column(text: str, position: int) -> Tuple[int, int]:
+    """1-based (line, column) of a character offset in ``text``."""
+    line = text.count("\n", 0, position) + 1
+    column = position - text.rfind("\n", 0, position)
+    return line, column
 
 
 class _Parser:
+    #: Aggregate function names; not tokenizer keywords, matched on NAME.
+    _AGGREGATES = ("count", "sum", "avg", "min", "max")
+
     def __init__(self, text: str) -> None:
         self.text = text
         try:
             self.tokens = tokenize(text)
         except TokenizeError as exc:
-            raise SparqlParseError(str(exc)) from exc
+            line, column = _line_column(text, exc.position)
+            raise SparqlParseError(str(exc), line=line, column=column) from exc
         self.index = 0
         self.prefixes: Dict[str, str] = dict(WATDIV_NAMESPACES)
+
+    def _error(self, message: str, token: Optional[Token] = None) -> SparqlParseError:
+        """Build a positioned parse error at ``token`` (default: next token)."""
+        if token is None:
+            token = self._peek()
+        position = token.position if token is not None else len(self.text)
+        line, column = _line_column(self.text, position)
+        return SparqlParseError(
+            message, line=line, column=column, token=token.value if token else None
+        )
 
     # ------------------------------------------------------------------ #
     # Token helpers
@@ -68,7 +115,7 @@ class _Parser:
     def _next(self) -> Token:
         token = self._peek()
         if token is None:
-            raise SparqlParseError("unexpected end of query")
+            raise self._error("unexpected end of query")
         self.index += 1
         return token
 
@@ -76,7 +123,9 @@ class _Parser:
         token = self._next()
         if token.kind != kind or (value is not None and token.value != value):
             expected = f"{kind} {value!r}" if value else kind
-            raise SparqlParseError(f"expected {expected} but found {token.kind} {token.value!r}")
+            raise self._error(
+                f"expected {expected} but found {token.kind} {token.value!r}", token
+            )
         return token
 
     def _at_keyword(self, keyword: str) -> bool:
@@ -95,16 +144,17 @@ class _Parser:
     def parse(self) -> Query:
         self._parse_prologue()
         if not self._accept_keyword("select"):
-            raise SparqlParseError("only SELECT queries are supported")
+            raise self._error("only SELECT queries are supported")
         distinct = self._accept_keyword("distinct")
         self._accept_keyword("reduced")
-        select_variables = self._parse_select_variables()
+        select_variables, aggregates = self._parse_select_clause()
         self._accept_keyword("where")
         pattern = self._parse_group_graph_pattern()
-        order_by, limit, offset = self._parse_solution_modifiers()
+        order_by, limit, offset, group_by = self._parse_solution_modifiers()
         if self._peek() is not None:
             token = self._peek()
-            raise SparqlParseError(f"unexpected trailing token {token.value!r}")
+            raise self._error(f"unexpected trailing token {token.value!r}", token)
+        self._check_grouping(select_variables, aggregates, group_by)
         return Query(
             pattern=pattern,
             select_variables=tuple(select_variables),
@@ -114,34 +164,102 @@ class _Parser:
             offset=offset,
             prefixes=dict(self.prefixes),
             text=self.text,
+            group_by=tuple(group_by),
+            aggregates=tuple(aggregates),
         )
+
+    def _check_grouping(
+        self,
+        select_variables: List[Variable],
+        aggregates: List[AggregateBinding],
+        group_by: List[Variable],
+    ) -> None:
+        """Enforce the SPARQL group-by projection rule."""
+        if not aggregates and not group_by:
+            return
+        if not select_variables:
+            raise self._error("SELECT * cannot be combined with aggregates or GROUP BY")
+        group_names = {v.name for v in group_by}
+        alias_names = {binding.alias.name for binding in aggregates}
+        for variable in select_variables:
+            if variable.name in alias_names or variable.name in group_names:
+                continue
+            raise self._error(
+                f"variable ?{variable.name} must appear in GROUP BY or inside an aggregate"
+            )
 
     def _parse_prologue(self) -> None:
         while self._at_keyword("prefix") or self._at_keyword("base"):
             if self._accept_keyword("prefix"):
                 name_token = self._next()
                 if name_token.kind not in ("PNAME", "NAME"):
-                    raise SparqlParseError(f"expected prefix name, found {name_token.value!r}")
+                    raise self._error(
+                        f"expected prefix name, found {name_token.value!r}", name_token
+                    )
                 prefix = name_token.value.rstrip(":")
                 iri_token = self._expect("IRI")
                 self.prefixes[prefix] = iri_token.value[1:-1]
             elif self._accept_keyword("base"):
                 self._expect("IRI")
 
-    def _parse_select_variables(self) -> List[Variable]:
+    def _parse_select_clause(self) -> Tuple[List[Variable], List[AggregateBinding]]:
+        """Projection list: variables and ``(AGG(?x) AS ?alias)`` bindings.
+
+        ``select_variables`` keeps every output name (plain variables and
+        aggregate aliases) in declaration order; the bindings themselves are
+        returned separately for the compiler.
+        """
         variables: List[Variable] = []
+        aggregates: List[AggregateBinding] = []
         token = self._peek()
         if token is not None and token.kind == "STAR":
             self.index += 1
-            return variables
+            return variables, aggregates
         while True:
             token = self._peek()
-            if token is None or token.kind != "VAR":
+            if token is None:
                 break
-            variables.append(Variable(self._next().value))
+            if token.kind == "VAR":
+                variables.append(Variable(self._next().value))
+                continue
+            if token.kind == "LPAREN":
+                binding = self._parse_aggregate_binding()
+                aggregates.append(binding)
+                variables.append(binding.alias)
+                continue
+            break
         if not variables:
-            raise SparqlParseError("SELECT clause must list variables or '*'")
-        return variables
+            raise self._error("SELECT clause must list variables or '*'")
+        return variables, aggregates
+
+    def _parse_aggregate_binding(self) -> AggregateBinding:
+        """``( COUNT(DISTINCT ?x) AS ?c )`` and friends."""
+        self._expect("LPAREN")
+        name_token = self._next()
+        name = name_token.value.lower()
+        if name_token.kind != "NAME" or name not in self._AGGREGATES:
+            raise self._error(
+                f"expected aggregate function, found {name_token.value!r}", name_token
+            )
+        self._expect("LPAREN")
+        distinct = self._accept_keyword("distinct")
+        argument = self._next()
+        if argument.kind == "VAR":
+            variable: Optional[Variable] = Variable(argument.value)
+        elif argument.kind == "STAR":
+            if name != "count":
+                raise self._error("'*' is only valid as a COUNT argument", argument)
+            variable = None
+        else:
+            raise self._error(
+                f"expected variable or '*' in aggregate, found {argument.value!r}", argument
+            )
+        self._expect("RPAREN")
+        if not self._accept_keyword("as"):
+            raise self._error("aggregate binding requires AS ?alias")
+        alias = Variable(self._expect("VAR").value)
+        self._expect("RPAREN")
+        return AggregateBinding(function=name, variable=variable, alias=alias, distinct=distinct)
 
     def _parse_group_graph_pattern(self) -> PatternNode:
         self._expect("LBRACE")
@@ -157,7 +275,7 @@ class _Parser:
         while True:
             token = self._peek()
             if token is None:
-                raise SparqlParseError("unterminated group graph pattern")
+                raise self._error("unterminated group graph pattern")
             if token.kind == "RBRACE":
                 self.index += 1
                 break
@@ -254,12 +372,14 @@ class _Parser:
         if token.kind == "NAME":
             # Simplified notation (paper running example): bare name as IRI.
             return IRI(token.value)
-        raise SparqlParseError(f"unexpected token {token.value!r} in {position} position")
+        raise self._error(f"unexpected token {token.value!r} in {position} position", token)
 
     def _expand_pname(self, pname: str) -> IRI:
         prefix, _, local = pname.partition(":")
         if prefix not in self.prefixes:
-            raise SparqlParseError(f"undeclared prefix {prefix!r} in {pname!r}")
+            # The pname token was already consumed; point at it, not past it.
+            consumed = self.tokens[self.index - 1] if self.index else None
+            raise self._error(f"undeclared prefix {prefix!r} in {pname!r}", consumed)
         return IRI(self.prefixes[prefix] + local)
 
     def _parse_string_literal(self, token_value: str) -> Literal:
@@ -374,19 +494,30 @@ class _Parser:
                     return Bound(arguments[0].variable)
                 return FunctionCall(name, tuple(arguments))
             return TermExpression(IRI(name))
-        raise SparqlParseError(f"unexpected token {token.value!r} in expression")
+        raise self._error(f"unexpected token {token.value!r} in expression", token)
 
     # ------------------------------------------------------------------ #
     # Solution modifiers
     # ------------------------------------------------------------------ #
-    def _parse_solution_modifiers(self) -> Tuple[List[OrderCondition], Optional[int], int]:
+    def _parse_solution_modifiers(
+        self,
+    ) -> Tuple[List[OrderCondition], Optional[int], int, List[Variable]]:
         order_conditions: List[OrderCondition] = []
         limit: Optional[int] = None
         offset = 0
+        group_by: List[Variable] = []
         while True:
+            if self._accept_keyword("group"):
+                if not self._accept_keyword("by"):
+                    raise self._error("GROUP must be followed by BY")
+                while self._peek() is not None and self._peek().kind == "VAR":
+                    group_by.append(Variable(self._next().value))
+                if not group_by:
+                    raise self._error("GROUP BY requires at least one variable")
+                continue
             if self._accept_keyword("order"):
                 if not self._accept_keyword("by"):
-                    raise SparqlParseError("ORDER must be followed by BY")
+                    raise self._error("ORDER must be followed by BY")
                 while True:
                     token = self._peek()
                     if token is None:
@@ -409,7 +540,7 @@ class _Parser:
                 offset = int(self._expect("NUMBER").value)
                 continue
             break
-        return order_conditions, limit, offset
+        return order_conditions, limit, offset, group_by
 
 
 def parse_query(text: str) -> Query:

@@ -8,7 +8,15 @@ from typing import Iterator, List
 
 
 class TokenizeError(ValueError):
-    """Raised when the query text contains a character we cannot tokenize."""
+    """Raised when the query text contains a character we cannot tokenize.
+
+    ``position`` is the character offset of the offending character, so the
+    parser can report a line/column position.
+    """
+
+    def __init__(self, message: str, position: int = 0) -> None:
+        super().__init__(message)
+        self.position = position
 
 
 @dataclass(frozen=True)
@@ -38,6 +46,8 @@ _KEYWORDS = {
     "prefix",
     "base",
     "a",
+    "group",
+    "as",
 }
 
 _TOKEN_SPEC = [
@@ -82,7 +92,9 @@ def tokenize(text: str) -> List[Token]:
     while position < length:
         match = _MASTER_RE.match(text, position)
         if match is None:
-            raise TokenizeError(f"unexpected character {text[position]!r} at offset {position}")
+            raise TokenizeError(
+                f"unexpected character {text[position]!r} at offset {position}", position
+            )
         kind = match.lastgroup or ""
         value = match.group()
         position = match.end()

@@ -518,14 +518,13 @@ class DatasetAppender:
                     tables_updated += 0 if created else 1
                 entry.row_count = info.row_count
                 entry.selectivity = info.selectivity
-                # Exact distinct counts would need a full re-read of the
-                # stored table; a bounded estimate is enough for planning.
-                entry.distinct_subjects = min(
-                    info.row_count, entry.distinct_subjects + len({r[0] for r in delta.rows})
-                )
-                entry.distinct_objects = min(
-                    info.row_count, entry.distinct_objects + len({r[1] for r in delta.rows})
-                )
+                # The maintenance pass computes exact post-append distinct
+                # counts from the in-memory VP rows (None = unchanged), so
+                # the stored statistics stay exact across appends.
+                if delta.distinct_subjects is not None:
+                    entry.distinct_subjects = delta.distinct_subjects
+                if delta.distinct_objects is not None:
+                    entry.distinct_objects = delta.distinct_objects
                 statistics_only.pop(info.name, None)
             else:
                 statistics_only[info.name] = {

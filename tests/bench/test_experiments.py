@@ -6,6 +6,7 @@ import pytest
 from repro.bench import (
     run_join_order_ablation,
     run_oo_correlation_ablation,
+    run_sql_backend,
     run_table2_load,
     run_table3_selectivity,
     run_table4_basic,
@@ -239,3 +240,26 @@ class TestPartitionScaling:
         serial = report.row_for(partitions=1)["critical_path_ms"]
         eight = report.row_for(partitions=8)["critical_path_ms"]
         assert eight < serial
+
+
+class TestSqlBackend:
+    @pytest.fixture(scope="class")
+    def report(self, dataset):
+        return run_sql_backend(dataset=dataset, repeats=1)
+
+    def test_every_basic_query_present(self, report):
+        assert len(report) == 20
+        assert report.row_for(query="L1") is not None
+
+    def test_equality_asserted_and_totals_stashed(self, report):
+        assert report.stash["mismatches"] == 0
+        assert report.stash["queries"] == 20
+        assert report.stash["total_native_ms"] > 0
+        assert report.stash["total_sqlite_ms"] > 0
+
+    def test_machine_readable_shape(self, report):
+        payload = report.as_dict()
+        assert "native_ms" in payload["timings"] and "sqlite_ms" in payload["timings"]
+        assert "rows" in payload["counters"]
+        # The noisy speedup ratio must stay out of the gated counters.
+        assert "speedup" not in payload["counters"]

@@ -118,6 +118,70 @@ class TestSparqlOperators:
         assert "x" in rendered and "|" in rendered
 
 
+class TestAggregateQueries:
+    """GROUP BY through parser -> algebra -> compiler -> both engines."""
+
+    GRAPH = Graph(
+        [
+            Triple(IRI("A"), IRI("follows"), IRI("B")),
+            Triple(IRI("A"), IRI("follows"), IRI("C")),
+            Triple(IRI("B"), IRI("follows"), IRI("C")),
+            Triple(IRI("A"), IRI("age"), Literal("30", datatype="http://www.w3.org/2001/XMLSchema#integer")),
+            Triple(IRI("B"), IRI("age"), Literal("15", datatype="http://www.w3.org/2001/XMLSchema#integer")),
+        ]
+    )
+
+    @pytest.fixture(scope="class", params=["native", "sqlite"])
+    def agg_session(self, request):
+        session = S2RDFSession.from_graph(self.GRAPH, engine=request.param)
+        yield session
+        session.close()
+
+    def test_grouped_count(self, agg_session):
+        result = agg_session.query(
+            "SELECT ?x (COUNT(?y) AS ?n) WHERE { ?x <follows> ?y } GROUP BY ?x"
+        )
+        assert result.variables == ("x", "n")
+        assert sorted(result.relation.rows, key=repr) == [(IRI("A"), 2), (IRI("B"), 1)]
+
+    def test_implicit_group(self, agg_session):
+        result = agg_session.query(
+            "SELECT (SUM(?a) AS ?total) (AVG(?a) AS ?mean) WHERE { ?x <age> ?a }"
+        )
+        assert result.relation.rows == [(45, 22.5)]
+
+    def test_implicit_group_over_empty_input(self, agg_session):
+        result = agg_session.query(
+            "SELECT (COUNT(?y) AS ?n) (SUM(?y) AS ?s) (MIN(?y) AS ?lo) "
+            "WHERE { ?x <nothing> ?y }"
+        )
+        assert result.relation.rows == [(0, 0, None)]
+
+    def test_count_distinct(self, agg_session):
+        result = agg_session.query(
+            "SELECT (COUNT(DISTINCT ?y) AS ?n) WHERE { ?x <follows> ?y }"
+        )
+        assert result.relation.rows == [(2,)]
+
+    def test_min_max(self, agg_session):
+        result = agg_session.query(
+            "SELECT (MIN(?a) AS ?lo) (MAX(?a) AS ?hi) WHERE { ?x <age> ?a }"
+        )
+        # MIN/MAX select an *input value*, so the original terms come back.
+        (lo, hi), = result.relation.rows
+        assert (lo.to_python(), hi.to_python()) == (15, 30)
+
+    def test_engine_recorded_on_result_and_in_explain_analyze(self, agg_session):
+        result = agg_session.query(
+            "SELECT ?x (COUNT(?y) AS ?n) WHERE { ?x <follows> ?y } GROUP BY ?x"
+        )
+        assert result.engine == agg_session.config.engine
+        analyzed = agg_session.explain_analyze(
+            "SELECT ?x (COUNT(?y) AS ?n) WHERE { ?x <follows> ?y } GROUP BY ?x"
+        )
+        assert f"Engine: {agg_session.config.engine}" in analyzed.text
+
+
 class TestSessionConstruction:
     def test_from_ntriples(self):
         document = "<A> <p> <B> .\n<B> <p> <C> ."

@@ -111,6 +111,61 @@ class TestUnaryOperators:
         assert len(people.limit(None, offset=1)) == 2
 
 
+class TestAggregate:
+    @pytest.fixture
+    def scores(self):
+        return Relation(
+            ("player", "score"),
+            [("ada", 3), ("ada", 5), ("alan", 2), ("alan", 2), ("grace", None)],
+        )
+
+    def spec(self, function, column, alias="out", distinct=False):
+        from repro.engine.ops import AggregateSpec
+
+        return AggregateSpec(function=function, column=column, alias=alias, distinct=distinct)
+
+    def test_grouped_in_first_seen_order(self, scores):
+        result = scores.aggregate(["player"], [self.spec("sum", "score")])
+        assert result.columns == ("player", "out")
+        assert result.rows == [("ada", 8), ("alan", 4), ("grace", 0)]
+
+    def test_nones_excluded_from_arguments(self, scores):
+        result = scores.aggregate(["player"], [self.spec("count", "score")])
+        assert result.rows == [("ada", 2), ("alan", 2), ("grace", 0)]
+
+    def test_count_star_counts_rows_not_values(self, scores):
+        result = scores.aggregate(["player"], [self.spec("count", None)])
+        assert result.rows == [("ada", 2), ("alan", 2), ("grace", 1)]
+
+    def test_distinct_dedups_before_aggregating(self, scores):
+        result = scores.aggregate([], [self.spec("sum", "score", distinct=True)])
+        assert result.rows == [(3 + 5 + 2,)]
+
+    def test_implicit_group_on_empty_input_yields_one_row(self):
+        empty = Relation(("v",), [])
+        result = empty.aggregate(
+            [],
+            [self.spec("count", "v", "n"), self.spec("sum", "v", "s"),
+             self.spec("min", "v", "lo")],
+        )
+        # SPARQL: empty COUNT/SUM are 0, MIN of nothing is unbound.
+        assert result.columns == ("n", "s", "lo")
+        assert result.rows == [(0, 0, None)]
+
+    def test_avg(self, scores):
+        result = scores.aggregate([], [self.spec("avg", "score")])
+        assert result.rows == [(3.0,)]
+
+    def test_aggregate_value_shared_semantics(self):
+        from repro.engine.relation import aggregate_value
+
+        assert aggregate_value("count", [1, 1, 2], distinct=True) == 2
+        assert aggregate_value("sum", [], distinct=False) == 0
+        assert aggregate_value("avg", [], distinct=False) == 0
+        assert aggregate_value("min", [], distinct=False) is None
+        assert aggregate_value("max", [2, 10], distinct=False) == 10
+
+
 class TestJoins:
     def test_natural_join(self, people, jobs):
         joined = people.natural_join(jobs)

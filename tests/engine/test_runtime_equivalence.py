@@ -3,10 +3,14 @@ of rows as the serial executor for every WatDiv Basic and Incremental Linear
 query, at every partition count and under both join strategies.
 
 The second half is the *differential correctness harness*: a seeded
-randomized generator of BGP / OPTIONAL / UNION queries asserting bag-equality
-across four execution paths — serial reference, parallel (static plans),
-parallel adaptive, and stored-scan over a persisted dataset that carries
-pending (uncompacted) delta segments from an incremental append."""
+randomized generator of BGP / OPTIONAL / UNION queries — layered with
+FILTER expressions, DISTINCT, ORDER BY + LIMIT and aggregate heads
+(COUNT / SUM / AVG / MIN / MAX, grouped and implicit) — asserting
+bag-equality across five execution paths: serial reference, parallel
+(static plans), parallel adaptive, stored-scan over a persisted dataset
+that carries pending (uncompacted) delta segments from an incremental
+append, and the sqlite SQL-lowering backend (both over the warm catalog
+and over the delta-carrying stored dataset)."""
 
 import random
 
@@ -16,6 +20,7 @@ from repro.core.session import S2RDFSession, SessionConfig
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.plan import PlanExecutor
 from repro.engine.runtime import ParallelExecutor
+from repro.engine.sql import SqliteExecutor
 from repro.mappings.extvp import ExtVPLayout
 from repro.obs.trace import Tracer
 from repro.rdf.graph import Graph
@@ -75,8 +80,18 @@ class RandomQueryGenerator:
     the time but occasionally constants drawn from the dataset's terms, so
     pushdown scans with equality predicates get exercised too.  On top of the
     plain BGP shape the generator emits OPTIONAL blocks (left outer joins)
-    and two-branch UNIONs.
+    and two-branch UNIONs, randomly layers FILTER expressions (comparisons
+    against dataset constants under &&, || and !) over the body, and picks a
+    head shape: SELECT *, DISTINCT, ORDER BY every variable + LIMIT, or an
+    aggregate head (COUNT / COUNT DISTINCT / SUM / AVG / MIN / MAX with an
+    optional GROUP BY key — the dataset's numeric literals are all integers,
+    so SUM/AVG are exact on every backend).  Ordering by *every* in-scope
+    variable makes the sort key the whole row, so LIMIT cuts are
+    deterministic up to duplicate rows and bag-equality is well-defined.
     """
+
+    _COMPARATORS = ("=", "!=", "<", "<=", ">", ">=")
+    _AGG_FUNCTIONS = ("count", "count", "sum", "avg", "min", "max")
 
     def __init__(self, graph: Graph, seed: int) -> None:
         self.rng = random.Random(seed)
@@ -87,7 +102,7 @@ class RandomQueryGenerator:
         self.object_terms = [t.n3() for t in objects]
 
     def _bgp(self, size: int, first_var: int = 0):
-        """Return (pattern lines, next free variable index)."""
+        """Return (pattern lines, in-scope variables, next free var index)."""
         patterns = []
         next_var = first_var + 2
         variables = [f"?v{first_var}", f"?v{first_var + 1}"]
@@ -110,25 +125,82 @@ class RandomQueryGenerator:
             else:
                 subject, object_ = self.rng.choice(self.subject_terms), anchor
             patterns.append(f"{subject} {self.rng.choice(self.predicates)} {object_} .")
-        return patterns, next_var
+        return patterns, variables, next_var
 
-    def query(self) -> str:
+    def _body(self):
+        """Return (group graph pattern text, in-scope variables)."""
         shape = self.rng.choice(["bgp", "bgp", "optional", "union"])
         if shape == "bgp":
-            patterns, _ = self._bgp(self.rng.randint(2, 4))
+            patterns, variables, _ = self._bgp(self.rng.randint(2, 4))
             body = "\n  ".join(patterns)
         elif shape == "optional":
-            required, next_var = self._bgp(self.rng.randint(1, 3))
+            required, variables, next_var = self._bgp(self.rng.randint(1, 3))
             # The OPTIONAL block hooks onto ?v1, shared with the required part.
-            optional = (
-                f"?v1 {self.rng.choice(self.predicates)} ?v{next_var} ."
-            )
+            optional_var = f"?v{next_var}"
+            optional = f"?v1 {self.rng.choice(self.predicates)} {optional_var} ."
             body = "\n  ".join(required) + "\n  OPTIONAL { " + optional + " }"
+            variables = variables + [optional_var]
         else:
-            left, _ = self._bgp(self.rng.randint(1, 2))
-            right, _ = self._bgp(self.rng.randint(1, 2))
+            left, left_vars, _ = self._bgp(self.rng.randint(1, 2))
+            right, right_vars, _ = self._bgp(self.rng.randint(1, 2))
             body = "{ " + " ".join(left) + " } UNION { " + " ".join(right) + " }"
-        return "SELECT * WHERE {\n  " + body + "\n}"
+            variables = sorted(set(left_vars) | set(right_vars), key=lambda v: int(v[2:]))
+        return body, variables
+
+    def _comparison(self, variables) -> str:
+        variable = self.rng.choice(variables)
+        operator = self.rng.choice(self._COMPARATORS)
+        constant = self.rng.choice(self.object_terms)
+        return f"{variable} {operator} {constant}"
+
+    def _filter(self, variables) -> str:
+        roll = self.rng.random()
+        if roll < 0.5:
+            expression = self._comparison(variables)
+        elif roll < 0.7:
+            expression = f"{self._comparison(variables)} && {self._comparison(variables)}"
+        elif roll < 0.85:
+            expression = f"{self._comparison(variables)} || {self._comparison(variables)}"
+        else:
+            expression = f"!({self._comparison(variables)})"
+        return f"FILTER({expression})"
+
+    def _aggregate_head(self, variables):
+        """Return (select clause, trailing GROUP BY clause or '')."""
+        group = self.rng.choice(variables) if self.rng.random() < 0.6 else None
+        candidates = [v for v in variables if v != group] or list(variables)
+        bindings = []
+        for index in range(self.rng.randint(1, 2)):
+            function = self.rng.choice(self._AGG_FUNCTIONS)
+            distinct = "DISTINCT " if self.rng.random() < 0.3 else ""
+            if function == "count" and self.rng.random() < 0.3:
+                argument = "*"
+            else:
+                argument = self.rng.choice(candidates)
+            bindings.append(f"({function.upper()}({distinct}{argument}) AS ?agg{index})")
+        select = ((group + " ") if group else "") + " ".join(bindings)
+        return select, (f" GROUP BY {group}" if group else "")
+
+    def query(self) -> str:
+        body, variables = self._body()
+        if self.rng.random() < 0.4:
+            body += "\n  " + self._filter(variables)
+        head = self.rng.choice(["star", "star", "distinct", "order-limit", "aggregate"])
+        if head == "star":
+            return "SELECT * WHERE {\n  " + body + "\n}"
+        if head == "distinct":
+            return "SELECT DISTINCT * WHERE {\n  " + body + "\n}"
+        if head == "order-limit":
+            keys = " ".join(
+                variable if self.rng.random() < 0.5 else f"DESC({variable})"
+                for variable in variables
+            )
+            limit = self.rng.randint(1, 25)
+            return (
+                "SELECT * WHERE {\n  " + body + "\n} ORDER BY " + keys + f" LIMIT {limit}"
+            )
+        select, group_by = self._aggregate_head(variables)
+        return "SELECT " + select + " WHERE {\n  " + body + "\n}" + group_by
 
 
 @pytest.fixture(scope="module")
@@ -155,16 +227,23 @@ def differential_setup(small_dataset, tmp_path_factory):
     assert report.triples_appended == len(pending)
     assert report.delta_segments > 0  # the deltas really are pending
 
-    yield warm, stored
+    # The sqlite backend runs twice: straight over the warm catalog, and as a
+    # full session over the delta-carrying stored dataset.
+    sqlite_executor = SqliteExecutor(warm.layout.catalog)
+    stored_sql = S2RDFSession.open_dataset(path, engine="sqlite")
+
+    yield warm, stored, sqlite_executor, stored_sql
+    sqlite_executor.close()
     warm.close()
     stored.close()
+    stored_sql.close()
 
 
 @pytest.mark.parametrize("seed", range(8))
 def test_differential_equivalence_across_execution_modes(differential_setup, seed):
-    """Serial, parallel-static, parallel-adaptive and stored-scan execution
-    must agree on the bag of rows for every generated query."""
-    warm, stored = differential_setup
+    """Serial, parallel-static, parallel-adaptive, stored-scan and sqlite
+    execution must agree on the bag of rows for every generated query."""
+    warm, stored, sqlite_executor, stored_sql = differential_setup
     generator = RandomQueryGenerator(_graph_view(warm), seed)
     catalog = warm.layout.catalog
     for _ in range(6):
@@ -189,10 +268,18 @@ def test_differential_equivalence_across_execution_modes(differential_setup, see
                     result = executor.execute(compiled.plan, ExecutionMetrics())
                 assert result.columns == reference.columns, (label_run, query_text)
                 assert bag(result) == bag(reference), (label_run, query_text)
+        sql_result = sqlite_executor.execute(compiled.plan, ExecutionMetrics())
+        assert sql_result.columns == reference.columns, ("sqlite", query_text)
+        assert bag(sql_result) == bag(reference), ("sqlite", query_text)
         stored_result = stored.query(query_text)
         assert sorted(stored_result.relation.columns) == sorted(reference.columns), query_text
         projected = stored_result.relation.project(reference.columns)
         assert bag(projected) == bag(reference), ("stored-scan", query_text)
+        stored_sql_result = stored_sql.query(query_text)
+        assert stored_sql_result.engine == "sqlite"
+        assert sorted(stored_sql_result.relation.columns) == sorted(reference.columns), query_text
+        projected_sql = stored_sql_result.relation.project(reference.columns)
+        assert bag(projected_sql) == bag(reference), ("stored-sqlite", query_text)
 
 
 def _graph_view(session: S2RDFSession) -> Graph:

@@ -105,6 +105,98 @@ class TestBasicParsing:
         assert parse_query(query_q1).text == query_q1
 
 
+class TestAggregates:
+    def test_grouped_count(self):
+        query = parse_query(
+            "SELECT ?x (COUNT(?y) AS ?n) WHERE { ?x <p> ?y } GROUP BY ?x"
+        )
+        assert query.group_by == (Variable("x"),)
+        binding = query.aggregates[0]
+        assert binding.function == "count"
+        assert binding.variable == Variable("y")
+        assert binding.alias == Variable("n")
+        assert not binding.distinct
+
+    def test_count_star_and_distinct(self):
+        query = parse_query(
+            "SELECT (COUNT(*) AS ?all) (COUNT(DISTINCT ?y) AS ?uniq) WHERE { ?x <p> ?y }"
+        )
+        star, uniq = query.aggregates
+        assert star.variable is None and not star.distinct
+        assert uniq.variable == Variable("y") and uniq.distinct
+        assert query.group_by == ()  # implicit single group
+
+    def test_every_function_parses(self):
+        for function in ("SUM", "AVG", "MIN", "MAX"):
+            query = parse_query(
+                f"SELECT ({function}(?y) AS ?a) WHERE {{ ?x <p> ?y }}"
+            )
+            assert query.aggregates[0].function == function.lower()
+
+    def test_ungrouped_bare_variable_rejected(self):
+        with pytest.raises(SparqlParseError, match="GROUP BY"):
+            parse_query("SELECT ?x (COUNT(?y) AS ?n) WHERE { ?x <p> ?y }")
+
+    def test_star_with_aggregates_rejected(self):
+        with pytest.raises(SparqlParseError, match=r"SELECT \*"):
+            parse_query("SELECT * WHERE { ?x <p> ?y } GROUP BY ?x")
+
+    def test_star_argument_only_for_count(self):
+        with pytest.raises(SparqlParseError, match="COUNT"):
+            parse_query("SELECT (SUM(*) AS ?s) WHERE { ?x <p> ?y }")
+
+
+class TestErrorPositions:
+    """Parse errors carry the 1-based source position and offending token."""
+
+    def test_offending_token_and_position(self):
+        text = "SELECT * WHERE { ?s ?p ?o } BOGUS"
+        with pytest.raises(SparqlParseError) as excinfo:
+            parse_query(text)
+        error = excinfo.value
+        assert error.token == "BOGUS"
+        assert error.line == 1
+        assert error.column == text.index("BOGUS") + 1
+
+    def test_multiline_position(self):
+        text = "SELECT *\nWHERE {\n  ?s ?p ?o .\n  OPTIONAL ?x\n}"
+        with pytest.raises(SparqlParseError) as excinfo:
+            parse_query(text)
+        error = excinfo.value
+        assert error.line == 4
+        assert error.column == text.splitlines()[3].index("?x") + 1
+        assert error.token == "?x"
+
+    def test_message_carries_position_suffix(self):
+        with pytest.raises(SparqlParseError) as excinfo:
+            parse_query("SELECT * WHERE { ?s ?p ?o } BOGUS")
+        assert str(excinfo.value).endswith("(line 1, column 29)")
+
+    def test_end_of_input_has_position_but_no_token(self):
+        text = "SELECT * WHERE { ?s ?p ?o "
+        with pytest.raises(SparqlParseError) as excinfo:
+            parse_query(text)
+        error = excinfo.value
+        assert error.token is None
+        assert error.line == 1
+        assert error.column == len(text) + 1
+
+    def test_tokenizer_error_is_positioned(self):
+        text = "SELECT *\nWHERE { ^ }"
+        with pytest.raises(SparqlParseError) as excinfo:
+            parse_query(text)
+        error = excinfo.value
+        assert error.line == 2
+        assert error.column == text.splitlines()[1].index("^") + 1
+
+    def test_grouping_violation_is_positioned(self):
+        with pytest.raises(SparqlParseError) as excinfo:
+            parse_query("SELECT ?x (COUNT(?y) AS ?c) WHERE { ?x ?p ?y }")
+        error = excinfo.value
+        assert "GROUP BY" in str(error)
+        assert error.line is not None and error.column is not None
+
+
 class TestSolutionModifiers:
     def test_distinct(self):
         assert parse_query("SELECT DISTINCT ?x WHERE { ?x ?p ?o }").distinct

@@ -126,6 +126,29 @@ class TestAppend:
         finally:
             session.close()
 
+    def test_extvp_distinct_counts_exact_after_append(self, dataset_path):
+        """Appends keep the manifest's ExtVP distinct counts *exact* — equal
+        to a recomputation over the full base+delta table — not merely a
+        bounded estimate (the pre-maintenance behaviour)."""
+        session = S2RDFSession.open_dataset(dataset_path)
+        try:
+            updates = update_triples()
+            session.append_triples(updates[:15])
+            session.append_triples(updates[15:])
+            manifest = read_manifest(dataset_path)
+            delta_tables_checked = 0
+            for name, entry in manifest.tables.items():
+                if not name.startswith("extvp_"):
+                    continue
+                relation = session.layout.catalog.table(name)
+                assert entry.distinct_subjects == len({row[0] for row in relation.rows}), name
+                assert entry.distinct_objects == len({row[1] for row in relation.rows}), name
+                if entry.has_deltas:
+                    delta_tables_checked += 1
+            assert delta_tables_checked > 0  # the appends really delta'd ExtVP
+        finally:
+            session.close()
+
     def test_no_segment_rewritten_and_deltas_recorded(self, dataset_path):
         manifest_before = read_manifest(dataset_path)
         mtimes = {}
