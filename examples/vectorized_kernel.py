@@ -1,0 +1,85 @@
+"""Vectorized id-column execution: batches of raw dictionary ids end to end.
+
+The dataset store keeps every column as RLE-compressed integer ids.  With
+``vectorized_enabled=True`` a stored session scans those pages straight into
+``ColumnBatch``es — flat ``array('q')`` id columns plus a selection vector —
+and filters, joins and deduplicates on raw ids, decoding terms only for the
+rows a query actually returns.  This example persists a small graph, runs the
+same queries through the row-dict executor and the vectorized path, verifies
+they agree bag for bag, and shows what the batch representation looks like
+from the inside (including the 3x exchange-byte shrink of shipping ids).
+
+Run with:  python examples/vectorized_kernel.py
+"""
+
+import tempfile
+
+from repro import Graph, S2RDFSession, Triple
+
+
+def build_graph() -> Graph:
+    triples = []
+    for i in range(60):
+        triples.append(Triple.of(f"user{i}", "follows", f"user{(i * 7 + 1) % 60}"))
+        triples.append(Triple.of(f"user{i}", "likes", f"item{i % 12}"))
+    return Graph(triples, name="social")
+
+
+QUERIES = {
+    "scan+join": "SELECT * WHERE { ?a <follows> ?b . ?b <likes> ?w }",
+    "pushdown": "SELECT ?a WHERE { ?a <likes> <item3> }",
+    "distinct": "SELECT DISTINCT ?w WHERE { ?a <likes> ?w }",
+    "filter": "SELECT * WHERE { ?a <likes> ?w . FILTER(?w != <item3>) }",
+}
+
+
+def bag(relation):
+    return sorted(map(repr, relation.rows))
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as root:
+        path = f"{root}/dataset"
+        builder = S2RDFSession.from_graph(build_graph(), num_partitions=4)
+        builder.save_dataset(path)
+        builder.close()
+
+        rows = S2RDFSession.open_dataset(path, num_partitions=4)
+        vec = S2RDFSession.open_dataset(path, num_partitions=4, vectorized_enabled=True)
+
+        # --- the batch representation, from the inside ------------------- #
+        scan = vec.layout.catalog.scan_batch("vp_likes")
+        batch = scan.batch
+        print(f"scan_batch(vp_likes): columns={batch.columns} rows={len(batch)}")
+        print(f"  raw ids of 's' column (first 8): {list(batch.ids[0][:8])}")
+        filtered = batch.filter_equal("o", batch.ids[1][0])
+        print(
+            f"  filter_equal on one id keeps {len(filtered)} rows by replacing the"
+            f" selection vector; the id columns are shared, not copied"
+        )
+        print(f"  estimated exchange bytes: {batch.estimated_bytes()} "
+              f"(ids at 8 B/value; term rows would cost 3x)")
+
+        # --- identical answers, fewer decoded terms ---------------------- #
+        for name, query in QUERIES.items():
+            row_result = rows.query(query)
+            vec_result = vec.query(query)
+            assert bag(row_result.relation) == bag(vec_result.relation), name
+            metrics = vec_result.metrics
+            print(
+                f"{name:<10} rows={len(vec_result.relation):<4} "
+                f"vectorized_batches={metrics.vectorized_batches} "
+                f"vectorized_rows={metrics.vectorized_rows}"
+            )
+
+        # --- explain_analyze marks batch-executed operators -------------- #
+        explained = vec.explain_analyze(QUERIES["scan+join"])
+        print("\nexplain_analyze (note the 'vectorized' markers):")
+        print(explained.text)
+
+        rows.close()
+        vec.close()
+
+
+if __name__ == "__main__":
+    main()

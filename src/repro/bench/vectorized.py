@@ -1,0 +1,250 @@
+"""Row-dict executor vs the vectorized id-column kernel on WatDiv Basic.
+
+Both paths execute the same compiled plan IR over the same persisted dataset
+— the row path materialises every intermediate as per-tuple Python objects,
+the vectorized path (``vectorized_enabled=True``) runs scans, filters, hash
+joins, projection and DISTINCT on flat ``array('q')`` dictionary-id columns
+and decodes terms once at the ``to_relation()`` boundary.  This benchmark
+asserts bag-equality on every query before any timing counts (a perf number
+for a wrong answer is worthless), then reports per-query wall clocks and
+scan throughput (scanned input tuples per second) side by side.
+
+The headline number is the *scan-heavy* aggregate: per the paper's workload
+shape, WatDiv Basic mixes point lookups (where per-query parse/plan overhead
+dominates and vectorization is moot) with star/snowflake queries scanning
+thousands of tuples — the queries the kernel exists for.  Queries whose row
+path scans at least ``scan_heavy_min_rows`` tuples form that subset, and in
+full (non-smoke) mode the run asserts the subset's throughput speedup meets
+``require_speedup``.
+
+Run directly (used by CI in smoke mode)::
+
+    PYTHONPATH=src python -c "from repro.bench.vectorized import main; main(['--smoke', '--json'])"
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bench.reporting import ExperimentReport, write_bench_json
+from repro.core.session import S2RDFSession
+from repro.watdiv.basic_queries import BASIC_TEMPLATES
+from repro.watdiv.generator import WatDivDataset, generate_dataset
+from repro.watdiv.template import instantiate_template
+
+#: Queries whose row path scans at least this many input tuples (scaled by
+#: ``scale_factor``) count as scan-heavy; the speedup gate runs on their
+#: aggregate.  At the default full-mode scale this selects the star,
+#: snowflake and complex classes the kernel targets.
+SCAN_HEAVY_MIN_ROWS_PER_SCALE = 65.0
+
+
+def _bag(relation) -> List[str]:
+    return sorted(map(repr, relation.rows))
+
+
+def _time_query(session: S2RDFSession, query_text: str, repeats: int) -> Tuple[float, object]:
+    """Best-of-``repeats`` wall clock (ms) and the best run's metrics."""
+    best = float("inf")
+    metrics = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = session.query(query_text)
+        elapsed = (time.perf_counter() - start) * 1000.0
+        if elapsed < best:
+            best = elapsed
+            metrics = result.metrics
+    return best, metrics
+
+
+def _throughput(scanned: int, milliseconds: float) -> float:
+    """Scanned input tuples per second (0 when nothing was scanned)."""
+    if milliseconds <= 0 or scanned <= 0:
+        return 0.0
+    return scanned / (milliseconds / 1000.0)
+
+
+def run_vectorized(
+    scale_factor: float = 30.0,
+    seed: int = 42,
+    repeats: int = 3,
+    num_partitions: int = 1,
+    require_speedup: Optional[float] = 3.0,
+    dataset: Optional[WatDivDataset] = None,
+) -> ExperimentReport:
+    """Compare row-dict and vectorized execution on a persisted dataset.
+
+    ``require_speedup`` (when not ``None``) asserts the scan-heavy subset's
+    throughput ratio after the run — smoke mode passes ``None`` because at
+    tiny scale per-query parse/plan overhead dominates both paths equally.
+    """
+    dataset = dataset if dataset is not None else generate_dataset(scale_factor=scale_factor, seed=seed)
+    queries = [
+        (template.name, instantiate_template(template, dataset))
+        for template in BASIC_TEMPLATES
+    ]
+    scan_heavy_min_rows = SCAN_HEAVY_MIN_ROWS_PER_SCALE * dataset.scale_factor
+
+    report = ExperimentReport(
+        name="Vectorized kernel — row-dict executor vs id-column batches (WatDiv Basic)",
+        description=(
+            f"WatDiv Basic subset at scale factor {dataset.scale_factor:g} on a persisted "
+            f"dataset ({num_partitions} partition(s)), best of {repeats} runs per path; every "
+            "query is bag-equality-checked across paths before timing counts. krows_s is "
+            "scanned input tuples per second; queries scanning >= "
+            f"{scan_heavy_min_rows:.0f} tuples form the scan-heavy aggregate the gate runs on."
+        ),
+        columns=[
+            "query",
+            "rows",
+            "scanned",
+            "row_ms",
+            "vec_ms",
+            "row_krows_s",
+            "vec_krows_s",
+            "speedup",
+        ],
+    )
+
+    totals = {
+        "row_ms": 0.0,
+        "vec_ms": 0.0,
+        "heavy_row_ms": 0.0,
+        "heavy_vec_ms": 0.0,
+        "heavy_scanned": 0,
+        "scanned": 0,
+        "vectorized_batches": 0,
+        "vectorized_rows": 0,
+    }
+    heavy_queries: List[str] = []
+
+    with tempfile.TemporaryDirectory() as root:
+        path = f"{root}/dataset"
+        builder = S2RDFSession.from_graph(dataset.graph, num_partitions=num_partitions)
+        builder.save_dataset(path)
+        builder.close()
+
+        config = {"journal_enabled": False, "tracing_enabled": False}
+        row_session = S2RDFSession.open_dataset(path, **config)
+        vec_session = S2RDFSession.open_dataset(path, vectorized_enabled=True, **config)
+        try:
+            for name, query_text in queries:
+                row_result = row_session.query(query_text)
+                vec_result = vec_session.query(query_text)
+                assert _bag(row_result.relation) == _bag(vec_result.relation), (
+                    f"path mismatch on {name}"
+                )
+                row_ms, row_metrics = _time_query(row_session, query_text, repeats)
+                vec_ms, vec_metrics = _time_query(vec_session, query_text, repeats)
+                scanned = row_metrics.input_tuples
+                assert vec_metrics.input_tuples == scanned, f"scan drift on {name}"
+                totals["row_ms"] += row_ms
+                totals["vec_ms"] += vec_ms
+                totals["scanned"] += scanned
+                totals["vectorized_batches"] += vec_metrics.vectorized_batches
+                totals["vectorized_rows"] += vec_metrics.vectorized_rows
+                heavy = scanned >= scan_heavy_min_rows
+                if heavy:
+                    heavy_queries.append(name)
+                    totals["heavy_row_ms"] += row_ms
+                    totals["heavy_vec_ms"] += vec_ms
+                    totals["heavy_scanned"] += scanned
+                report.add_row(
+                    query=name + ("*" if heavy else ""),
+                    rows=len(row_result),
+                    scanned=scanned,
+                    row_ms=round(row_ms, 3),
+                    vec_ms=round(vec_ms, 3),
+                    # Throughput and speedup are rendered as text on purpose:
+                    # run-to-run noisy ratios must not become gated counters
+                    # in the machine-readable output.
+                    row_krows_s=f"{_throughput(scanned, row_ms) / 1000.0:.1f}",
+                    vec_krows_s=f"{_throughput(scanned, vec_ms) / 1000.0:.1f}",
+                    speedup=f"{row_ms / vec_ms:.2f}x" if vec_ms > 0 else "-",
+                )
+        finally:
+            row_session.close()
+            vec_session.close()
+
+    assert totals["vectorized_batches"] > 0, "vectorized path never produced a batch"
+
+    overall_speedup = totals["row_ms"] / totals["vec_ms"] if totals["vec_ms"] else 0.0
+    heavy_speedup = (
+        totals["heavy_row_ms"] / totals["heavy_vec_ms"] if totals["heavy_vec_ms"] else 0.0
+    )
+    report.add_note(
+        f"overall: {totals['row_ms']:.1f} ms row vs {totals['vec_ms']:.1f} ms vectorized "
+        f"({overall_speedup:.2f}x)"
+    )
+    report.add_note(
+        f"scan-heavy aggregate (*): {len(heavy_queries)} queries, "
+        f"{_throughput(totals['heavy_scanned'], totals['heavy_row_ms']) / 1000.0:.1f} -> "
+        f"{_throughput(totals['heavy_scanned'], totals['heavy_vec_ms']) / 1000.0:.1f} krows/s "
+        f"({heavy_speedup:.2f}x)"
+    )
+    report.add_note(
+        f"vectorized path processed {totals['vectorized_rows']} ids in "
+        f"{totals['vectorized_batches']} batches (best timed runs)"
+    )
+    report.stash = {
+        "queries": len(queries),
+        "mismatches": 0,  # every query above is asserted bag-equal
+        "scan_heavy_queries": heavy_queries,
+        "total_row_ms": totals["row_ms"],
+        "total_vec_ms": totals["vec_ms"],
+        "scan_heavy_row_ms": totals["heavy_row_ms"],
+        "scan_heavy_vec_ms": totals["heavy_vec_ms"],
+        "overall_speedup": overall_speedup,
+        "scan_heavy_speedup": heavy_speedup,
+        "vectorized_batches": totals["vectorized_batches"],
+        "vectorized_rows": totals["vectorized_rows"],
+    }
+    if require_speedup is not None:
+        assert heavy_speedup >= require_speedup, (
+            f"scan-heavy speedup {heavy_speedup:.2f}x below required {require_speedup:.2f}x "
+            f"(queries: {heavy_queries})"
+        )
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Row-dict vs vectorized execution benchmark")
+    parser.add_argument("--scale", type=float, default=30.0, help="WatDiv-like scale factor")
+    parser.add_argument("--repeats", type=int, default=3, help="timed runs per query per path")
+    parser.add_argument(
+        "--partitions", type=int, default=1, help="stored dataset partition count"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: tiny scale, asserts bag-equality but not the speedup gate",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="also write machine-readable benchmarks/output/BENCH_vectorized.json",
+    )
+    args = parser.parse_args(argv)
+    scale = min(args.scale, 1.0) if args.smoke else args.scale
+    report = run_vectorized(
+        scale_factor=scale,
+        repeats=args.repeats,
+        num_partitions=args.partitions,
+        require_speedup=None if args.smoke else 3.0,
+    )
+    print(report.to_text())
+    if args.json:
+        print(f"wrote {write_bench_json(report, 'vectorized')}")
+    assert report.stash["mismatches"] == 0
+    print(
+        f"equality check passed on {report.stash['queries']} queries; "
+        f"scan-heavy speedup {report.stash['scan_heavy_speedup']:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -126,6 +126,13 @@ class SessionConfig:
     #: plans to SQL and executes them on an in-memory SQLite database
     #: (:mod:`repro.engine.sql`) — the differential cross-check backend.
     engine: str = "native"
+    #: Vectorized execution (native engine, stored datasets only): scans emit
+    #: dictionary-id :class:`~repro.engine.vectorized.ColumnBatch`es and
+    #: batch-capable operators run on raw ids, deferring term decoding to
+    #: result rendering.  Operators without a batch kernel (OPTIONAL,
+    #: aggregates, ORDER BY) fall back to row-dict execution at a single
+    #: lowering boundary.  Off by default; results are bag-equal either way.
+    vectorized_enabled: bool = False
 
 
 class S2RDFSession:
@@ -172,6 +179,7 @@ class S2RDFSession:
             tracer=self.tracer,
             metrics_registry=self.metrics,
             broadcast_memory_limit=self.config.broadcast_memory_limit,
+            vectorized=self.config.vectorized_enabled,
         )
         #: The SQLite engine (always constructed — it opens no connection and
         #: loads no table until the first query runs with ``engine="sqlite"``).
@@ -216,6 +224,7 @@ class S2RDFSession:
         broadcast_memory_limit: int = DEFAULT_BROADCAST_MEMORY_LIMIT,
         journal_enabled: bool = True,
         engine: str = "native",
+        vectorized_enabled: bool = False,
     ) -> "S2RDFSession":
         """Build the data layout for ``graph`` and return a ready session."""
         config = SessionConfig(
@@ -232,6 +241,7 @@ class S2RDFSession:
             broadcast_memory_limit=broadcast_memory_limit,
             journal_enabled=journal_enabled,
             engine=engine,
+            vectorized_enabled=vectorized_enabled,
         )
         layout = ExtVPLayout(
             selectivity_threshold=selectivity_threshold if use_extvp else 0.0,
@@ -305,6 +315,7 @@ class S2RDFSession:
         broadcast_memory_limit: int = DEFAULT_BROADCAST_MEMORY_LIMIT,
         journal_enabled: bool = True,
         engine: str = "native",
+        vectorized_enabled: bool = False,
     ) -> "S2RDFSession":
         """Cold-start a session from a dataset written by :meth:`save_dataset`.
 
@@ -338,6 +349,7 @@ class S2RDFSession:
             broadcast_memory_limit=broadcast_memory_limit,
             journal_enabled=journal_enabled,
             engine=engine,
+            vectorized_enabled=vectorized_enabled,
         )
         session = cls(layout, config=config, cost_model=cost_model, tracer=tracer)
         session.load_report = load_report

@@ -56,6 +56,18 @@ class StoredTableProvider:
         """Scan with projection and equality-predicate pushdown."""
         raise NotImplementedError
 
+    def scan_batch(
+        self,
+        columns: Optional[Sequence[str]] = None,
+        conditions: Optional[Mapping[str, Any]] = None,
+    ) -> Optional[Any]:
+        """Vectorized scan returning a ``BatchScanResult``, or ``None``.
+
+        Providers without a batch path inherit this default; the executor
+        falls back to the row :meth:`scan` when it gets ``None``.
+        """
+        return None
+
 
 @dataclass
 class TableStatistics:
@@ -245,6 +257,25 @@ class Catalog:
         if conditions:
             relation = relation.select_eq(conditions)
         return ScanResult(relation=relation, rows_scanned=rows_scanned)
+
+    def scan_batch(
+        self,
+        name: str,
+        columns: Optional[Sequence[str]] = None,
+        conditions: Optional[Mapping[str, Any]] = None,
+    ) -> Optional[Any]:
+        """Vectorized scan of ``name``; ``None`` when no batch path exists.
+
+        Only store-backed tables can emit id batches (the ids come from the
+        dataset dictionary); in-memory tables make the executor fall back to
+        the row path, which keeps their semantics byte-for-byte unchanged.
+        """
+        provider = self._stored.get(name)
+        if provider is None:
+            if name not in self._tables:
+                raise TableNotFoundError(name)
+            return None
+        return provider.scan_batch(columns=columns, conditions=conditions)
 
     def statistics(self, name: str) -> Optional[TableStatistics]:
         return self._statistics.get(name)

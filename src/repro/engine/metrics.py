@@ -70,6 +70,12 @@ class ExecutionMetrics:
     #: Broadcasts demoted to shuffles because the *observed* materialized
     #: build side exceeded the hard ``broadcast_memory_limit`` cap.
     broadcast_guard_trips: int = 0
+    #: Rows that flowed through vectorized (id-batch) operators instead of
+    #: row-dict ones — the coverage measure of the vectorized path.
+    vectorized_rows: int = 0
+    #: Plan operators that executed on :class:`~repro.engine.vectorized.ColumnBatch`
+    #: inputs (structural: depends on the plan shape, not the data size).
+    vectorized_batches: int = 0
     #: Per-table scan counts, useful for debugging table selection.
     scanned_tables: Dict[str, int] = field(default_factory=dict)
 
@@ -85,6 +91,7 @@ class ExecutionMetrics:
             "intermediate_tuples",
             "shuffled_bytes",
             "broadcast_bytes",
+            "vectorized_rows",
             "scanned_tables",
         }
     )
@@ -146,6 +153,11 @@ class ExecutionMetrics:
     def record_guard_trip(self) -> None:
         """The broadcast memory guard demoted one broadcast to a shuffle."""
         self.broadcast_guard_trips += 1
+
+    def record_vectorized(self, rows: int) -> None:
+        """One plan operator produced a ``rows``-long id batch (no row dicts)."""
+        self.vectorized_batches += 1
+        self.vectorized_rows += rows
 
     def merge(self, other: "ExecutionMetrics") -> None:
         """Accumulate another metrics object into this one (field-derived)."""

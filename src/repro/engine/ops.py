@@ -57,6 +57,7 @@ class Operation:
     is_join = False
     is_outer_join = False
     is_scan = False
+    is_sort = False
 
     def children(self) -> Tuple["Operation", ...]:
         return ()
@@ -258,6 +259,8 @@ class DistinctNode(UnaryOperation):
 @dataclass(frozen=True)
 class OrderByNode(UnaryOperation):
     keys: Tuple[Tuple[str, bool], ...]
+
+    is_sort = True
 
     def accept(self, visitor: "OperationVisitor", *args: Any) -> Any:
         return visitor.visit_order_by(self, *args)

@@ -43,6 +43,8 @@ from repro.engine.ops import (  # noqa: F401  (re-exported compatibility surface
     plan_depth,
 )
 from repro.engine.relation import Relation
+from repro.engine.storage import NULL_ID
+from repro.engine.vectorized import ColumnBatch
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
 
@@ -58,6 +60,8 @@ class NodeExecution:
 
     rows: int
     elapsed_ms: float
+    #: True when the node produced an id :class:`ColumnBatch` (no row dicts).
+    vectorized: bool = False
 
 
 def _node_span_name(plan: Operation) -> str:
@@ -80,18 +84,33 @@ class PlanExecutor(OperationVisitor):
         catalog: Catalog,
         tracer: Optional[Tracer] = None,
         metrics_registry: Optional[MetricsRegistry] = None,
+        vectorized: bool = False,
     ) -> None:
         self.catalog = catalog
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.registry = metrics_registry
+        #: When True, store-backed scans emit id :class:`ColumnBatch`es and
+        #: batch-capable operators stay on ids; operators without a kernel
+        #: (OPTIONAL, aggregates, ORDER BY) lower batch -> rows at a single
+        #: boundary and continue on the row path.
+        self.vectorized = vectorized
         #: Per-node observations of the most recently executed plan.
         self.last_node_stats: Dict[int, NodeExecution] = {}
 
     def execute(self, plan: Operation, metrics: Optional[ExecutionMetrics] = None) -> Relation:
         metrics = metrics if metrics is not None else ExecutionMetrics()
         self.last_node_stats = {}
-        result = self._execute(plan, metrics)
+        # A batch surviving to the root is decoded here — the single
+        # deferred-decoding boundary before result rendering.
+        result = self._lower(self._execute(plan, metrics))
         metrics.output_tuples = len(result)
+        return result
+
+    @staticmethod
+    def _lower(result: Any) -> Relation:
+        """Decode an id batch to rows; row relations pass through untouched."""
+        if isinstance(result, ColumnBatch):
+            return result.to_relation()
         return result
 
     def _observe(self, name: str, value: float) -> None:
@@ -117,14 +136,23 @@ class PlanExecutor(OperationVisitor):
                 )
 
     # ------------------------------------------------------------------ #
-    def _execute(self, plan: Operation, metrics: ExecutionMetrics) -> Relation:
-        """Execute ``plan`` inside a span, recording per-node observations."""
+    def _execute(self, plan: Operation, metrics: ExecutionMetrics) -> Any:
+        """Execute ``plan`` inside a span, recording per-node observations.
+
+        Returns a :class:`Relation` or — on the vectorized path — a
+        :class:`ColumnBatch`; both answer ``len``.
+        """
         with self.tracer.span(_node_span_name(plan), category="operator") as span:
             start = time.perf_counter()
             result = self.visit(plan, metrics)
             elapsed_ms = (time.perf_counter() - start) * 1000.0
             span.set(rows=len(result))
-        self.last_node_stats[id(plan)] = NodeExecution(rows=len(result), elapsed_ms=elapsed_ms)
+        is_batch = isinstance(result, ColumnBatch)
+        if is_batch:
+            metrics.record_vectorized(len(result))
+        self.last_node_stats[id(plan)] = NodeExecution(
+            rows=len(result), elapsed_ms=elapsed_ms, vectorized=is_batch
+        )
         return result
 
     # ------------------------------------------------------------------ #
@@ -133,31 +161,60 @@ class PlanExecutor(OperationVisitor):
     def visit_empty(self, plan: EmptyNode, metrics: ExecutionMetrics) -> Relation:
         return Relation.empty(plan.columns)
 
-    def visit_table_scan(self, plan: TableScanNode, metrics: ExecutionMetrics) -> Relation:
+    def visit_table_scan(self, plan: TableScanNode, metrics: ExecutionMetrics) -> Any:
+        if self.vectorized:
+            scan = self.catalog.scan_batch(plan.table_name, columns=plan.columns)
+            if scan is not None:
+                self._record_scan(plan.table_name, scan, metrics)
+                batch = scan.batch
+                return batch.project(plan.columns) if plan.columns != batch.columns else batch
         scan = self.catalog.scan(plan.table_name, columns=plan.columns)
         self._record_scan(plan.table_name, scan, metrics)
         relation = scan.relation
         return relation.project(plan.columns) if plan.columns != relation.columns else relation
 
-    def visit_subquery(self, plan: SubqueryNode, metrics: ExecutionMetrics) -> Relation:
+    def visit_subquery(self, plan: SubqueryNode, metrics: ExecutionMetrics) -> Any:
         columns = [column for column, _ in plan.projections]
-        scan = self.catalog.scan(
-            plan.table_name,
-            columns=columns,
-            conditions=dict(plan.conditions) if plan.conditions else None,
-        )
-        self._record_scan(plan.table_name, scan, metrics)
+        conditions = dict(plan.conditions) if plan.conditions else None
         aliases = {column: alias for column, alias in plan.projections}
+        if self.vectorized:
+            scan = self.catalog.scan_batch(plan.table_name, columns=columns, conditions=conditions)
+            if scan is not None:
+                self._record_scan(plan.table_name, scan, metrics)
+                return scan.batch.project(columns).rename(aliases)
+        scan = self.catalog.scan(plan.table_name, columns=columns, conditions=conditions)
+        self._record_scan(plan.table_name, scan, metrics)
         return scan.relation.project(columns).rename(aliases)
 
-    def visit_natural_join(self, plan: NaturalJoinNode, metrics: ExecutionMetrics) -> Relation:
+    def visit_natural_join(self, plan: NaturalJoinNode, metrics: ExecutionMetrics) -> Any:
         left = self._execute(plan.left, metrics)
         right = self._execute(plan.right, metrics)
+        left, right = self._align_join_inputs(left, right)
         return self._natural_join(plan, left, right, metrics)
 
+    @staticmethod
+    def _align_join_inputs(left: Any, right: Any) -> Any:
+        """Keep both join inputs batches only when they can join on raw ids.
+
+        A batch can only id-join another batch from the *same* dictionary;
+        any mixed or cross-dictionary pair lowers to row relations so the
+        join compares decoded terms.
+        """
+        left_batch = isinstance(left, ColumnBatch)
+        right_batch = isinstance(right, ColumnBatch)
+        # ``==`` not ``is``: decoders are bound methods, recreated per scan
+        # but equal whenever they wrap the same dictionary instance.
+        if left_batch and right_batch and left.decode == right.decode:
+            return left, right
+        if left_batch:
+            left = left.to_relation()
+        if right_batch:
+            right = right.to_relation()
+        return left, right
+
     def visit_left_outer_join(self, plan: LeftOuterJoinNode, metrics: ExecutionMetrics) -> Relation:
-        left = self._execute(plan.left, metrics)
-        right = self._execute(plan.right, metrics)
+        left = self._lower(self._execute(plan.left, metrics))
+        right = self._lower(self._execute(plan.right, metrics))
         joined = self._left_outer_join(plan, left, right, metrics)
         if plan.expression is not None:
             right_only = set(plan.right.output_columns()) - set(plan.left.output_columns())
@@ -172,32 +229,76 @@ class PlanExecutor(OperationVisitor):
             joined = joined.select(keep)
         return joined
 
-    def visit_union(self, plan: UnionNode, metrics: ExecutionMetrics) -> Relation:
+    def visit_union(self, plan: UnionNode, metrics: ExecutionMetrics) -> Any:
         left = self._execute(plan.left, metrics)
         right = self._execute(plan.right, metrics)
+        left, right = self._align_join_inputs(left, right)
         return left.union(right)
 
-    def visit_filter(self, plan: FilterNode, metrics: ExecutionMetrics) -> Relation:
+    def visit_filter(self, plan: FilterNode, metrics: ExecutionMetrics) -> Any:
         child = self._execute(plan.child, metrics)
+        if isinstance(child, ColumnBatch):
+            batch = self._filter_batch(plan, child)
+            if batch is not None:
+                return batch
+            child = child.to_relation()
         return child.select(
             lambda row: plan.expression.evaluate_truth({k: v for k, v in row.items() if v is not None})
         )
 
-    def visit_project(self, plan: ProjectNode, metrics: ExecutionMetrics) -> Relation:
+    @staticmethod
+    def _filter_batch(plan: FilterNode, child: ColumnBatch) -> Optional[ColumnBatch]:
+        """Run a single-variable filter on ids, memoised per distinct id.
+
+        Multi-variable expressions (``?x < ?y``) have no batch kernel yet and
+        return ``None``, telling the caller to lower to the row path.
+        """
+        variables = {variable.name for variable in plan.expression.variables()}
+        if len(variables) != 1:
+            return None
+        name = next(iter(variables))
+        if name not in child.columns:
+            return None
+        decode = child.decode
+        expression = plan.expression
+
+        def verdict(term_id: int) -> bool:
+            # NULL_ID = unbound: evaluated against the empty mapping, exactly
+            # like the row path omitting None values.
+            mapping = {} if term_id == NULL_ID else {name: decode(term_id)}
+            return expression.evaluate_truth(mapping)
+
+        return child.select_ids(name, verdict)
+
+    def visit_project(self, plan: ProjectNode, metrics: ExecutionMetrics) -> Any:
         child = self._execute(plan.child, metrics)
+        if isinstance(child, ColumnBatch):
+            return child.pad_to(plan.columns).project(plan.columns)
         return self._pad_columns(child, plan.columns).project(plan.columns)
 
-    def visit_distinct(self, plan: DistinctNode, metrics: ExecutionMetrics) -> Relation:
+    def visit_distinct(self, plan: DistinctNode, metrics: ExecutionMetrics) -> Any:
         return self._execute(plan.child, metrics).distinct()
 
     def visit_order_by(self, plan: OrderByNode, metrics: ExecutionMetrics) -> Relation:
-        return self._execute(plan.child, metrics).order_by(plan.keys)
+        return self._lower(self._execute(plan.child, metrics)).order_by(plan.keys)
 
-    def visit_limit(self, plan: LimitNode, metrics: ExecutionMetrics) -> Relation:
-        return self._execute(plan.child, metrics).limit(plan.limit, plan.offset)
+    def visit_limit(self, plan: LimitNode, metrics: ExecutionMetrics) -> Any:
+        child = plan.child
+        if child.is_sort and plan.limit is not None:
+            # ORDER BY + LIMIT fuse into a heap-based top-k: the sort node is
+            # skipped entirely and only ``limit + offset`` rows are kept.
+            start = time.perf_counter()
+            rows = self._lower(self._execute(child.child, metrics))
+            result = rows.top_k(child.keys, plan.limit, plan.offset)
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            self.last_node_stats[id(child)] = NodeExecution(
+                rows=len(result), elapsed_ms=elapsed_ms
+            )
+            return result
+        return self._execute(child, metrics).limit(plan.limit, plan.offset)
 
     def visit_aggregate(self, plan: AggregateNode, metrics: ExecutionMetrics) -> Relation:
-        child = self._execute(plan.child, metrics)
+        child = self._lower(self._execute(plan.child, metrics))
         needed = list(plan.group_keys) + [
             spec.column for spec in plan.aggregates if spec.column is not None
         ]

@@ -12,7 +12,8 @@ S2RDF compiler renames VP/ExtVP columns to query-variable names so subqueries
 
 from __future__ import annotations
 
-from collections import defaultdict
+import heapq
+from collections import Counter, defaultdict
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -97,9 +98,19 @@ class Relation:
         return iter(self.rows)
 
     def __eq__(self, other: object) -> bool:
+        """Bag equality over canonicalized rows.
+
+        Two relations are equal when they have the same column *set* and the
+        same multiset of rows once each row's values are reordered by sorted
+        column name — so ``Relation(("a", "b"), [(1, 2)])`` equals
+        ``Relation(("b", "a"), [(2, 1)])``.  Canonicalization works on the
+        value tuples directly (no ``repr`` strings, no sort over the bag).
+        """
         if not isinstance(other, Relation):
             return NotImplemented
-        return self.columns == other.columns and sorted(map(repr, self.rows)) == sorted(map(repr, other.rows))
+        if set(self.columns) != set(other.columns):
+            return False
+        return Counter(self._canonical_rows()) == Counter(other._canonical_rows())
 
     def __hash__(self) -> int:
         """Bag-equality hash, consistent with :meth:`__eq__`.
@@ -108,10 +119,17 @@ class Relation:
         broke set membership and dict keying for callers.  Relations are
         immutable by convention (operators return new instances; ``rows``
         must not be mutated after construction), so hashing is safe.  Each
-        call is O(n log n) over the rows — fine for occasional dedup/keying,
-        not for hot loops.
+        call is O(n) over the rows — fine for occasional dedup/keying, not
+        for hot loops.
         """
-        return hash((self.columns, tuple(sorted(map(repr, self.rows)))))
+        return hash(
+            (tuple(sorted(self.columns)), frozenset(Counter(self._canonical_rows()).items()))
+        )
+
+    def _canonical_rows(self) -> Iterator[Row]:
+        """Rows with values reordered by sorted column name."""
+        indexes = [self.columns.index(c) for c in sorted(self.columns)]
+        return (tuple(row[i] for i in indexes) for row in self.rows)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"Relation(columns={self.columns}, rows={len(self.rows)})"
@@ -207,6 +225,30 @@ class Relation:
     def limit(self, count: Optional[int], offset: int = 0) -> "Relation":
         end = None if count is None else offset + count
         return Relation(self.columns, self.rows[offset:end])
+
+    def top_k(self, keys: Sequence[Tuple[str, bool]], count: int, offset: int = 0) -> "Relation":
+        """ORDER BY + LIMIT fused into a heap-based top-k selection.
+
+        Produces exactly ``order_by(keys).limit(count, offset)`` — including
+        stability, None-last-ascending/None-first-descending placement and
+        mixed-type ordering — but keeps only ``count + offset`` rows in the
+        heap instead of sorting the whole input (``heapq.nsmallest`` is
+        stable and O(n log k)).  Descending keys wrap their component in
+        :class:`_ReversedKey` so a single lexicographic composite key
+        replicates the multi-pass ``reverse=True`` sorts.
+        """
+        key_specs = [(self.column_index(column), ascending) for column, ascending in keys]
+
+        def composite(row: Row) -> Tuple[Any, ...]:
+            parts = []
+            for index, ascending in key_specs:
+                value = row[index]
+                part = (1, "") if value is None else (0, _sortable(value))
+                parts.append(part if ascending else _ReversedKey(part))
+            return tuple(parts)
+
+        rows = heapq.nsmallest(count + offset, self.rows, key=composite)
+        return Relation(self.columns, rows[offset:])
 
     def aggregate(self, group_keys: Sequence[str], aggregates: Sequence[Any]) -> "Relation":
         """GROUP BY ``group_keys`` computing ``aggregates`` per group.
@@ -391,6 +433,27 @@ class Relation:
         if metrics is not None:
             metrics.record_join(len(self.rows), len(other.rows), len(self.rows), len(kept))
         return Relation(self.columns, kept)
+
+
+class _ReversedKey:
+    """Inverts the ordering of a wrapped sort key (for descending columns).
+
+    ``a < b`` holds exactly when the wrapped values satisfy ``b.value <
+    a.value``, so sorting ascending by the wrapper equals sorting descending
+    by the value — while stability (equal keys keep input order) is
+    untouched, matching ``list.sort(reverse=True)`` semantics per key.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_ReversedKey") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _ReversedKey) and self.value == other.value
 
 
 def _sortable(value: Any) -> Any:

@@ -41,6 +41,7 @@ from repro.engine.catalog import Catalog, ScanResult
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.plan import LeftOuterJoinNode, NaturalJoinNode, PlanExecutor, PlanNode
 from repro.engine.relation import Relation
+from repro.engine.vectorized import ColumnBatch, PartitionedBatch, concat_batches
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.engine.runtime.adaptive import DEFAULT_SKEW_FACTOR, AdaptivePlanner, ReplanEvent
@@ -84,8 +85,11 @@ class ParallelExecutor(PlanExecutor):
         tracer: Optional[Tracer] = None,
         metrics_registry: Optional[MetricsRegistry] = None,
         broadcast_memory_limit: int = DEFAULT_BROADCAST_MEMORY_LIMIT,
+        vectorized: bool = False,
     ) -> None:
-        super().__init__(catalog, tracer=tracer, metrics_registry=metrics_registry)
+        super().__init__(
+            catalog, tracer=tracer, metrics_registry=metrics_registry, vectorized=vectorized
+        )
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
         if broadcast_memory_limit < 1:
@@ -324,7 +328,9 @@ class ParallelExecutor(PlanExecutor):
             pairs: List[Tuple[Relation, Relation]] = list(
                 zip(left_parts.partitions, right_parts.partitions)
             )
-            if self.adaptive is not None:
+            # Skew handling chunks row lists; id batches keep their partition
+            # boundaries (selection slicing has no row-splitting primitive yet).
+            if self.adaptive is not None and not isinstance(left, ColumnBatch):
                 pairs, extra = self.adaptive.split_skewed(
                     pairs,
                     splittable_left=not left_aligned,
@@ -361,16 +367,25 @@ class ParallelExecutor(PlanExecutor):
             )
             return self._merge(plan, left, right, results, metrics)
 
-    def _partition_input(
-        self, relation: Relation, keys: Sequence[str]
-    ) -> Tuple[PartitionedRelation, bool]:
-        """Bucket one join input, reusing a matching stored layout when present."""
+    def _partition_input(self, relation, keys: Sequence[str]):
+        """Bucket one join input, reusing a matching stored layout when present.
+
+        Id batches bucket into :class:`PartitionedBatch` (selection slicing —
+        the "shuffle" moves index vectors, not rows); row relations keep the
+        original :class:`PartitionedRelation` path.  Returns
+        ``(partitioned, aligned)``.
+        """
         tag = relation.partitioning
-        if (
+        aligned = (
             tag is not None
             and tag.keys == tuple(keys)
             and tag.num_partitions == self.num_partitions
-        ):
+        )
+        if isinstance(relation, ColumnBatch):
+            if aligned:
+                return PartitionedBatch.from_prepartitioned(relation), True
+            return PartitionedBatch.from_batch(relation, self.num_partitions, keys=keys), False
+        if aligned:
             return PartitionedRelation.from_prepartitioned(relation), True
         return PartitionedRelation.from_relation(relation, self.num_partitions, keys=keys), False
 
@@ -393,7 +408,10 @@ class ParallelExecutor(PlanExecutor):
             "broadcast-exchange", category="exchange", build="left" if build_left else "right"
         ) as exchange_span:
             build, probe = (left, right) if build_left else (right, left)
-            probe_parts = PartitionedRelation.from_relation(probe, self.num_partitions)
+            if isinstance(probe, ColumnBatch):
+                probe_parts = PartitionedBatch.from_batch(probe, self.num_partitions)
+            else:
+                probe_parts = PartitionedRelation.from_relation(probe, self.num_partitions)
 
             def task(indexed: Tuple[int, Relation]) -> _TaskResult:
                 index, probe_part = indexed
@@ -435,25 +453,36 @@ class ParallelExecutor(PlanExecutor):
     def _merge(
         self,
         plan: PlanNode,
-        left: Relation,
-        right: Relation,
+        left,
+        right,
         results: List[_TaskResult],
         metrics: ExecutionMetrics,
-    ) -> Relation:
-        """Concatenate partition outputs and record the aggregate join metrics."""
-        columns = self._output_columns(left, right)
-        rows: List = []
+    ):
+        """Concatenate partition outputs and record the aggregate join metrics.
+
+        Batch-input joins produce batch partitions, which merge back into one
+        :class:`ColumnBatch` so downstream operators stay on ids.
+        """
         comparisons = 0
         slowest_ms = 0.0
-        for partition, partition_comparisons, elapsed_ms in results:
-            rows.extend(partition.rows)
+        for _, partition_comparisons, elapsed_ms in results:
             comparisons += partition_comparisons
             slowest_ms = max(slowest_ms, elapsed_ms)
             self._observe("s2rdf_task_ms", elapsed_ms)
-        metrics.record_join(len(left), len(right), comparisons, len(rows))
+        if isinstance(left, ColumnBatch):
+            merged = concat_batches([partition for partition, _, _ in results])
+            output_rows = len(merged)
+        else:
+            columns = self._output_columns(left, right)
+            rows: List = []
+            for partition, _, _ in results:
+                rows.extend(partition.rows)
+            merged = Relation(columns, rows)
+            output_rows = len(rows)
+        metrics.record_join(len(left), len(right), comparisons, output_rows)
         metrics.record_critical_path(slowest_ms)
         self._observe("s2rdf_join_critical_path_ms", slowest_ms)
         exchange = self.last_exchange_stats.get(id(plan))
         if exchange is not None:
             exchange.critical_path_ms = slowest_ms
-        return Relation(columns, rows)
+        return merged

@@ -23,8 +23,17 @@ from repro.engine.runtime.partitioner import HashPartitioner
 BYTES_PER_VALUE = 24
 
 
-def estimated_bytes(relation: Relation) -> int:
-    """Estimated serialized size of a relation's rows."""
+def estimated_bytes(relation) -> int:
+    """Estimated serialized size of a relation's rows.
+
+    Duck-typed: anything carrying its own ``estimated_bytes()`` (notably
+    :class:`~repro.engine.vectorized.ColumnBatch`, whose values are packed
+    8-byte ids rather than term objects) reports through that, so exchanges
+    shipping id batches are automatically accounted smaller.
+    """
+    own = getattr(relation, "estimated_bytes", None)
+    if own is not None:
+        return own()
     return len(relation.rows) * len(relation.columns) * BYTES_PER_VALUE
 
 

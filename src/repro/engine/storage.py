@@ -51,17 +51,32 @@ def encode_id_column(ids: Sequence[int]) -> bytes:
 
 def decode_id_column(page: bytes) -> List[int]:
     """Expand a page produced by :func:`encode_id_column` back into ids."""
+    return list(decode_id_column_array(page))
+
+
+_ARRAY_ITEM = struct.Struct("<q")
+
+
+def decode_id_column_array(page: bytes):
+    """Expand an RLE page into a flat ``array('q')`` id column.
+
+    This is the vectorized scan path: each run expands via one bytes-repeat
+    into the array buffer, so no per-row Python integer objects are created
+    until (and unless) a row is actually decoded to terms.
+    """
+    from array import array
+
     if len(page) < _PAGE_HEADER.size:
         raise ValueError("truncated column page header")
     run_count, row_count = _PAGE_HEADER.unpack_from(page, 0)
     expected = _PAGE_HEADER.size + run_count * _RUN.size
     if len(page) != expected:
         raise ValueError(f"column page has {len(page)} bytes, expected {expected}")
-    ids: List[int] = []
+    ids = array("q")
     offset = _PAGE_HEADER.size
     for _ in range(run_count):
         value, length = _RUN.unpack_from(page, offset)
-        ids.extend([value] * length)
+        ids.frombytes(_ARRAY_ITEM.pack(value) * length)
         offset += _RUN.size
     if len(ids) != row_count:
         raise ValueError(f"column page decoded {len(ids)} rows, header says {row_count}")

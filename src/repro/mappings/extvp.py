@@ -133,6 +133,48 @@ def materialization_rule(
     return selectivity, materialize
 
 
+class MappingVPSource:
+    """Adapter giving in-memory VP rows the lazy VP-source interface.
+
+    :func:`compute_incremental_extvp` reads its pre-append VP state through a
+    *source* object so callers can defer materialising full rows: value sets
+    (``subjects``/``objects``) answer the cheap membership questions, while
+    :meth:`rows` is only invoked once an intersection proves old rows can
+    actually qualify.  This adapter wraps a plain ``{predicate: rows}``
+    mapping for callers (and tests) that already hold everything in memory;
+    the dataset store supplies its own source that serves value sets from the
+    manifest and reads segments lazily.
+    """
+
+    def __init__(self, rows_by_predicate: Mapping[IRI, Sequence[Tuple]]) -> None:
+        self._rows = rows_by_predicate
+        self._subjects: Dict[IRI, Set] = {}
+        self._objects: Dict[IRI, Set] = {}
+
+    def predicates(self) -> Iterable[IRI]:
+        return self._rows.keys()
+
+    def row_count(self, predicate: IRI) -> int:
+        return len(self._rows.get(predicate, ()))
+
+    def rows(self, predicate: IRI) -> Sequence[Tuple]:
+        return self._rows.get(predicate, ())
+
+    def subjects(self, predicate: IRI) -> Set:
+        cached = self._subjects.get(predicate)
+        if cached is None:
+            cached = {row[0] for row in self.rows(predicate)}
+            self._subjects[predicate] = cached
+        return cached
+
+    def objects(self, predicate: IRI) -> Set:
+        cached = self._objects.get(predicate)
+        if cached is None:
+            cached = {row[1] for row in self.rows(predicate)}
+            self._objects[predicate] = cached
+        return cached
+
+
 @dataclass
 class ExtVPDelta:
     """Incremental-maintenance outcome for one affected ExtVP table.
@@ -159,7 +201,7 @@ class ExtVPDelta:
 
 def compute_incremental_extvp(
     statistics: ExtVPStatistics,
-    old_vp_rows: Mapping[IRI, Sequence[Tuple]],
+    old_vp_rows,
     additions: Mapping[IRI, Sequence[Tuple]],
     name_for: Callable[[CorrelationKind, IRI, IRI], str],
     selectivity_threshold: float,
@@ -167,10 +209,16 @@ def compute_incremental_extvp(
 ) -> List[ExtVPDelta]:
     """Incrementally maintain ExtVP for an append, touching affected pairs only.
 
-    ``old_vp_rows`` maps each predicate to its pre-append ``(s, o)`` VP rows;
+    ``old_vp_rows`` is either a plain ``{predicate: (s, o) rows}`` mapping
+    (wrapped in :class:`MappingVPSource`) or a lazy VP source exposing
+    ``predicates()``, ``row_count()``, ``subjects()``, ``objects()`` and
+    ``rows()``.  Pair evaluation runs on the value sets alone; ``rows()`` is
+    called only when a non-empty intersection proves old ``VP_first`` rows
+    can actually appear in a delta — so a source backed by persisted value
+    sets never touches stored segments for an append of fresh terms.
     ``additions`` maps predicates to the *new* rows of this append.  The
     caller must pre-deduplicate: ``additions[p]`` contains no row already in
-    ``old_vp_rows[p]`` and no within-batch duplicates (VP tables are derived
+    the old ``VP_p`` and no within-batch duplicates (VP tables are derived
     from a triple *set*).
 
     The maintenance identity: after appending, the delta of
@@ -193,33 +241,35 @@ def compute_incremental_extvp(
     a non-materialised non-empty table is simply skipped by table selection
     in favour of the VP table.
     """
+    source = old_vp_rows if hasattr(old_vp_rows, "subjects") else MappingVPSource(old_vp_rows)
     changed = {p for p, rows in additions.items() if rows}
     if not changed:
         return []
-    predicates = sorted(set(old_vp_rows) | changed, key=lambda p: p.value)
+    predicates = sorted(set(source.predicates()) | changed, key=lambda p: p.value)
 
     subjects_old: Dict[IRI, Set] = {}
     objects_old: Dict[IRI, Set] = {}
     subjects_added: Dict[IRI, Set] = {}
     objects_added: Dict[IRI, Set] = {}
     for predicate in predicates:
-        old_rows = old_vp_rows.get(predicate, ())
-        subjects_old[predicate] = {row[0] for row in old_rows}
-        objects_old[predicate] = {row[1] for row in old_rows}
+        subjects_old[predicate] = source.subjects(predicate)
+        objects_old[predicate] = source.objects(predicate)
         new_rows = additions.get(predicate, ())
         subjects_added[predicate] = {row[0] for row in new_rows} - subjects_old[predicate]
         objects_added[predicate] = {row[1] for row in new_rows} - objects_old[predicate]
 
     # Inverted index: (first, column) -> {join value: rows}.  Finding the old
     # rows that newly qualify then costs O(|values new to p2's column|)
-    # lookups instead of a full scan of VP_first per affected pair.
+    # lookups instead of a full scan of VP_first per affected pair.  Built
+    # from ``source.rows`` — the one expensive call — and only behind an
+    # intersection guard proving the index will be consulted with hits.
     indexes: Dict[Tuple[IRI, int], Dict] = {}
 
     def old_rows_by_value(first: IRI, value_index: int) -> Dict:
         index = indexes.get((first, value_index))
         if index is None:
             index = {}
-            for row in old_vp_rows.get(first, ()):
+            for row in source.rows(first):
                 index.setdefault(row[value_index], []).append(row)
             indexes[(first, value_index)] = index
         return index
@@ -229,7 +279,7 @@ def compute_incremental_extvp(
     for first in predicates:
         first_changed = first in changed
         new_first_rows = additions.get(first, ())
-        vp_after = len(old_vp_rows.get(first, ())) + len(new_first_rows)
+        vp_after = source.row_count(first) + len(new_first_rows)
         for second in predicates:
             if not first_changed and second not in changed:
                 continue
@@ -238,6 +288,9 @@ def compute_incremental_extvp(
                     continue
                 first_column, second_column = KIND_JOIN_COLUMNS[kind]
                 value_index = 0 if first_column == "s" else 1
+                first_values_old = (
+                    subjects_old[first] if first_column == "s" else objects_old[first]
+                )
                 second_values_old = (
                     subjects_old[second] if second_column == "s" else objects_old[second]
                 )
@@ -250,7 +303,10 @@ def compute_incremental_extvp(
                     if row[value_index] in second_values_old
                     or row[value_index] in second_values_added
                 ]
-                if second_values_added:
+                if second_values_added & first_values_old:
+                    # Old VP_first rows revived by values new to VP_second's
+                    # join column.  The guard is what keeps a fresh-term
+                    # append O(batch): no overlap, no segment read.
                     index = old_rows_by_value(first, value_index)
                     for value in second_values_added:
                         rows.extend(index.get(value, ()))
@@ -270,20 +326,24 @@ def compute_incremental_extvp(
                 distinct_subjects: Optional[int] = None
                 distinct_objects: Optional[int] = None
                 if rows or info is None:
-                    # The post-append table is fully determined by the
-                    # in-memory VP rows: old VP_first rows whose join value
-                    # matched before the append, plus the delta rows (which
-                    # already cover both newly-added VP_first rows and old
-                    # rows revived by values new to VP_second).  Folding the
-                    # old qualifying rows in here keeps the stored distinct
-                    # counts exact without re-reading the stored table.
+                    # The post-append table is fully determined by the VP
+                    # rows: old VP_first rows whose join value matched before
+                    # the append, plus the delta rows (which already cover
+                    # both newly-added VP_first rows and old rows revived by
+                    # values new to VP_second).  Folding the old qualifying
+                    # rows in here keeps the stored distinct counts exact
+                    # without re-reading the stored ExtVP table — and the
+                    # intersection guard skips the VP_first read entirely
+                    # when the value sets prove no old row ever matched.
                     subjects = {row[0] for row in rows}
                     objects = {row[1] for row in rows}
-                    index = old_rows_by_value(first, value_index)
-                    for value in second_values_old:
-                        for row in index.get(value, ()):
-                            subjects.add(row[0])
-                            objects.add(row[1])
+                    matched_old = second_values_old & first_values_old
+                    if matched_old:
+                        index = old_rows_by_value(first, value_index)
+                        for value in matched_old:
+                            for row in index.get(value, ()):
+                                subjects.add(row[0])
+                                objects.add(row[1])
                     distinct_subjects = len(subjects)
                     distinct_objects = len(objects)
                 deltas.append(

@@ -197,7 +197,11 @@ def render_explain_analyze(
         execution = node_stats.get(id(node))
         if execution is None:
             return f"(est={est} rows, not executed)"
-        return f"(est={est} rows, actual={execution.rows} rows, {execution.elapsed_ms:.2f} ms)"
+        marker = ", vectorized" if getattr(execution, "vectorized", False) else ""
+        return (
+            f"(est={est} rows, actual={execution.rows} rows, "
+            f"{execution.elapsed_ms:.2f} ms{marker})"
+        )
 
     def walk(node: PlanNode, prefix: str, is_last: bool, is_root: bool) -> None:
         connector = "" if is_root else ("└─ " if is_last else "├─ ")

@@ -42,9 +42,9 @@ import json
 import os
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.engine.storage import ZoneMap, decode_id_column
+from repro.engine.storage import ZoneMap, decode_id_column, decode_id_column_array
 from repro.rdf.terms import Literal, Term, XSD_STRING, term_from_string
 
 #: Bumped whenever the directory layout or segment encoding changes.
@@ -116,12 +116,7 @@ def write_segment_file(path: str, pages: Sequence[Tuple[str, bytes]]) -> int:
     return len(data)
 
 
-def read_segment_file(path: str, columns: Optional[Sequence[str]] = None) -> Dict[str, List[int]]:
-    """Read a segment file back into ``{column_name: ids}``.
-
-    ``columns`` restricts decoding to the named columns (projection pushdown):
-    pages of other columns are skipped without RLE expansion.
-    """
+def _read_segment_pages(path: str, columns: Optional[Sequence[str]], decoder) -> Dict[str, Any]:
     wanted = set(columns) if columns is not None else None
     with open(path, "rb") as handle:
         data = handle.read()
@@ -132,7 +127,7 @@ def read_segment_file(path: str, columns: Optional[Sequence[str]] = None) -> Dic
     if version != FORMAT_VERSION:
         raise DatasetFormatError(f"{path} has format version {version}, expected {FORMAT_VERSION}")
     offset += _SEGMENT_HEADER.size
-    decoded: Dict[str, List[int]] = {}
+    decoded: Dict[str, Any] = {}
     for _ in range(column_count):
         name_length, payload_length = _COLUMN_HEADER.unpack_from(data, offset)
         offset += _COLUMN_HEADER.size
@@ -141,12 +136,32 @@ def read_segment_file(path: str, columns: Optional[Sequence[str]] = None) -> Dic
         payload = data[offset : offset + payload_length]
         offset += payload_length
         if wanted is None or name in wanted:
-            decoded[name] = decode_id_column(payload)
+            decoded[name] = decoder(payload)
     if wanted is not None:
         missing = wanted - set(decoded)
         if missing:
             raise DatasetFormatError(f"{path} lacks columns {sorted(missing)}")
     return decoded
+
+
+def read_segment_file(path: str, columns: Optional[Sequence[str]] = None) -> Dict[str, List[int]]:
+    """Read a segment file back into ``{column_name: ids}``.
+
+    ``columns`` restricts decoding to the named columns (projection pushdown):
+    pages of other columns are skipped without RLE expansion.
+    """
+    return _read_segment_pages(path, columns, decode_id_column)
+
+
+def read_segment_arrays(path: str, columns: Optional[Sequence[str]] = None) -> Dict[str, Any]:
+    """Read a segment file into flat ``array('q')`` id columns.
+
+    The vectorized counterpart of :func:`read_segment_file`: same layout,
+    same projection pushdown, but each page expands via
+    :func:`~repro.engine.storage.decode_id_column_array` so the scan hands
+    the executor packed buffers instead of Python integer lists.
+    """
+    return _read_segment_pages(path, columns, decode_id_column_array)
 
 
 # --------------------------------------------------------------------- #
@@ -461,6 +476,12 @@ class Manifest:
     #: by every :meth:`~repro.store.writer.DatasetAppender.append` (delta file
     #: names embed it, so two appends never collide).
     append_epoch: int = 0
+    #: Per-predicate distinct value sets, predicate n3 ->
+    #: ``{"s": [subject ids], "o": [object ids]}``.  These let an append
+    #: dedup its batch and maintain ExtVP statistics from the manifest alone,
+    #: without re-reading any base segment; absent in datasets written before
+    #: the field existed (appends then seed it by reading once).
+    vp_value_sets: Dict[str, dict] = field(default_factory=dict)
 
     def to_json(self) -> dict:
         return {
@@ -477,6 +498,7 @@ class Manifest:
             "vp_tables": self.vp_tables,
             "extvp": self.extvp,
             "build": self.build,
+            "vp_value_sets": self.vp_value_sets,
         }
 
     @classmethod
@@ -498,6 +520,7 @@ class Manifest:
             extvp=data.get("extvp", []),
             build=data.get("build", {}),
             append_epoch=data["append_epoch"],
+            vp_value_sets=data.get("vp_value_sets", {}),
         )
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 import time
+from array import array
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -37,11 +38,13 @@ from repro.obs.trace import NULL_TRACER, Tracer
 from repro.rdf import ntriples as ntriples_io
 from repro.rdf.namespaces import NamespaceManager
 from repro.rdf.terms import IRI, Term, term_from_string
+from repro.engine.vectorized import BatchScanResult, ColumnBatch
 from repro.store.format import (
     Manifest,
     StoredTermDictionary,
     TableEntry,
     read_manifest,
+    read_segment_arrays,
     read_segment_file,
 )
 
@@ -84,8 +87,14 @@ class StoredTable(StoredTableProvider):
         self.dictionary = dictionary
         #: segment file (manifest-relative) -> {column: ids}; grows with scans.
         self._ids: Dict[str, Dict[str, List[int]]] = {}
+        #: segment file (manifest-relative) -> {column: array('q')}; the
+        #: vectorized scan path keeps its own cache so the two paths never
+        #: alias each other's buffers.
+        self._arrays: Dict[str, Dict[str, Any]] = {}
         #: cached result of a full, unconditioned scan.
         self._full: Optional[ScanResult] = None
+        #: cached result of a full, unconditioned vectorized scan.
+        self._full_batch: Optional[BatchScanResult] = None
 
     # ------------------------------------------------------------------ #
     def read(self) -> Relation:
@@ -169,6 +178,99 @@ class StoredTable(StoredTableProvider):
             self._full = result
         return result
 
+    def scan_batch(
+        self,
+        columns: Optional[Sequence[str]] = None,
+        conditions: Optional[Mapping[str, Any]] = None,
+    ) -> BatchScanResult:
+        """Vectorized twin of :meth:`scan`: same pruning, no term decoding.
+
+        Segments decode straight into flat ``array('q')`` id columns and the
+        result is a :class:`~repro.engine.vectorized.ColumnBatch` whose terms
+        stay encoded until the executor lowers it.  Pruning arithmetic,
+        scan counters and the bucket-aligned partitioning tag are identical
+        to the row path.
+        """
+        entry = self.entry
+        output_columns = self._unique(columns) if columns is not None else list(entry.columns)
+        condition_items = list(conditions.items()) if conditions else []
+        full_scan = not condition_items and tuple(output_columns) == entry.columns
+        if full_scan and self._full_batch is not None:
+            return self._full_batch
+        decode_columns = self._unique(output_columns + [c for c, _ in condition_items])
+        for column in decode_columns:
+            if column not in entry.columns:
+                raise KeyError(f"table {entry.name!r} has no column {column!r}")
+
+        condition_ids, unknown_term = self._encode_conditions(condition_items)
+        target_bucket = self._target_bucket(condition_ids)
+
+        out = [array("q") for _ in output_columns]
+        counts: List[int] = []
+        rows_scanned = 0
+        segments_scanned = 0
+        segments_pruned = 0
+
+        for bucket in range(entry.num_partitions):
+            produced_in_bucket = 0
+            for segment in entry.segments_for_bucket(bucket):
+                pruned = (
+                    unknown_term
+                    or segment.row_count == 0  # provably empty, never read
+                    or (target_bucket is not None and bucket != target_bucket)
+                    or any(
+                        not segment.zones[column].may_contain(term_id)
+                        for column, term_id in condition_ids
+                    )
+                )
+                if pruned:
+                    segments_pruned += len(decode_columns)
+                    continue
+                segments_scanned += len(decode_columns)
+                rows_scanned += segment.row_count
+                ids = self._segment_arrays(segment.file, decode_columns)
+                output_ids = [ids[column] for column in output_columns]
+                if not condition_ids:
+                    for position, column in enumerate(output_ids):
+                        out[position].extend(column)
+                    produced_in_bucket += segment.row_count
+                    continue
+                keep: Optional[List[int]] = None
+                for column, term_id in condition_ids:
+                    column_ids = ids[column]
+                    keep = [
+                        i
+                        for i in (keep if keep is not None else range(len(column_ids)))
+                        if column_ids[i] == term_id
+                    ]
+                for position, column in enumerate(output_ids):
+                    out[position].extend(column[i] for i in keep)
+                produced_in_bucket += len(keep)
+            counts.append(produced_in_bucket)
+
+        partitioning = None
+        if entry.partition_keys and all(k in output_columns for k in entry.partition_keys):
+            partitioning = Partitioning(entry.partition_keys, tuple(counts))
+        batch = ColumnBatch(
+            output_columns, out, self.dictionary.decode, partitioning=partitioning
+        )
+        result = BatchScanResult(
+            batch=batch,
+            rows_scanned=rows_scanned,
+            segments_scanned=segments_scanned,
+            segments_pruned=segments_pruned,
+        )
+        if full_scan:
+            self._full_batch = result
+        return result
+
+    def drop_caches(self) -> None:
+        """Forget decoded segments and cached scans (benchmark cold-run aid)."""
+        self._ids.clear()
+        self._arrays.clear()
+        self._full = None
+        self._full_batch = None
+
     # ------------------------------------------------------------------ #
     def _encode_conditions(
         self, condition_items: List[Tuple[str, Any]]
@@ -205,6 +307,14 @@ class StoredTable(StoredTableProvider):
             # Manifest paths are "/"-separated regardless of the writing OS.
             path = os.path.join(self.root, *file.split("/"))
             cached.update(read_segment_file(path, missing))
+        return cached
+
+    def _segment_arrays(self, file: str, columns: Sequence[str]) -> Dict[str, Any]:
+        cached = self._arrays.setdefault(file, {})
+        missing = [column for column in columns if column not in cached]
+        if missing:
+            path = os.path.join(self.root, *file.split("/"))
+            cached.update(read_segment_arrays(path, missing))
         return cached
 
     @staticmethod

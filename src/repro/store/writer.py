@@ -127,6 +127,31 @@ class DatasetWriter:
         dictionary_bytes = write_dictionary(path, list(dictionary.terms()))
         total_bytes += dictionary_bytes
 
+        # Persist per-predicate join-value sets (in id space) so appends can
+        # deduplicate and maintain ExtVP statistics from the manifest alone
+        # instead of re-reading every VP table (O(batch), not O(dataset)).
+        vp_value_sets: Dict[str, dict] = {}
+        for predicate in sorted(layout.vp.vp_tables, key=lambda p: p.value):
+            relation = catalog.table(layout.vp.vp_tables[predicate])
+            s_index = relation.column_index("s")
+            o_index = relation.column_index("o")
+            vp_value_sets[predicate.n3()] = {
+                "s": sorted(
+                    {
+                        dictionary.encode(row[s_index])
+                        for row in relation.rows
+                        if row[s_index] is not None
+                    }
+                ),
+                "o": sorted(
+                    {
+                        dictionary.encode(row[o_index])
+                        for row in relation.rows
+                        if row[o_index] is not None
+                    }
+                ),
+            }
+
         manifest = Manifest(
             format_version=FORMAT_VERSION,
             layout_name=layout.name,
@@ -151,6 +176,7 @@ class DatasetWriter:
                 predicate.n3(): {"table": table_name, "size": layout.vp.vp_sizes.get(predicate, 0)}
                 for predicate, table_name in layout.vp.vp_tables.items()
             },
+            vp_value_sets=vp_value_sets,
             extvp=[
                 {
                     "kind": info.kind.value,
@@ -329,6 +355,110 @@ class _DictionaryAppender:
         return self.new_terms[term_id - len(self._stored)]
 
 
+class _StoredVPSource:
+    """Lazy pre-append VP state for dedup and incremental maintenance.
+
+    Value sets come from the manifest's persisted ``vp_value_sets``; full
+    rows are read from base/delta segments only when the value sets prove the
+    read can matter — a maintenance intersection is non-empty, or a batch
+    pair survives the subject/object membership prefilter in :meth:`has_row`.
+    Segment file lists and row counts are snapshotted at construction, so a
+    late ``rows`` call stays correct even though the append mutates the
+    manifest entries (row counts, delta lists) in place.
+
+    Datasets persisted before value sets existed take a one-time upgrade:
+    every VP table is read once here (the old cost model) and the derived
+    sets are committed with this append, making the *next* append O(batch).
+    """
+
+    def __init__(self, path: str, manifest: Manifest, vp_names: Dict[IRI, str]) -> None:
+        self._path = path
+        # Shallow snapshot: the append overwrites manifest.vp_value_sets
+        # entries with post-append sets, and this source must keep answering
+        # with the pre-append state.
+        self._value_sets = dict(manifest.vp_value_sets)
+        self._columns: Dict[IRI, Tuple[str, ...]] = {}
+        self._files: Dict[IRI, List[str]] = {}
+        self._row_counts: Dict[IRI, int] = {}
+        self._rows_cache: Dict[IRI, List[Tuple[int, ...]]] = {}
+        self._row_sets: Dict[IRI, Set[Tuple[int, ...]]] = {}
+        self._subjects: Dict[IRI, Set[int]] = {}
+        self._objects: Dict[IRI, Set[int]] = {}
+        for predicate, name in vp_names.items():
+            entry = manifest.tables.get(name)
+            if entry is None:
+                continue
+            self._columns[predicate] = entry.columns
+            self._files[predicate] = [
+                segment.file
+                for bucket in range(entry.num_partitions)
+                for segment in entry.segments_for_bucket(bucket)
+            ]
+            self._row_counts[predicate] = entry.row_count
+        # Every pre-append VP predicate, whether or not its table has
+        # segments yet; snapshotted before the append registers new ones.
+        self._known = list(vp_names)
+        if not self._value_sets:
+            for predicate in self._known:
+                self.subjects(predicate)
+                self.objects(predicate)
+
+    # -- the lazy VP-source interface compute_incremental_extvp consumes -- #
+    def predicates(self) -> List[IRI]:
+        return self._known
+
+    def row_count(self, predicate: IRI) -> int:
+        return self._row_counts.get(predicate, 0)
+
+    def rows(self, predicate: IRI) -> List[Tuple[int, ...]]:
+        """All pre-append rows of ``VP_predicate``, in id space (reads segments)."""
+        cached = self._rows_cache.get(predicate)
+        if cached is None:
+            cached = []
+            columns = self._columns.get(predicate, ())
+            for file in self._files.get(predicate, ()):
+                decoded = read_segment_file(
+                    os.path.join(self._path, *file.split("/")), columns
+                )
+                cached.extend(zip(*(decoded[column] for column in columns)))
+            self._rows_cache[predicate] = cached
+        return cached
+
+    def subjects(self, predicate: IRI) -> Set[int]:
+        return self._value_set(predicate, "s", 0, self._subjects)
+
+    def objects(self, predicate: IRI) -> Set[int]:
+        return self._value_set(predicate, "o", 1, self._objects)
+
+    def _value_set(
+        self, predicate: IRI, column: str, index: int, cache: Dict[IRI, Set[int]]
+    ) -> Set[int]:
+        cached = cache.get(predicate)
+        if cached is None:
+            stored = self._value_sets.get(predicate.n3())
+            if stored is not None:
+                cached = set(stored[column])
+            else:
+                cached = {row[index] for row in self.rows(predicate)}
+            cache[predicate] = cached
+        return cached
+
+    def has_row(self, predicate: IRI, pair: Tuple[int, int]) -> bool:
+        """Dedup check: is ``pair`` already a row of ``VP_predicate``?
+
+        The value-set prefilter answers the common case (a genuinely new
+        subject or object) without touching storage; only pairs whose both
+        ids already occur in the table's columns force a row-set read.
+        """
+        if pair[0] not in self.subjects(predicate) or pair[1] not in self.objects(predicate):
+            return False
+        row_set = self._row_sets.get(predicate)
+        if row_set is None:
+            row_set = set(self.rows(predicate))
+            self._row_sets[predicate] = row_set
+        return pair in row_set
+
+
 class DatasetAppender:
     """Appends triples to a persisted dataset as delta segments.
 
@@ -346,11 +476,14 @@ class DatasetAppender:
     append overwrites the former (epoch-derived names) and truncates the
     latter before appending.
 
-    Cost model: maintenance reads every VP table once per append (value sets
-    of *all* predicates are needed to evaluate pairs involving the changed
-    ones), so an append is O(dataset read + batch-proportional writes) —
-    cheap next to a rebuild's O(pairs) semi-joins plus full rewrite, but not
-    O(batch); persisting per-predicate value sets is a listed follow-up.
+    Cost model: the manifest persists per-predicate join-value sets
+    (``vp_value_sets``), so deduplication, VP statistics and ExtVP pair
+    evaluation all run against those sets without reading a single base
+    segment.  Stored rows are read only when a value-set intersection proves
+    an old row can actually qualify (or a batch pair survives the dedup
+    prefilter) — so an append of fresh terms is O(batch): delta segments,
+    dictionary lines and the manifest rewrite.  Datasets written before
+    value sets existed pay one upgrade read and are O(batch) thereafter.
     """
 
     def __init__(self, path: str) -> None:
@@ -375,12 +508,11 @@ class DatasetAppender:
             vp_names[term] = info["table"]
         taken_keys: Set[str] = {name[len("vp_") :] for name in vp_names.values()}
 
-        # Pre-append VP rows, in id space (ids are dataset-global, so value
+        # Pre-append VP state, in id space (ids are dataset-global, so value
         # comparisons across tables work without decoding a single term).
-        old_vp_rows: Dict[IRI, List[Tuple[int, int]]] = {
-            predicate: self._read_rows(manifest.tables[name]) if name in manifest.tables else []
-            for predicate, name in vp_names.items()
-        }
+        # Backed by the manifest's persisted value sets; segments are read
+        # only when the sets prove a read can matter.
+        source = _StoredVPSource(self.path, manifest, vp_names)
 
         # Encode, deduplicate and group the batch by predicate.
         additions: Dict[IRI, List[Tuple[int, int]]] = {}
@@ -391,11 +523,8 @@ class DatasetAppender:
             if not isinstance(predicate, IRI):
                 raise TypeError(f"predicate must be an IRI, got {predicate!r}")
             pair = (dictionary.encode(triple.subject), dictionary.encode(triple.object))
-            existing = seen.get(predicate)
-            if existing is None:
-                existing = set(old_vp_rows.get(predicate, ()))
-                seen[predicate] = existing
-            if pair in existing:
+            existing = seen.setdefault(predicate, set())
+            if pair in existing or source.has_row(predicate, pair):
                 duplicates += 1
                 continue
             existing.add(pair)
@@ -431,7 +560,6 @@ class DatasetAppender:
             key = unique_predicate_key(predicate, taken_keys, namespaces)
             taken_keys.add(key)
             vp_names[predicate] = f"vp_{key}"
-            old_vp_rows[predicate] = []
 
         for predicate in sorted(additions, key=lambda p: p.value):
             name = vp_names[predicate]
@@ -444,11 +572,15 @@ class DatasetAppender:
             tables_created += 1 if created else 0
             tables_updated += 0 if created else 1
             entry.row_count += len(rows)
-            subjects = {r[0] for r in old_vp_rows[predicate]} | {r[0] for r in rows}
-            objects = {r[1] for r in old_vp_rows[predicate]} | {r[1] for r in rows}
+            subjects = source.subjects(predicate) | {r[0] for r in rows}
+            objects = source.objects(predicate) | {r[1] for r in rows}
             entry.distinct_subjects = len(subjects)
             entry.distinct_objects = len(objects)
             manifest.vp_tables[predicate.n3()] = {"table": name, "size": entry.row_count}
+            manifest.vp_value_sets[predicate.n3()] = {
+                "s": sorted(subjects),
+                "o": sorted(objects),
+            }
 
         # --- the base triples table (unbound-predicate patterns) ---------- #
         triples_rows: List[Tuple[int, int, int]] = []
@@ -462,10 +594,11 @@ class DatasetAppender:
             bytes_written += written
             tables_updated += 1
             entry.row_count += len(triples_rows)
-            entry.distinct_subjects = len(
-                {r[0] for rows in old_vp_rows.values() for r in rows}
-                | {r[0] for rows in additions.values() for r in rows}
-            )
+            all_subjects: Set[int] = set()
+            for predicate in vp_names:
+                all_subjects |= source.subjects(predicate)
+            all_subjects.update(r[0] for rows in additions.values() for r in rows)
+            entry.distinct_subjects = len(all_subjects)
             # Column 1 of the triples table is the predicate.
             entry.distinct_objects = len(vp_names)
 
@@ -497,7 +630,7 @@ class DatasetAppender:
 
         deltas = compute_incremental_extvp(
             statistics,
-            old_vp_rows,
+            source,
             additions,
             name_for,
             manifest.selectivity_threshold,
@@ -546,6 +679,19 @@ class DatasetAppender:
             for info in statistics.tables.values()
         ]
 
+        # Upgrade path: predicates whose value sets were never persisted
+        # (datasets written before vp_value_sets, or appended by older code)
+        # get their derived sets committed now, so the next append reads
+        # nothing.  For current-format datasets every key already exists and
+        # this loop writes nothing.
+        for predicate in vp_names:
+            key = predicate.n3()
+            if key not in manifest.vp_value_sets:
+                manifest.vp_value_sets[key] = {
+                    "s": sorted(source.subjects(predicate)),
+                    "o": sorted(source.objects(predicate)),
+                }
+
         # --- commit: dictionary first, manifest last ----------------------- #
         if stored_dictionary.raw_line_count != manifest.dictionary_size:
             # A crashed predecessor left uncommitted trailing lines; rewrite
@@ -572,17 +718,6 @@ class DatasetAppender:
         )
 
     # ------------------------------------------------------------------ #
-    def _read_rows(self, entry: TableEntry) -> List[Tuple[int, ...]]:
-        """All rows of a stored table in id space (base plus deltas)."""
-        rows: List[Tuple[int, ...]] = []
-        for bucket in range(entry.num_partitions):
-            for segment in entry.segments_for_bucket(bucket):
-                decoded = read_segment_file(
-                    os.path.join(self.path, *segment.file.split("/")), entry.columns
-                )
-                rows.extend(zip(*(decoded[column] for column in entry.columns)))
-        return rows
-
     def _table_entry(self, manifest: Manifest, name: str, columns: Tuple[str, ...]) -> TableEntry:
         """The existing manifest entry, or a fresh delta-only one."""
         entry = manifest.tables.get(name)

@@ -67,6 +67,27 @@ class TestBasics:
     def test_hash_distinguishes_columns(self):
         assert hash(Relation(("a",), [(1,)])) != hash(Relation(("b",), [(1,)]))
 
+    def test_equality_under_shuffled_column_order(self):
+        """Regression: equality must align values by column *name*, not by
+        position or by the sorted textual repr of whole rows.  The same
+        logical rows stated under a permuted column order are equal; the
+        same positional tuples under a permuted column order are not."""
+        left = Relation(("a", "b"), [(1, "x"), (2, "y")])
+        permuted_same = Relation(("b", "a"), [("y", 2), ("x", 1)])
+        permuted_different = Relation(("b", "a"), [(1, "x"), (2, "y")])
+        assert left == permuted_same
+        assert hash(left) == hash(permuted_same)
+        assert left != permuted_different
+
+    def test_equality_not_fooled_by_repr_collisions(self):
+        """Bag equality compares values, not concatenated row reprs."""
+        left = Relation(("a", "b"), [("x", "y,z")])
+        right = Relation(("a", "b"), [("x,y", "z")])
+        assert left != right
+
+    def test_non_relation_comparison(self):
+        assert Relation(("a",), [(1,)]) != "not a relation"
+
 
 class TestUnaryOperators:
     def test_project_reorders_and_drops(self, people):
@@ -109,6 +130,59 @@ class TestUnaryOperators:
         assert len(people.limit(2)) == 2
         assert len(people.limit(2, offset=2)) == 1
         assert len(people.limit(None, offset=1)) == 2
+
+
+class TestTopK:
+    """``top_k`` must return exactly ``order_by(keys).limit(count, offset)``
+    without materialising the full sort — including descending keys, NULL
+    placement and tie stability."""
+
+    def test_matches_order_by_limit(self, people):
+        for keys in ([("name", True)], [("name", False)], [("city", True), ("name", False)]):
+            expected = people.order_by(keys).limit(2)
+            assert people.top_k(keys, 2).rows == expected.rows, keys
+
+    def test_offset(self, people):
+        expected = people.order_by([("name", True)]).limit(1, offset=1)
+        assert people.top_k([("name", True)], 1, offset=1).rows == expected.rows
+
+    def test_none_placement_matches_order_by(self):
+        relation = Relation(("a",), [(None,), (1,), (2,), (None,)])
+        for ascending in (True, False):
+            keys = [("a", ascending)]
+            expected = relation.order_by(keys).limit(3)
+            assert relation.top_k(keys, 3).rows == expected.rows, ascending
+
+    def test_ties_keep_original_row_order(self):
+        relation = Relation(("k", "tag"), [(1, "first"), (0, "x"), (1, "second"), (1, "third")])
+        top = relation.top_k([("k", True)], 3)
+        assert top.rows == [(0, "x"), (1, "first"), (1, "second")]
+
+    def test_count_larger_than_relation(self, people):
+        keys = [("name", True)]
+        assert people.top_k(keys, 99).rows == people.order_by(keys).rows
+
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.one_of(st.none(), st.integers(-5, 5)),
+                st.integers(0, 3),
+            ),
+            max_size=30,
+        ),
+        count=st.integers(1, 10),
+        offset=st.integers(0, 5),
+        first_ascending=st.booleans(),
+        second_ascending=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_equivalent_to_sort_then_limit(
+        self, rows, count, offset, first_ascending, second_ascending
+    ):
+        relation = Relation(("a", "b"), rows)
+        keys = [("a", first_ascending), ("b", second_ascending)]
+        expected = relation.order_by(keys).limit(count, offset=offset)
+        assert relation.top_k(keys, count, offset=offset).rows == expected.rows
 
 
 class TestAggregate:

@@ -6,10 +6,11 @@ The second half is the *differential correctness harness*: a seeded
 randomized generator of BGP / OPTIONAL / UNION queries — layered with
 FILTER expressions, DISTINCT, ORDER BY + LIMIT and aggregate heads
 (COUNT / SUM / AVG / MIN / MAX, grouped and implicit) — asserting
-bag-equality across five execution paths: serial reference, parallel
+bag-equality across six execution paths: serial reference, parallel
 (static plans), parallel adaptive, stored-scan over a persisted dataset
 that carries pending (uncompacted) delta segments from an incremental
-append, and the sqlite SQL-lowering backend (both over the warm catalog
+append, the same stored dataset with the vectorized id-column kernels
+enabled, and the sqlite SQL-lowering backend (both over the warm catalog
 and over the delta-carrying stored dataset)."""
 
 import random
@@ -228,22 +229,27 @@ def differential_setup(small_dataset, tmp_path_factory):
     assert report.delta_segments > 0  # the deltas really are pending
 
     # The sqlite backend runs twice: straight over the warm catalog, and as a
-    # full session over the delta-carrying stored dataset.
+    # full session over the delta-carrying stored dataset.  The vectorized
+    # session re-opens the same delta-carrying dataset with the id-column
+    # batch kernels on — deferred decoding must never change the bag.
     sqlite_executor = SqliteExecutor(warm.layout.catalog)
     stored_sql = S2RDFSession.open_dataset(path, engine="sqlite")
+    stored_vec = S2RDFSession.open_dataset(path, tracing_enabled=True, vectorized_enabled=True)
 
-    yield warm, stored, sqlite_executor, stored_sql
+    yield warm, stored, sqlite_executor, stored_sql, stored_vec
     sqlite_executor.close()
     warm.close()
     stored.close()
     stored_sql.close()
+    stored_vec.close()
 
 
 @pytest.mark.parametrize("seed", range(8))
 def test_differential_equivalence_across_execution_modes(differential_setup, seed):
-    """Serial, parallel-static, parallel-adaptive, stored-scan and sqlite
-    execution must agree on the bag of rows for every generated query."""
-    warm, stored, sqlite_executor, stored_sql = differential_setup
+    """Serial, parallel-static, parallel-adaptive, stored-scan, vectorized
+    stored-scan and sqlite execution must agree on the bag of rows for every
+    generated query."""
+    warm, stored, sqlite_executor, stored_sql, stored_vec = differential_setup
     generator = RandomQueryGenerator(_graph_view(warm), seed)
     catalog = warm.layout.catalog
     for _ in range(6):
@@ -280,6 +286,10 @@ def test_differential_equivalence_across_execution_modes(differential_setup, see
         assert sorted(stored_sql_result.relation.columns) == sorted(reference.columns), query_text
         projected_sql = stored_sql_result.relation.project(reference.columns)
         assert bag(projected_sql) == bag(reference), ("stored-sqlite", query_text)
+        vec_result = stored_vec.query(query_text)
+        assert sorted(vec_result.relation.columns) == sorted(reference.columns), query_text
+        projected_vec = vec_result.relation.project(reference.columns)
+        assert bag(projected_vec) == bag(reference), ("stored-vectorized", query_text)
 
 
 def _graph_view(session: S2RDFSession) -> Graph:

@@ -1,0 +1,273 @@
+"""Unit tests for the vectorized id-column execution kernels.
+
+The contract under test: every :class:`ColumnBatch` kernel must produce the
+same bag of rows as the corresponding :class:`Relation` operator once the
+batch is lowered through ``to_relation`` — including the edge shapes the
+selection-vector representation makes easy to get wrong (empty batches,
+all-selected batches, RLE run boundaries) — and ids outside the dictionary
+must be rejected at the decode boundary, never silently mapped to a term.
+"""
+
+from array import array
+
+import pytest
+
+from repro.core.session import S2RDFSession
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.relation import Relation, SchemaError
+from repro.engine.storage import (
+    NULL_ID,
+    decode_id_column,
+    decode_id_column_array,
+    encode_id_column,
+)
+from repro.engine.vectorized import (
+    BYTES_PER_ID,
+    ColumnBatch,
+    PartitionedBatch,
+    concat_batches,
+    null_column,
+)
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI
+from repro.rdf.triple import Triple
+
+#: A tiny injective dictionary: id -> term, plus a decode that rejects
+#: anything outside it — the same contract the stored dictionary enforces.
+TERMS = {i: IRI(f"t{i}") for i in range(10)}
+
+
+def decode(term_id: int):
+    try:
+        return TERMS[term_id]
+    except KeyError:
+        raise KeyError(f"unknown term id {term_id}") from None
+
+
+def batch(columns, rows, selection=None):
+    ids = [array("q", (row[i] for row in rows)) for i in range(len(columns))]
+    sel = None if selection is None else array("q", selection)
+    return ColumnBatch(columns, ids, decode, selection=sel)
+
+
+def bag(relation):
+    return sorted(map(repr, relation.rows))
+
+
+class TestBatchBasics:
+    def test_empty_batch(self):
+        empty = ColumnBatch.empty(("a", "b"), decode)
+        assert len(empty) == 0
+        assert empty.estimated_bytes() == 0
+        relation = empty.to_relation()
+        assert relation.columns == ("a", "b")
+        assert relation.rows == []
+        # Every kernel must tolerate the empty shape.
+        assert len(empty.filter_equal("a", 3)) == 0
+        assert len(empty.distinct()) == 0
+        assert len(empty.limit(5)) == 0
+        assert len(empty.natural_join(empty)) == 0
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnBatch(("a", "a"), [array("q"), array("q")], decode)
+
+    def test_unequal_column_lengths_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnBatch(("a", "b"), [array("q", [1]), array("q")], decode)
+
+    def test_all_selected_equals_no_selection(self):
+        rows = [(1, 2), (3, 4), (5, 6)]
+        implicit = batch(("a", "b"), rows)
+        explicit = batch(("a", "b"), rows, selection=range(3))
+        assert len(implicit) == len(explicit) == 3
+        assert bag(implicit.to_relation()) == bag(explicit.to_relation())
+        assert bag(implicit.distinct().to_relation()) == bag(
+            explicit.distinct().to_relation()
+        )
+
+    def test_selection_narrows_without_copying(self):
+        b = batch(("a",), [(1,), (2,), (3,)], selection=[2, 0])
+        assert len(b) == 2
+        # Order follows the selection vector, not physical order.
+        assert [row[0] for row in b.to_relation().rows] == [TERMS[3], TERMS[1]]
+        assert b.ids is b.filter_equal("a", 3).ids  # shared columns, new selection
+
+    def test_estimated_bytes_counts_ids(self):
+        b = batch(("a", "b"), [(1, 2), (3, 4)])
+        assert b.estimated_bytes() == 2 * 2 * BYTES_PER_ID
+
+
+class TestRLEDecoding:
+    def test_run_boundaries_expand_exactly(self):
+        """Runs of length 1 and >1, at the start, middle and end of a page."""
+        ids = [5] + [7] * 4 + [NULL_ID] * 2 + [5, 9]
+        page = encode_id_column(ids)
+        expanded = decode_id_column_array(page)
+        assert expanded.typecode == "q"
+        assert list(expanded) == ids
+        assert decode_id_column(page) == ids
+
+    def test_single_run_and_empty_column(self):
+        assert list(decode_id_column_array(encode_id_column([3] * 100))) == [3] * 100
+        assert list(decode_id_column_array(encode_id_column([]))) == []
+
+    def test_batch_over_run_boundaries_filters_correctly(self):
+        """A filter on a column whose matches straddle run boundaries."""
+        ids = [1] * 3 + [2] * 2 + [1] + [3] * 4 + [1]
+        column = decode_id_column_array(encode_id_column(ids))
+        b = ColumnBatch(("a",), [column], decode)
+        kept = b.filter_equal("a", 1)
+        assert len(kept) == 5
+        assert all(row == (TERMS[1],) for row in kept.to_relation().rows)
+
+
+class TestKernelsMatchRelation:
+    def rows(self):
+        return [(1, 2), (3, 2), (1, 4), (5, NULL_ID), (1, 2)]
+
+    def relation(self):
+        return Relation(
+            ("a", "b"),
+            [
+                tuple(None if v == NULL_ID else TERMS[v] for v in row)
+                for row in self.rows()
+            ],
+        )
+
+    def test_filter_equal(self):
+        expected = self.relation().select_eq({"a": TERMS[1]})
+        actual = batch(("a", "b"), self.rows()).filter_equal("a", 1).to_relation()
+        assert bag(actual) == bag(expected)
+
+    def test_select_ids_memoises_per_distinct_id(self):
+        calls = []
+
+        def predicate(term_id):
+            calls.append(term_id)
+            return term_id != NULL_ID and decode(term_id).value > "t2"
+
+        b = batch(("a", "b"), self.rows()).select_ids("b", predicate)
+        assert sorted(calls) == sorted({row[1] for row in self.rows()})  # distinct only
+        expected = self.relation().select(lambda r: r["b"] is not None and r["b"].value > "t2")
+        assert bag(b.to_relation()) == bag(expected)
+
+    def test_project_rename_distinct_limit(self):
+        b = batch(("a", "b"), self.rows())
+        assert bag(b.project(["b"]).to_relation()) == bag(self.relation().project(["b"]))
+        assert bag(b.rename({"a": "x"}).to_relation()) == bag(
+            self.relation().rename({"a": "x"})
+        )
+        assert bag(b.distinct().to_relation()) == bag(self.relation().distinct())
+        assert bag(b.limit(2, offset=1).to_relation()) == bag(
+            self.relation().limit(2, offset=1)
+        )
+
+    def test_natural_join_matches_relation_including_nulls(self):
+        left_rows = [(1, 2), (3, NULL_ID), (5, 2)]
+        right_rows = [(2, 7), (NULL_ID, 8), (2, 9)]
+        left = batch(("a", "b"), left_rows)
+        right = batch(("b", "c"), right_rows)
+        expected = Relation(
+            ("a", "b"),
+            [tuple(None if v == NULL_ID else TERMS[v] for v in r) for r in left_rows],
+        ).natural_join(
+            Relation(
+                ("b", "c"),
+                [tuple(None if v == NULL_ID else TERMS[v] for v in r) for r in right_rows],
+            )
+        )
+        joined = left.natural_join(right)
+        assert joined.columns == expected.columns
+        assert bag(joined.to_relation()) == bag(expected)
+
+    def test_join_comparisons_counted_like_relation(self):
+        left = batch(("a", "b"), [(1, 2), (3, 2)])
+        right = batch(("b", "c"), [(2, 7), (2, 9)])
+        batch_metrics = ExecutionMetrics()
+        left.natural_join(right, batch_metrics)
+        row_metrics = ExecutionMetrics()
+        left.to_relation().natural_join(right.to_relation(), row_metrics)
+        assert batch_metrics.join_comparisons == row_metrics.join_comparisons
+
+    def test_cross_join_when_no_shared_columns(self):
+        left = batch(("a",), [(1,), (3,)])
+        right = batch(("c",), [(5,), (7,)])
+        assert len(left.natural_join(right)) == 4
+
+    def test_union_pads_missing_columns_with_nulls(self):
+        left = batch(("a",), [(1,)])
+        right = batch(("b",), [(2,)])
+        unioned = left.union(right).to_relation()
+        expected = Relation(("a",), [(TERMS[1],)]).union(Relation(("b",), [(TERMS[2],)]))
+        assert sorted(unioned.columns) == sorted(expected.columns)
+        assert bag(unioned.project(sorted(unioned.columns))) == bag(
+            expected.project(sorted(expected.columns))
+        )
+
+    def test_pad_to_adds_null_columns(self):
+        padded = batch(("a",), [(1,), (2,)]).pad_to(["a", "z"])
+        assert padded.columns == ("a", "z")
+        assert all(row[1] is None for row in padded.to_relation().rows)
+        assert list(null_column(3)) == [NULL_ID] * 3
+
+
+class TestDecodeBoundary:
+    def test_ids_beyond_dictionary_rejected(self):
+        """An id the dictionary never assigned must raise at the lowering
+        boundary — never silently produce a wrong term."""
+        rogue = batch(("a",), [(1,), (9999,)])
+        with pytest.raises(KeyError, match="unknown term id"):
+            rogue.to_relation()
+
+    def test_stored_dictionary_rejects_out_of_range(self, tmp_path):
+        """Same contract on a real persisted dataset's dictionary."""
+        session = S2RDFSession.from_graph(
+            Graph([Triple(IRI("a"), IRI("p"), IRI("b"))]), num_partitions=1
+        )
+        path = str(tmp_path / "dataset")
+        session.save_dataset(path)
+        session.close()
+        stored = S2RDFSession.open_dataset(path, vectorized_enabled=True)
+        scan = stored.layout.catalog.scan_batch("vp_p")
+        good = scan.batch
+        rogue = ColumnBatch(good.columns, good.ids, good.decode, selection=None)
+        assert rogue.to_relation().columns == ("s", "o")  # in-range ids decode
+        forged = ColumnBatch(
+            good.columns,
+            [array("q", [10_000]) for _ in good.columns],
+            good.decode,
+        )
+        with pytest.raises(KeyError):
+            forged.to_relation()
+        stored.close()
+
+
+class TestConcatAndPartitioning:
+    def test_concat_batches(self):
+        left = batch(("a",), [(1,)], selection=[0])
+        right = batch(("a",), [(2,), (3,)])
+        merged = concat_batches([left, right])
+        assert len(merged) == 3
+        with pytest.raises(ValueError):
+            concat_batches([])
+        with pytest.raises(SchemaError):
+            concat_batches([left, batch(("z",), [(1,)])])
+
+    def test_even_partitioning_covers_every_row_once(self):
+        b = batch(("a",), [(i % 7,) for i in range(10)])
+        parts = PartitionedBatch.from_batch(b, 3)
+        assert parts.num_partitions == 3
+        assert sum(len(p) for p in parts.partitions) == 10
+        merged = concat_batches(list(parts.partitions))
+        assert bag(merged.to_relation()) == bag(b.to_relation())
+
+    def test_hash_partitioning_agrees_with_row_partitioner(self):
+        from repro.engine.runtime.partitioner import key_partition_index
+
+        b = batch(("a", "b"), [(i % 5, (i * 3) % 7) for i in range(20)])
+        parts = PartitionedBatch.from_batch(b, 4, keys=["a"])
+        assert parts.keys == ("a",)
+        for index, part in enumerate(parts.partitions):
+            for row in part.to_relation().rows:
+                assert key_partition_index((row[0],), 4) == index

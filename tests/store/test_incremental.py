@@ -477,3 +477,110 @@ class TestCompaction:
                     assert zone.row_count == partition.row_count
                     if zone.row_count and zone.min_id >= 0:
                         assert zone.min_id <= zone.max_id < manifest.dictionary_size
+
+
+class TestAppendCost:
+    """The manifest's persisted per-predicate value sets make appends
+    O(batch): dedup, VP statistics and ExtVP pair evaluation run against the
+    sets, and base/delta segments are read only when a value-set
+    intersection proves an old row can actually qualify."""
+
+    @staticmethod
+    def _count_segment_reads(monkeypatch):
+        import repro.store.writer as writer_mod
+
+        calls = []
+        real = writer_mod.read_segment_file
+
+        def counting(path, columns):
+            calls.append(path)
+            return real(path, columns)
+
+        monkeypatch.setattr(writer_mod, "read_segment_file", counting)
+        return calls
+
+    def test_fresh_term_append_reads_no_base_segments(self, dataset_path, monkeypatch):
+        """A small append of fresh subjects/objects must not read a single
+        stored segment — the whole maintenance pass runs on the manifest's
+        value sets."""
+        calls = self._count_segment_reads(monkeypatch)
+        report = DatasetAppender(dataset_path).append(
+            [
+                Triple(IRI("fresh-a"), IRI("p"), IRI("fresh-b")),
+                Triple(IRI("fresh-c"), IRI("q"), IRI("fresh-d")),
+            ]
+        )
+        assert report.triples_appended == 2
+        assert calls == [], f"append read base segments: {calls}"
+        # The appended rows are visible and correct on reopen.
+        session = S2RDFSession.open_dataset(dataset_path)
+        result = session.query("SELECT ?o WHERE { <fresh-a> <p> ?o }")
+        assert bag(result.relation) == [repr((IRI("fresh-b"),))]
+        session.close()
+
+    def test_overlapping_append_reads_only_when_sets_intersect(
+        self, dataset_path, monkeypatch
+    ):
+        """Old-row revival (a value newly added to VP_second's join column)
+        legitimately needs stored rows — but only of the VP tables whose
+        value sets actually intersect the additions."""
+        calls = self._count_segment_reads(monkeypatch)
+        # <r> is new; its object s3 already occurs as a subject of <p>/<q>,
+        # so old <p>/<q> rows are revived into extvp tables against <r>.
+        report = DatasetAppender(dataset_path).append(
+            [Triple(IRI("x1"), IRI("r"), IRI("s3"))]
+        )
+        assert report.triples_appended == 1
+        read_tables = {path.split(os.sep)[-2] for path in calls}
+        assert read_tables <= {"vp_p", "vp_q", "triples"}, read_tables
+
+    def test_duplicate_detection_via_value_set_prefilter(self, dataset_path, monkeypatch):
+        """An exact duplicate passes the subject/object prefilter and forces
+        one row-set read of its own VP table; a pair of *known* ids that was
+        never a row is rejected the same way."""
+        calls = self._count_segment_reads(monkeypatch)
+        report = DatasetAppender(dataset_path).append(
+            [Triple(IRI("s0"), IRI("p"), IRI("o0"))]  # row already stored
+        )
+        assert report.triples_appended == 0
+        assert report.duplicate_triples == 1
+        read_tables = {path.split(os.sep)[-2] for path in calls}
+        assert read_tables == {"vp_p"}, read_tables
+
+    def test_value_sets_persisted_and_updated(self, dataset_path):
+        manifest = read_manifest(dataset_path)
+        assert set(manifest.vp_value_sets) == set(manifest.vp_tables)
+        before = manifest.vp_value_sets["<p>"]
+        DatasetAppender(dataset_path).append(
+            [Triple(IRI("fresh-a"), IRI("p"), IRI("fresh-b"))]
+        )
+        after = read_manifest(dataset_path).vp_value_sets["<p>"]
+        assert len(after["s"]) == len(before["s"]) + 1
+        assert len(after["o"]) == len(before["o"]) + 1
+
+    def test_legacy_manifest_upgraded_on_first_append(self, dataset_path, monkeypatch):
+        """A dataset persisted before value sets existed pays one upgrade
+        read; the sets are committed with that append and the next
+        fresh-term append is O(batch) again."""
+        import json
+
+        with open(manifest_path(dataset_path), "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        data.pop("vp_value_sets", None)
+        with open(manifest_path(dataset_path), "w", encoding="utf-8") as handle:
+            json.dump(data, handle)
+        assert read_manifest(dataset_path).vp_value_sets == {}
+
+        calls = self._count_segment_reads(monkeypatch)
+        DatasetAppender(dataset_path).append(
+            [Triple(IRI("fresh-a"), IRI("p"), IRI("fresh-b"))]
+        )
+        assert calls, "legacy upgrade should read the VP tables once"
+        upgraded = read_manifest(dataset_path).vp_value_sets
+        assert set(upgraded) == set(read_manifest(dataset_path).vp_tables)
+
+        calls.clear()
+        DatasetAppender(dataset_path).append(
+            [Triple(IRI("fresh-x"), IRI("p"), IRI("fresh-y"))]
+        )
+        assert calls == [], f"post-upgrade append read segments: {calls}"
