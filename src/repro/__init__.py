@@ -19,7 +19,16 @@ The package is organised as follows:
 
 from repro.rdf import Graph, IRI, Literal, Triple, parse_ntriples
 from repro.sparql import parse_query
-from repro.core import QueryResult, S2RDFSession
+from repro.core import (
+    ExecutionConfig,
+    ObservabilityConfig,
+    QueryResult,
+    S2RDFSession,
+    ServingConfig,
+    SessionConfig,
+    StoreConfig,
+)
+from repro.api import connect, create
 
 __version__ = "1.0.0"
 
@@ -32,5 +41,12 @@ __all__ = [
     "parse_query",
     "QueryResult",
     "S2RDFSession",
+    "SessionConfig",
+    "ExecutionConfig",
+    "StoreConfig",
+    "ObservabilityConfig",
+    "ServingConfig",
+    "connect",
+    "create",
     "__version__",
 ]

@@ -13,6 +13,7 @@ from repro.bench.aqe import run_aqe
 from repro.bench.incremental_store import run_incremental_store
 from repro.bench.partition_scaling import run_partition_scaling
 from repro.bench.persistence import run_persistence
+from repro.bench.serving import run_serving
 from repro.bench.sql_backend import run_sql_backend
 from repro.bench.table2_load import run_table2_load
 from repro.bench.table3_selectivity import run_table3_selectivity
@@ -34,6 +35,7 @@ __all__ = [
     "run_incremental_store",
     "run_partition_scaling",
     "run_persistence",
+    "run_serving",
     "run_sql_backend",
     "run_table2_load",
     "run_table3_selectivity",

@@ -155,7 +155,7 @@ def run_aqe(
         broadcast_threshold: Optional[int] = None,
         tracing_enabled: bool = False,
     ) -> S2RDFSession:
-        config = SessionConfig(
+        config = SessionConfig.from_flat(
             selectivity_threshold=selectivity_threshold,
             num_partitions=num_partitions,
             adaptive_enabled=adaptive,

@@ -136,7 +136,7 @@ def run_obs_overhead(
         # alone; the journal path has its own deterministic guard below.
         return S2RDFSession(
             layout,
-            config=SessionConfig(
+            config=SessionConfig.from_flat(
                 num_partitions=num_partitions,
                 tracing_enabled=tracing_enabled,
                 journal_enabled=False,

@@ -84,7 +84,7 @@ def run_partition_scaling(
     for partitions in partition_counts:
         session = S2RDFSession(
             layout,
-            config=SessionConfig(
+            config=SessionConfig.from_flat(
                 selectivity_threshold=selectivity_threshold,
                 num_partitions=partitions,
                 broadcast_threshold=broadcast_threshold,

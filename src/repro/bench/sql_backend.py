@@ -63,8 +63,8 @@ def run_sql_backend(
     ]
 
     config = {"journal_enabled": False, "tracing_enabled": False}
-    native = S2RDFSession(layout, config=SessionConfig(**config))
-    sqlite = S2RDFSession(layout, config=SessionConfig(engine="sqlite", **config))
+    native = S2RDFSession(layout, config=SessionConfig.from_flat(**config))
+    sqlite = S2RDFSession(layout, config=SessionConfig.from_flat(engine="sqlite", **config))
 
     # Pay the one-time sqlite table load up front (first touch per table) so
     # the per-query numbers measure statement execution, not bulk INSERTs.

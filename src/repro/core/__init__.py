@@ -19,6 +19,13 @@ from repro.core.table_selection import TableChoice, TableSelector
 from repro.core.translation import triple_pattern_to_subquery
 from repro.core.bgp import BGPCompilationResult, compile_bgp
 from repro.core.compiler import QueryCompiler
+from repro.core.config import (
+    ExecutionConfig,
+    ObservabilityConfig,
+    ServingConfig,
+    SessionConfig,
+    StoreConfig,
+)
 from repro.core.results import QueryResult, SolutionBinding
 from repro.core.session import S2RDFSession
 
@@ -32,4 +39,9 @@ __all__ = [
     "QueryResult",
     "SolutionBinding",
     "S2RDFSession",
+    "SessionConfig",
+    "ExecutionConfig",
+    "StoreConfig",
+    "ObservabilityConfig",
+    "ServingConfig",
 ]

@@ -1,0 +1,326 @@
+"""Session configuration, grouped by concern.
+
+The session's knobs grew one flat field at a time across the first nine PRs;
+with the concurrent serving layer the flat list stopped scaling.  The
+configuration is now four nested dataclasses composed on
+:class:`SessionConfig`:
+
+* :class:`ExecutionConfig` — how a single query executes (engine, partitions,
+  join thresholds, adaptive execution, vectorization, process workers);
+* :class:`StoreConfig` — what the data layout materialises and how the
+  persistent store compacts;
+* :class:`ObservabilityConfig` — tracing and the workload journal;
+* :class:`ServingConfig` — the concurrent scheduler's admission policy.
+
+Every historical flat knob still works as a constructor keyword —
+``SessionConfig(num_partitions=8)`` — but warns ``DeprecationWarning`` with
+the new spelling (``SessionConfig(execution=ExecutionConfig(num_partitions=8))``).
+Reading ``config.num_partitions`` keeps working silently: the flat names are
+aliases (properties) for their single nested home, and
+:data:`FLAT_FIELD_HOMES` records that mapping so a test can audit that every
+old knob maps to exactly one new home.
+
+Validation happens at *construction*: each group dataclass checks its own
+invariants in ``__post_init__``, so an invalid configuration fails wherever
+it is built — session, scheduler, benchmark or example — rather than deep
+inside ``S2RDFSession.__init__``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Tuple
+
+from repro.engine.runtime import (
+    DEFAULT_BROADCAST_MEMORY_LIMIT,
+    DEFAULT_BROADCAST_THRESHOLD,
+    DEFAULT_SKEW_FACTOR,
+)
+
+#: Engines a session can execute plans on.
+VALID_ENGINES = ("native", "sqlite")
+
+#: How the parallel runtime runs partition tasks: ``"thread"`` uses the
+#: in-process pool (always available), ``"process"`` dispatches join tasks to
+#: the persistent partition worker pool (requires a stored dataset; ephemeral
+#: sessions silently keep the thread pool as fallback).
+VALID_EXECUTION_MODES = ("thread", "process")
+
+#: What :meth:`~repro.serve.scheduler.QueryScheduler.submit` does when the
+#: admission queue is full: ``"queue"`` blocks the submitter until a slot
+#: frees, ``"reject"`` raises :class:`~repro.serve.scheduler.AdmissionError`.
+VALID_ADMISSION_POLICIES = ("queue", "reject")
+
+
+@dataclass
+class ExecutionConfig:
+    """How one query executes on the relational runtime."""
+
+    #: Execution engine: ``"native"`` runs plans on the in-process relational
+    #: operators (with the parallel/adaptive runtime); ``"sqlite"`` lowers
+    #: plans to SQL on an in-memory SQLite database (:mod:`repro.engine.sql`).
+    engine: str = "native"
+    #: Partitions used by the parallel runtime; 1 keeps joins serial but still
+    #: annotates every join with its physical strategy.
+    num_partitions: int = 1
+    #: Spark's ``autoBroadcastJoinThreshold``: a join side estimated at or
+    #: below this many bytes is broadcast instead of shuffled.
+    broadcast_threshold: int = DEFAULT_BROADCAST_THRESHOLD
+    #: Hard memory cap on the *observed* materialized build side of a
+    #: broadcast join; exceeding it demotes the join to a shuffle.
+    broadcast_memory_limit: int = DEFAULT_BROADCAST_MEMORY_LIMIT
+    #: Adaptive query execution: re-decide join strategies from observed
+    #: input sizes, split skewed partitions, cache observed cardinalities.
+    adaptive_enabled: bool = True
+    #: A shuffle partition larger than this multiple of the median partition
+    #: is subdivided before its join task runs (adaptive execution only).
+    skew_factor: float = DEFAULT_SKEW_FACTOR
+    #: Vectorized execution (native engine, stored datasets only): scans emit
+    #: dictionary-id column batches, operators run on raw ids.
+    vectorized_enabled: bool = False
+    #: Apply Algorithm 4's join-order optimisation.
+    optimize_join_order: bool = True
+    #: Multiplier applied to data-proportional execution counters before the
+    #: cost model converts them to a simulated runtime.
+    work_scale: float = 1.0
+    #: ``"thread"`` (default) or ``"process"``: where partition join tasks
+    #: run.  Process mode sidesteps the GIL by dispatching tasks to the
+    #: persistent worker pool of the session's stored dataset; sessions
+    #: without a dataset fall back to the thread pool.
+    execution_mode: str = "thread"
+    #: Processes in the partition worker pool (``None`` = a small default
+    #: derived from the machine's CPU count).
+    worker_processes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in VALID_ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {VALID_ENGINES}"
+            )
+        if self.num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        if self.broadcast_memory_limit < 1:
+            raise ValueError("broadcast_memory_limit must be >= 1")
+        if self.execution_mode not in VALID_EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution_mode {self.execution_mode!r}; "
+                f"expected one of {VALID_EXECUTION_MODES}"
+            )
+        if self.worker_processes is not None and self.worker_processes < 1:
+            raise ValueError("worker_processes must be >= 1 (or None for the default)")
+        if self.work_scale <= 0:
+            raise ValueError("work_scale must be > 0")
+
+
+@dataclass
+class StoreConfig:
+    """What the layout materialises and how the persistent store compacts."""
+
+    #: SF threshold for ExtVP materialisation (1.0 = all non-trivial tables).
+    selectivity_threshold: float = 1.0
+    #: Use ExtVP tables during table selection; ``False`` degrades to plain VP.
+    use_extvp: bool = True
+    #: Materialise OO correlation tables (ablation only).
+    include_oo: bool = False
+    #: :meth:`~repro.core.session.S2RDFSession.compact` merges a table's
+    #: delta segments once it has accumulated at least this many of them.
+    compaction_threshold: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.selectivity_threshold <= 1.0:
+            raise ValueError("selectivity_threshold must be within [0, 1]")
+        if self.compaction_threshold < 1:
+            raise ValueError("compaction_threshold must be >= 1")
+
+
+@dataclass
+class ObservabilityConfig:
+    """Tracing and the workload journal."""
+
+    #: Record query-lifecycle spans (parse → compile → plan → execute) on the
+    #: session's tracer; disabled keeps the query path allocation-free.
+    tracing_enabled: bool = False
+    #: Append one structured record per executed query to the session's
+    #: journal (:mod:`repro.obs.journal`).
+    journal_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        pass  # Boolean-only group today; the hook keeps validate() uniform.
+
+
+@dataclass
+class ServingConfig:
+    """Admission control of the concurrent query scheduler."""
+
+    #: Queries executing at once; further admitted queries wait in the queue.
+    max_concurrent_queries: int = 4
+    #: Admitted-but-not-running queries the scheduler holds before
+    #: backpressure applies (the *admission queue*).
+    admission_queue_limit: int = 64
+    #: ``"queue"`` blocks a submitter when the admission queue is full;
+    #: ``"reject"`` raises :class:`~repro.serve.scheduler.AdmissionError`.
+    admission_policy: str = "queue"
+    #: Coalesce identical concurrent queries: a submission textually equal to
+    #: one already in flight on the same dataset epoch shares its result
+    #: instead of executing again.
+    share_results: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent_queries < 1:
+            raise ValueError("max_concurrent_queries must be >= 1")
+        if self.admission_queue_limit < 1:
+            raise ValueError("admission_queue_limit must be >= 1")
+        if self.admission_policy not in VALID_ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission_policy {self.admission_policy!r}; "
+                f"expected one of {VALID_ADMISSION_POLICIES}"
+            )
+
+
+#: Every flat knob name → the config group (attribute of SessionConfig) that
+#: is its single home.  The audit test in ``tests/core/test_config.py`` checks
+#: this map against the group dataclasses field by field.
+FLAT_FIELD_HOMES: Dict[str, str] = {}
+for _group_name, _group_cls in (
+    ("execution", ExecutionConfig),
+    ("store", StoreConfig),
+    ("observability", ObservabilityConfig),
+    ("serving", ServingConfig),
+):
+    for _field in fields(_group_cls):
+        if _field.name in FLAT_FIELD_HOMES:  # pragma: no cover - construction guard
+            raise RuntimeError(
+                f"flat knob {_field.name!r} would map to two homes: "
+                f"{FLAT_FIELD_HOMES[_field.name]} and {_group_name}"
+            )
+        FLAT_FIELD_HOMES[_field.name] = _group_name
+
+#: The knobs that existed as flat ``SessionConfig`` fields before the
+#: config split (PR 10); kept for the audit test and the docs.
+LEGACY_FLAT_FIELDS: Tuple[str, ...] = (
+    "selectivity_threshold",
+    "use_extvp",
+    "optimize_join_order",
+    "include_oo",
+    "work_scale",
+    "num_partitions",
+    "broadcast_threshold",
+    "broadcast_memory_limit",
+    "adaptive_enabled",
+    "skew_factor",
+    "compaction_threshold",
+    "tracing_enabled",
+    "journal_enabled",
+    "engine",
+    "vectorized_enabled",
+)
+
+
+class SessionConfig:
+    """Tunable knobs of a session, grouped by concern.
+
+    Preferred construction nests the groups::
+
+        SessionConfig(
+            execution=ExecutionConfig(num_partitions=8, engine="native"),
+            serving=ServingConfig(max_concurrent_queries=16),
+        )
+
+    The historical flat spelling ``SessionConfig(num_partitions=8)`` still
+    works but emits a :class:`DeprecationWarning` naming the new home.
+    Reading ``config.num_partitions`` (and every other flat name) remains
+    silent — the flat names are aliases for their nested field.
+    """
+
+    __slots__ = ("execution", "store", "observability", "serving")
+
+    def __init__(
+        self,
+        execution: Optional[ExecutionConfig] = None,
+        store: Optional[StoreConfig] = None,
+        observability: Optional[ObservabilityConfig] = None,
+        serving: Optional[ServingConfig] = None,
+        **flat: object,
+    ) -> None:
+        self.execution = execution if execution is not None else ExecutionConfig()
+        self.store = store if store is not None else StoreConfig()
+        self.observability = (
+            observability if observability is not None else ObservabilityConfig()
+        )
+        self.serving = serving if serving is not None else ServingConfig()
+        if flat:
+            for name in flat:
+                home = FLAT_FIELD_HOMES.get(name)
+                if home is None:
+                    raise TypeError(f"SessionConfig got an unexpected keyword {name!r}")
+                group = getattr(self, home)
+                warnings.warn(
+                    f"flat SessionConfig knob {name!r} is deprecated; use "
+                    f"SessionConfig({home}={type(group).__name__}({name}=...))",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            self._apply_flat(flat)
+
+    @classmethod
+    def from_flat(cls, **flat: object) -> "SessionConfig":
+        """Build a config from flat knob names *without* deprecation warnings.
+
+        This is the internal mapper behind :meth:`S2RDFSession.from_graph`,
+        :meth:`S2RDFSession.open_dataset`, :func:`repro.connect` and
+        :func:`repro.create`, whose keyword surfaces remain flat on purpose —
+        the deprecation applies to the old ``SessionConfig(knob=...)``
+        spelling, not to those factory signatures.
+        """
+        config = cls()
+        unknown = [name for name in flat if name not in FLAT_FIELD_HOMES]
+        if unknown:
+            raise TypeError(f"unknown session knob(s): {sorted(unknown)}")
+        config._apply_flat(flat)
+        return config
+
+    def _apply_flat(self, flat: Dict[str, object]) -> None:
+        for name, value in flat.items():
+            setattr(getattr(self, FLAT_FIELD_HOMES[name]), name, value)
+        self.validate()
+
+    def validate(self) -> None:
+        """Re-run every group's construction-time validation."""
+        self.execution.__post_init__()
+        self.store.__post_init__()
+        self.observability.__post_init__()
+        self.serving.__post_init__()
+
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SessionConfig):
+            return NotImplemented
+        return (
+            self.execution == other.execution
+            and self.store == other.store
+            and self.observability == other.observability
+            and self.serving == other.serving
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionConfig(execution={self.execution!r}, store={self.store!r}, "
+            f"observability={self.observability!r}, serving={self.serving!r})"
+        )
+
+
+def _flat_alias(home: str, name: str) -> property:
+    def fget(self: SessionConfig) -> object:
+        return getattr(getattr(self, home), name)
+
+    def fset(self: SessionConfig, value: object) -> None:
+        setattr(getattr(self, home), name, value)
+
+    fget.__name__ = name
+    return property(fget, fset, doc=f"Alias for ``config.{home}.{name}``.")
+
+
+for _name, _home in FLAT_FIELD_HOMES.items():
+    setattr(SessionConfig, _name, _flat_alias(_home, _name))
+del _name, _home, _group_name, _group_cls, _field

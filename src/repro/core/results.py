@@ -46,6 +46,10 @@ class QueryResult:
     #: Which engine executed the plan: ``"native"`` (in-process operators) or
     #: ``"sqlite"`` (the SQL lowering backend).
     engine: str = "native"
+    #: Manifest append epoch of the dataset snapshot this query read, or
+    #: ``None`` for sessions without a persisted dataset.  Under concurrent
+    #: appends this identifies exactly which store state produced the rows.
+    epoch: Optional[int] = None
 
     @property
     def wallclock_ms(self) -> float:
@@ -69,6 +73,21 @@ class QueryResult:
 
     def __iter__(self) -> Iterator[SolutionBinding]:
         return iter(self.bindings)
+
+    def to_dicts(self) -> List[Dict[str, str]]:
+        """Solution mappings as plain-string dictionaries.
+
+        Unlike :attr:`bindings` (which keeps :class:`~repro.rdf.terms.Term`
+        objects), every value is rendered to its lexical form — the shape to
+        hand to JSON encoders, CSV writers or test fixtures.
+        """
+        return [
+            {
+                variable: str(getattr(term, "value", term))
+                for variable, term in binding.items()
+            }
+            for binding in self.bindings
+        ]
 
     def values(self, variable: str) -> List[Any]:
         """All values bound to ``variable`` across the result."""

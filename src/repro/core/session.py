@@ -22,23 +22,25 @@ accumulated deltas back into full base segments.
 
 from __future__ import annotations
 
+import threading
 import time
-from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple, Union
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.core.compiler import CompiledQuery, QueryCompiler
+from repro.core.config import (
+    ExecutionConfig,
+    ObservabilityConfig,
+    ServingConfig,
+    SessionConfig,
+    StoreConfig,
+)
 from repro.core.results import QueryResult
 from repro.core.table_selection import TableSelector
 from repro.engine.cluster import SparkCostModel
 from repro.engine.metrics import ExecutionMetrics
-from repro.engine.runtime import (
-    DEFAULT_BROADCAST_MEMORY_LIMIT,
-    DEFAULT_BROADCAST_THRESHOLD,
-    DEFAULT_SKEW_FACTOR,
-    UNKNOWN_ROWS,
-    ParallelExecutor,
-    estimate_rows,
-)
+from repro.engine.runtime import UNKNOWN_ROWS, ParallelExecutor, estimate_rows
 from repro.engine.sql import SqliteExecutor
 from repro.mappings.extvp import ExtVPLayout
 from repro.obs.explain import (
@@ -74,65 +76,81 @@ from repro.store.writer import (
 )
 
 
-@dataclass
-class SessionConfig:
-    """Tunable knobs of a session."""
+__all__ = [
+    "S2RDFSession",
+    "SessionConfig",
+    "ExecutionConfig",
+    "StoreConfig",
+    "ObservabilityConfig",
+    "ServingConfig",
+]
 
-    #: SF threshold for ExtVP materialisation (1.0 = all non-trivial tables).
-    selectivity_threshold: float = 1.0
-    #: Use ExtVP tables during table selection; ``False`` degrades to plain VP.
-    use_extvp: bool = True
-    #: Apply Algorithm 4's join-order optimisation.
-    optimize_join_order: bool = True
-    #: Materialise OO correlation tables (ablation only).
-    include_oo: bool = False
-    #: Multiplier applied to data-proportional execution counters before the
-    #: cost model converts them to a simulated runtime.  The benchmarks use it
-    #: to extrapolate laptop-scale measurements to the paper's data scale.
-    work_scale: float = 1.0
-    #: Partitions used by the parallel runtime; 1 keeps joins serial but still
-    #: annotates every join with its physical strategy.
-    num_partitions: int = 1
-    #: Spark's ``autoBroadcastJoinThreshold``: a join side estimated at or
-    #: below this many bytes is broadcast instead of shuffled.
-    broadcast_threshold: int = DEFAULT_BROADCAST_THRESHOLD
-    #: Hard memory cap on the *observed* materialized build side of a
-    #: broadcast join.  Unlike ``broadcast_threshold`` (an estimate-driven
-    #: preference), exceeding this demotes the join to a shuffle in every
-    #: mode; trips are counted in ``broadcast_guard_trips``.
-    broadcast_memory_limit: int = DEFAULT_BROADCAST_MEMORY_LIMIT
-    #: Adaptive query execution: re-decide each join's strategy from observed
-    #: input sizes, split skewed partitions and cache observed cardinalities.
-    #: ``False`` executes the static plan exactly as annotated.
-    adaptive_enabled: bool = True
-    #: A shuffle partition larger than this multiple of the median partition
-    #: is subdivided before its join task runs (adaptive execution only).
-    skew_factor: float = DEFAULT_SKEW_FACTOR
-    #: :meth:`S2RDFSession.compact` merges a table's delta segments back into
-    #: base segments once it has accumulated at least this many of them.
-    compaction_threshold: int = 1
-    #: Record query-lifecycle spans (parse → compile → plan → execute, with
-    #: per-scan/per-join/per-task children) on the session's tracer.  Disabled
-    #: by default: every instrumentation site then sees a shared no-op span,
-    #: so the query path stays allocation-free.
-    tracing_enabled: bool = False
-    #: Append one structured record per executed query to the session's
-    #: journal: in-memory for ephemeral sessions, persisted as JSONL under
-    #: ``<dataset>/journal/`` once the session is saved or opened from disk.
-    #: The journal is the workload analyzer's input (:mod:`repro.obs.workload`).
-    journal_enabled: bool = True
-    #: Execution engine: ``"native"`` runs plans on the in-process relational
-    #: operators (with the parallel/adaptive runtime); ``"sqlite"`` lowers
-    #: plans to SQL and executes them on an in-memory SQLite database
-    #: (:mod:`repro.engine.sql`) — the differential cross-check backend.
-    engine: str = "native"
-    #: Vectorized execution (native engine, stored datasets only): scans emit
-    #: dictionary-id :class:`~repro.engine.vectorized.ColumnBatch`es and
-    #: batch-capable operators run on raw ids, deferring term decoding to
-    #: result rendering.  Operators without a batch kernel (OPTIONAL,
-    #: aggregates, ORDER BY) fall back to row-dict execution at a single
-    #: lowering boundary.  Off by default; results are bag-equal either way.
-    vectorized_enabled: bool = False
+#: Milliseconds a query waited in the scheduler's admission queue before this
+#: thread started executing it.  The scheduler sets this around its call into
+#: :meth:`S2RDFSession.query`; :meth:`S2RDFSession._journal_query` reads it so
+#: the journal separates queue wait from execution without the session ever
+#: knowing about the scheduler.
+_QUEUE_WAIT_MS: ContextVar[Optional[float]] = ContextVar("s2rdf_queue_wait_ms", default=None)
+
+
+class _ReadWriteLock:
+    """Many concurrent readers (queries) xor one writer (store mutation).
+
+    Queries hold the read side for their whole parse→execute→journal
+    pipeline, so each one sees exactly one manifest snapshot and its journal
+    record's epoch is the epoch it actually read.  ``append_triples``,
+    ``compact`` and ``save_dataset`` take the write side, which also makes
+    their catalog/sqlite invalidation safe while queries run on other threads.
+
+    The thread holding the write side may re-enter both sides (a mutation
+    that runs a query mid-commit must not deadlock against itself); plain
+    readers are not reentrant against a *waiting* writer.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer: Optional[int] = None
+        self._writer_depth = 0
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        if self._writer == threading.get_ident():
+            # The write holder reading its own in-progress state.
+            yield
+            return
+        with self._cond:
+            while self._writer is not None:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        me = threading.get_ident()
+        if self._writer == me:
+            self._writer_depth += 1
+            try:
+                yield
+            finally:
+                self._writer_depth -= 1
+            return
+        with self._cond:
+            while self._writer is not None or self._readers:
+                self._cond.wait()
+            self._writer = me
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = None
+                self._cond.notify_all()
 
 
 class S2RDFSession:
@@ -146,11 +164,9 @@ class S2RDFSession:
         tracer: Optional[Tracer] = None,
     ) -> None:
         self.layout = layout
+        # Config invariants (engine, num_partitions >= 1, ...) are enforced by
+        # the config dataclasses' own __post_init__ at construction time.
         self.config = config or SessionConfig()
-        if self.config.engine not in ("native", "sqlite"):
-            raise ValueError(
-                f"unknown engine {self.config.engine!r}; expected 'native' or 'sqlite'"
-            )
         self.cost_model = cost_model or SparkCostModel()
         #: Query-lifecycle tracer; the shared no-op tracer unless tracing is
         #: enabled (or a caller injects one, e.g. ``open_dataset`` so the cold
@@ -170,22 +186,22 @@ class S2RDFSession:
             optimize_join_order=self.config.optimize_join_order,
             tracer=self.tracer,
         )
-        self.executor = ParallelExecutor(
-            layout.catalog,
-            num_partitions=self.config.num_partitions,
-            broadcast_threshold=self.config.broadcast_threshold,
-            adaptive_enabled=self.config.adaptive_enabled,
-            skew_factor=self.config.skew_factor,
-            tracer=self.tracer,
-            metrics_registry=self.metrics,
-            broadcast_memory_limit=self.config.broadcast_memory_limit,
-            vectorized=self.config.vectorized_enabled,
-        )
-        #: The SQLite engine (always constructed — it opens no connection and
-        #: loads no table until the first query runs with ``engine="sqlite"``).
-        self.sql_executor = SqliteExecutor(
-            layout.catalog, tracer=self.tracer, metrics_registry=self.metrics
-        )
+        #: Executors are *per thread* (instance state like the last physical
+        #: plan and the sqlite connection are not shareable between concurrent
+        #: queries) over the one shared catalog.  The thread-local holds each
+        #: thread's instances; the lists track every instance ever created so
+        #: store mutations can invalidate and :meth:`close` can shut them all.
+        self._thread_runtime = threading.local()
+        self._all_executors: List[ParallelExecutor] = []
+        self._all_sql_executors: List[SqliteExecutor] = []
+        self._runtime_lock = threading.Lock()
+        #: Store mutations (write side) vs queries (read side); see
+        #: :class:`_ReadWriteLock`.
+        self._store_lock = _ReadWriteLock()
+        #: Persistent process worker pool, created lazily by
+        #: :meth:`_process_pool` once ``execution_mode="process"`` meets a
+        #: persisted dataset.
+        self._worker_pool = None
         #: Per-query workload journal (``None`` when journaling is disabled).
         #: Ephemeral sessions journal in memory; ``save_dataset`` /
         #: ``open_dataset`` switch to the dataset's persistent ``journal/``.
@@ -204,48 +220,109 @@ class S2RDFSession:
         self.dataset_path: Optional[str] = None
 
     # ------------------------------------------------------------------ #
+    # Per-thread runtime
+    # ------------------------------------------------------------------ #
+    @property
+    def executor(self) -> ParallelExecutor:
+        """This thread's parallel runtime (created on first use per thread)."""
+        runtime = getattr(self._thread_runtime, "executor", None)
+        if runtime is None:
+            runtime = ParallelExecutor(
+                self.layout.catalog,
+                num_partitions=self.config.num_partitions,
+                broadcast_threshold=self.config.broadcast_threshold,
+                adaptive_enabled=self.config.adaptive_enabled,
+                skew_factor=self.config.skew_factor,
+                tracer=self.tracer,
+                metrics_registry=self.metrics,
+                broadcast_memory_limit=self.config.broadcast_memory_limit,
+                vectorized=self.config.vectorized_enabled,
+                worker_pool=self._process_pool,
+            )
+            self._thread_runtime.executor = runtime
+            with self._runtime_lock:
+                self._all_executors.append(runtime)
+        return runtime
+
+    @property
+    def sql_executor(self) -> SqliteExecutor:
+        """This thread's SQLite engine (no connection until its first query)."""
+        runtime = getattr(self._thread_runtime, "sql_executor", None)
+        if runtime is None:
+            runtime = SqliteExecutor(
+                self.layout.catalog, tracer=self.tracer, metrics_registry=self.metrics
+            )
+            self._thread_runtime.sql_executor = runtime
+            with self._runtime_lock:
+                self._all_sql_executors.append(runtime)
+        return runtime
+
+    def _process_pool(self):
+        """The partition worker pool, or ``None`` outside process mode.
+
+        Process mode needs a persisted dataset (workers re-open it read-only);
+        an ephemeral session configured with ``execution_mode="process"``
+        silently keeps the thread pool until :meth:`save_dataset` runs.
+        """
+        if self.config.execution_mode != "process" or self.dataset_path is None:
+            return None
+        with self._runtime_lock:
+            if self._worker_pool is None:
+                from repro.serve.workers import PartitionWorkerPool
+
+                self._worker_pool = PartitionWorkerPool(
+                    self.dataset_path,
+                    num_workers=self.config.worker_processes,
+                    session_knobs=self._worker_session_knobs(),
+                )
+            return self._worker_pool
+
+    def _worker_session_knobs(self) -> Dict[str, object]:
+        """Knobs a worker process opens its own read-only session with.
+
+        Workers inherit the parent's planning knobs (so their plans match),
+        but always run thread mode — process-level parallelism comes from the
+        pool itself, never from nesting.
+        """
+        config = self.config
+        return {
+            "num_partitions": config.num_partitions,
+            "broadcast_threshold": config.broadcast_threshold,
+            "broadcast_memory_limit": config.broadcast_memory_limit,
+            "adaptive_enabled": config.adaptive_enabled,
+            "skew_factor": config.skew_factor,
+            "vectorized_enabled": config.vectorized_enabled,
+            "optimize_join_order": config.optimize_join_order,
+            "use_extvp": config.use_extvp,
+            "work_scale": config.work_scale,
+            "engine": config.engine,
+        }
+
+    # ------------------------------------------------------------------ #
     # Construction helpers
     # ------------------------------------------------------------------ #
     @classmethod
     def from_graph(
         cls,
         graph: Graph,
-        selectivity_threshold: float = 1.0,
-        use_extvp: bool = True,
-        optimize_join_order: bool = True,
-        include_oo: bool = False,
         cost_model: Optional[SparkCostModel] = None,
-        work_scale: float = 1.0,
-        num_partitions: int = 1,
-        broadcast_threshold: int = DEFAULT_BROADCAST_THRESHOLD,
-        adaptive_enabled: bool = True,
-        skew_factor: float = DEFAULT_SKEW_FACTOR,
-        tracing_enabled: bool = False,
-        broadcast_memory_limit: int = DEFAULT_BROADCAST_MEMORY_LIMIT,
-        journal_enabled: bool = True,
-        engine: str = "native",
-        vectorized_enabled: bool = False,
+        config: Optional[SessionConfig] = None,
+        **knobs: object,
     ) -> "S2RDFSession":
-        """Build the data layout for ``graph`` and return a ready session."""
-        config = SessionConfig(
-            selectivity_threshold=selectivity_threshold,
-            use_extvp=use_extvp,
-            optimize_join_order=optimize_join_order,
-            include_oo=include_oo,
-            work_scale=work_scale,
-            num_partitions=num_partitions,
-            broadcast_threshold=broadcast_threshold,
-            adaptive_enabled=adaptive_enabled,
-            skew_factor=skew_factor,
-            tracing_enabled=tracing_enabled,
-            broadcast_memory_limit=broadcast_memory_limit,
-            journal_enabled=journal_enabled,
-            engine=engine,
-            vectorized_enabled=vectorized_enabled,
-        )
+        """Build the data layout for ``graph`` and return a ready session.
+
+        Accepts either a prebuilt :class:`SessionConfig` or any flat session
+        knobs (``num_partitions=8, engine="sqlite", ...``) — the factory
+        surface stays flat on purpose; the deprecation of flat names applies
+        only to ``SessionConfig(knob=...)`` construction.
+        """
+        if config is not None and knobs:
+            raise TypeError("pass either config= or flat knobs, not both")
+        if config is None:
+            config = SessionConfig.from_flat(**knobs)
         layout = ExtVPLayout(
-            selectivity_threshold=selectivity_threshold if use_extvp else 0.0,
-            include_oo=include_oo,
+            selectivity_threshold=config.selectivity_threshold if config.use_extvp else 0.0,
+            include_oo=config.include_oo,
         )
         layout.build(graph)
         return cls(layout, config=config, cost_model=cost_model)
@@ -275,20 +352,23 @@ class S2RDFSession:
         runtime's shuffle partitioning.
         """
         buckets = num_buckets if num_buckets is not None else max(self.config.num_partitions, 1)
-        with self.tracer.span("store.save", category="store", path=path) as span:
-            report = DatasetWriter(num_buckets=buckets).write(path, self.layout, overwrite=overwrite)
-            span.set(tables=report.table_count, bytes=report.total_bytes)
-        self.dataset_path = path
-        self._journal_epoch = 0  # A fresh manifest starts at epoch 0.
-        if self.journal is not None:
-            # Migrate to the dataset's persistent journal, carrying over any
-            # records this session already collected in memory (their
-            # timestamps are preserved; pre-save records keep epoch=None).
-            pending = self.journal.records() if not self.journal.persistent else []
-            self.journal.close()
-            self.journal = open_dataset_journal(path)
-            for record in pending:
-                self.journal.append(record)
+        with self._store_lock.write_locked():
+            with self.tracer.span("store.save", category="store", path=path) as span:
+                report = DatasetWriter(num_buckets=buckets).write(
+                    path, self.layout, overwrite=overwrite
+                )
+                span.set(tables=report.table_count, bytes=report.total_bytes)
+            self.dataset_path = path
+            self._journal_epoch = 0  # A fresh manifest starts at epoch 0.
+            if self.journal is not None:
+                # Migrate to the dataset's persistent journal, carrying over
+                # any records this session already collected in memory (their
+                # timestamps are preserved; pre-save records keep epoch=None).
+                pending = self.journal.records() if not self.journal.persistent else []
+                self.journal.close()
+                self.journal = open_dataset_journal(path)
+                for record in pending:
+                    self.journal.append(record)
         self.metrics.inc("s2rdf_store_saves_total", help="Full dataset writes")
         self.metrics.inc(
             "s2rdf_store_bytes_written_total",
@@ -303,19 +383,9 @@ class S2RDFSession:
         cls,
         path: str,
         num_partitions: Optional[int] = None,
-        broadcast_threshold: int = DEFAULT_BROADCAST_THRESHOLD,
-        use_extvp: bool = True,
-        optimize_join_order: bool = True,
-        work_scale: float = 1.0,
         cost_model: Optional[SparkCostModel] = None,
-        adaptive_enabled: bool = True,
-        skew_factor: float = DEFAULT_SKEW_FACTOR,
-        compaction_threshold: int = 1,
-        tracing_enabled: bool = False,
-        broadcast_memory_limit: int = DEFAULT_BROADCAST_MEMORY_LIMIT,
-        journal_enabled: bool = True,
-        engine: str = "native",
-        vectorized_enabled: bool = False,
+        config: Optional[SessionConfig] = None,
+        **knobs: object,
     ) -> "S2RDFSession":
         """Cold-start a session from a dataset written by :meth:`save_dataset`.
 
@@ -325,32 +395,35 @@ class S2RDFSession:
         segment pruning).  ``num_partitions`` defaults to the stored bucket
         count, which lets shuffle joins consume scans partition-aligned.
         With ``tracing_enabled`` the cold open itself appears on the trace
-        timeline as a ``store.open`` span.
+        timeline as a ``store.open`` span.  Like :meth:`from_graph`, accepts
+        either ``config=`` or flat knobs; ``execution_mode="process"`` starts
+        the dataset's partition worker pool eagerly, before any query thread
+        exists (the fork-safe moment to spawn workers).
         """
-        tracer = Tracer(enabled=True) if tracing_enabled else NULL_TRACER
+        if config is not None and knobs:
+            raise TypeError("pass either config= or flat knobs, not both")
+        tracing = bool(
+            config.tracing_enabled if config is not None else knobs.get("tracing_enabled", False)
+        )
+        tracer = Tracer(enabled=True) if tracing else NULL_TRACER
         with tracer.span("store.open", category="store", path=path) as span:
             layout, load_report, _dataset = _open_stored_dataset(path, tracer=tracer)
             span.set(
                 tables=load_report.table_count,
                 dictionary_terms=load_report.dictionary_terms,
             )
-        config = SessionConfig(
-            selectivity_threshold=layout.selectivity_threshold,
-            use_extvp=use_extvp,
-            optimize_join_order=optimize_join_order,
-            include_oo=layout.include_oo,
-            work_scale=work_scale,
-            num_partitions=num_partitions if num_partitions is not None else load_report.num_buckets,
-            broadcast_threshold=broadcast_threshold,
-            adaptive_enabled=adaptive_enabled,
-            skew_factor=skew_factor,
-            compaction_threshold=compaction_threshold,
-            tracing_enabled=tracing_enabled,
-            broadcast_memory_limit=broadcast_memory_limit,
-            journal_enabled=journal_enabled,
-            engine=engine,
-            vectorized_enabled=vectorized_enabled,
-        )
+        if config is None:
+            # The stored layout dictates what was materialised; the partition
+            # default follows the stored bucket count so shuffle joins consume
+            # scans partition-aligned.
+            knobs["selectivity_threshold"] = layout.selectivity_threshold
+            knobs["include_oo"] = layout.include_oo
+            knobs["num_partitions"] = (
+                num_partitions if num_partitions is not None else load_report.num_buckets
+            )
+            config = SessionConfig.from_flat(**knobs)
+        elif num_partitions is not None:
+            config.execution.num_partitions = num_partitions
         session = cls(layout, config=config, cost_model=cost_model, tracer=tracer)
         session.load_report = load_report
         session.dataset_path = path
@@ -365,6 +438,10 @@ class S2RDFSession:
             load_report.load_seconds * 1000.0,
             help="Cold-open latency",
         )
+        if config.execution_mode == "process":
+            pool = session._process_pool()
+            if pool is not None:
+                pool.start()
         return session
 
     # ------------------------------------------------------------------ #
@@ -386,15 +463,16 @@ class S2RDFSession:
         Requires a session that was persisted: either opened with
         :meth:`open_dataset` or saved with :meth:`save_dataset`.
         """
-        with self.tracer.span("store.append", category="store") as span:
-            report = DatasetAppender(self._require_dataset_path()).append(triples)
-            span.set(
-                triples=report.triples_appended,
-                delta_segments=report.delta_segments,
-                bytes=report.bytes_written,
-            )
-            if report.triples_appended:
-                self._refresh_from_store()
+        with self._store_lock.write_locked():
+            with self.tracer.span("store.append", category="store") as span:
+                report = DatasetAppender(self._require_dataset_path()).append(triples)
+                span.set(
+                    triples=report.triples_appended,
+                    delta_segments=report.delta_segments,
+                    bytes=report.bytes_written,
+                )
+                if report.triples_appended:
+                    self._refresh_from_store()
         self.metrics.inc("s2rdf_store_appends_total", help="Delta appends performed")
         self.metrics.inc("s2rdf_store_bytes_written_total", report.bytes_written)
         self.metrics.observe("s2rdf_store_append_ms", report.append_seconds * 1000.0)
@@ -421,17 +499,18 @@ class S2RDFSession:
             if compaction_threshold is not None
             else self.config.compaction_threshold
         )
-        with self.tracer.span("store.compact", category="store") as span:
-            report = DatasetCompactor(compaction_threshold=threshold).compact(
-                self._require_dataset_path()
-            )
-            span.set(
-                tables=report.tables_compacted,
-                delta_rows=report.delta_rows_merged,
-                bytes=report.bytes_written,
-            )
-            if report.tables_compacted:
-                self._refresh_from_store()
+        with self._store_lock.write_locked():
+            with self.tracer.span("store.compact", category="store") as span:
+                report = DatasetCompactor(compaction_threshold=threshold).compact(
+                    self._require_dataset_path()
+                )
+                span.set(
+                    tables=report.tables_compacted,
+                    delta_rows=report.delta_rows_merged,
+                    bytes=report.bytes_written,
+                )
+                if report.tables_compacted:
+                    self._refresh_from_store()
         self.metrics.inc("s2rdf_store_compactions_total", help="Compaction runs")
         self.metrics.inc("s2rdf_store_bytes_written_total", report.bytes_written)
         self.metrics.observe("s2rdf_store_compact_ms", report.compact_seconds * 1000.0)
@@ -458,8 +537,12 @@ class S2RDFSession:
         with self.tracer.span("store.refresh", category="store"):
             dataset = _refresh_stored_dataset(self.layout, self.dataset_path)
         # The SQLite engine caches loaded tables per connection; a store
-        # mutation invalidates them wholesale.
-        self.sql_executor.invalidate()
+        # mutation invalidates them wholesale — on every thread's instance
+        # (safe: refresh runs under the write lock, so no query is in flight).
+        with self._runtime_lock:
+            sql_executors = list(self._all_sql_executors)
+        for sql_executor in sql_executors:
+            sql_executor.invalidate()
         # The journal epoch advances only here — after the mutation's atomic
         # manifest swap — so a record written mid-append (before the swap)
         # still carries the pre-append epoch it actually executed against.
@@ -483,6 +566,17 @@ class S2RDFSession:
         """Parse, compile and execute a SPARQL query."""
         result, _, _ = self._run(query)
         return result
+
+    def serve(self, serving: Optional["ServingConfig"] = None) -> "QueryScheduler":
+        """A :class:`~repro.serve.scheduler.QueryScheduler` over this session.
+
+        The scheduler adds submit/await semantics, admission control and
+        cross-query sharing; its knobs come from ``config.serving`` unless a
+        :class:`~repro.core.config.ServingConfig` is passed explicitly.
+        """
+        from repro.serve.scheduler import QueryScheduler
+
+        return QueryScheduler(self, serving=serving)
 
     def explain_analyze(self, query: Union[str, Query]) -> ExplainAnalyzeResult:
         """Execute ``query`` and render its physical plan with observations.
@@ -536,8 +630,22 @@ class S2RDFSession:
     def _run(
         self, query: Union[str, Query], capture_estimates: bool = False
     ) -> Tuple[QueryResult, CompiledQuery, Optional[Dict[int, int]]]:
-        """The traced query pipeline: parse → compile → plan → execute → render."""
+        """The traced query pipeline: parse → compile → plan → execute → render.
+
+        The whole pipeline holds the store lock's *read* side: concurrent
+        queries proceed together, but an ``append_triples``/``compact`` on
+        another thread waits for in-flight queries and queries wait for it —
+        so every query (and its journal record) sees exactly one manifest
+        epoch.
+        """
+        with self._store_lock.read_locked():
+            return self._run_locked(query, capture_estimates)
+
+    def _run_locked(
+        self, query: Union[str, Query], capture_estimates: bool = False
+    ) -> Tuple[QueryResult, CompiledQuery, Optional[Dict[int, int]]]:
         total_start = time.perf_counter()
+        epoch = self._journal_epoch
         phase_ms: Dict[str, float] = {}
         with self.tracer.span("query", category="query") as root:
             phase_start = time.perf_counter()
@@ -622,6 +730,7 @@ class S2RDFSession:
                         else []
                     ),
                     engine=self.config.engine,
+                    epoch=epoch,
                 )
             root.set(rows=len(relation))
         self._record_query_metrics(result)
@@ -649,7 +758,11 @@ class S2RDFSession:
             JournalRecord(
                 fingerprint="",
                 template="",
-                epoch=self._journal_epoch,
+                # The epoch the query actually read (captured at pipeline
+                # start under the read lock), not whatever the store advanced
+                # to by the time this record is written.
+                epoch=result.epoch,
+                queue_ms=_QUEUE_WAIT_MS.get(),
                 rows=rows,
                 wall_ms=result.wall_clock_ms,
                 phase_ms=dict(result.phase_ms),
@@ -698,9 +811,23 @@ class S2RDFSession:
     # Lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Release the runtime's worker threads and the journal's file handle."""
-        self.executor.close()
-        self.sql_executor.close()
+        """Release every runtime resource this session acquired.
+
+        Shuts down each thread's parallel runtime and SQLite engine, the
+        process worker pool (when process mode started one) and the journal's
+        file handle.  Idempotent; the context-manager form calls it on exit.
+        """
+        with self._runtime_lock:
+            executors = list(self._all_executors)
+            sql_executors = list(self._all_sql_executors)
+            pool = self._worker_pool
+            self._worker_pool = None
+        for executor in executors:
+            executor.close()
+        for sql_executor in sql_executors:
+            sql_executor.close()
+        if pool is not None:
+            pool.close()
         if self.journal is not None:
             self.journal.close()
 

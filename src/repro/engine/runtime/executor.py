@@ -86,6 +86,7 @@ class ParallelExecutor(PlanExecutor):
         metrics_registry: Optional[MetricsRegistry] = None,
         broadcast_memory_limit: int = DEFAULT_BROADCAST_MEMORY_LIMIT,
         vectorized: bool = False,
+        worker_pool: Optional[Callable[[], Optional[object]]] = None,
     ) -> None:
         super().__init__(
             catalog, tracer=tracer, metrics_registry=metrics_registry, vectorized=vectorized
@@ -115,6 +116,11 @@ class ParallelExecutor(PlanExecutor):
             if adaptive_enabled
             else None
         )
+        #: Late-bound provider of a :class:`~repro.serve.workers.PartitionWorkerPool`
+        #: (or ``None``).  A provider rather than a pool: the owning session
+        #: only has a pool once a dataset is attached, and process mode falls
+        #: back to the thread pool until then.
+        self._worker_pool_provider = worker_pool
 
     @property
     def adaptive_enabled(self) -> bool:
@@ -353,7 +359,12 @@ class ParallelExecutor(PlanExecutor):
                     task_span.set(rows=len(joined))
                 return joined, scratch.join_comparisons, (time.perf_counter() - start) * 1000.0
 
-            results = self._run_tasks(task, list(enumerate(pairs)))
+            pool = self._remote_pool()
+            if pool is not None:
+                exchange_span.event("process-dispatch", tasks=len(pairs))
+                results = self._remote_join_tasks(pool, pairs, outer=outer)
+            else:
+                results = self._run_tasks(task, list(enumerate(pairs)))
             shuffled = (0 if left_aligned else left_parts.estimated_bytes()) + (
                 0 if right_aligned else right_parts.estimated_bytes()
             )
@@ -429,7 +440,19 @@ class ParallelExecutor(PlanExecutor):
                     task_span.set(rows=len(joined))
                 return joined, scratch.join_comparisons, (time.perf_counter() - start) * 1000.0
 
-            results = self._run_tasks(task, list(enumerate(probe_parts.partitions)))
+            pool = self._remote_pool()
+            if pool is not None:
+                # Arrange each pair so the worker's ``left op right`` matches
+                # the thread task above: the build side leads only for a
+                # non-outer build-left join (column order is left-first).
+                if build_left and not outer:
+                    ordered = [(build, probe_part) for probe_part in probe_parts.partitions]
+                else:
+                    ordered = [(probe_part, build) for probe_part in probe_parts.partitions]
+                exchange_span.event("process-dispatch", tasks=len(ordered))
+                results = self._remote_join_tasks(pool, ordered, outer=outer)
+            else:
+                results = self._run_tasks(task, list(enumerate(probe_parts.partitions)))
             broadcast = estimated_bytes(build) * probe_parts.num_partitions
             metrics.record_broadcast(broadcast, tasks=len(results))
             exchange_span.set(transferred_bytes=broadcast, tasks=len(results))
@@ -439,6 +462,38 @@ class ParallelExecutor(PlanExecutor):
             return self._merge(plan, left, right, results, metrics)
 
     # ------------------------------------------------------------------ #
+    def _remote_pool(self):
+        """The partition worker pool, when the session runs in process mode."""
+        if self._worker_pool_provider is None:
+            return None
+        return self._worker_pool_provider()
+
+    def _remote_join_tasks(self, pool, pairs: List[Tuple], outer: bool) -> List[_TaskResult]:
+        """Ship co-partitioned join pairs to the process worker pool.
+
+        Inputs are serialized per pair — id batches as their flat ``array``
+        columns (8 bytes/value, the cheap case this mode exists for), row
+        relations as tuples of frozen terms.  The dictionary decoder never
+        crosses the boundary: workers join raw ids and the parent re-attaches
+        ``decode`` to returned batches.
+        """
+        from repro.serve.workers import pack_input
+
+        tasks = [
+            {"left": pack_input(left_part), "right": pack_input(right_part), "outer": outer}
+            for left_part, right_part in pairs
+        ]
+        decode = next(
+            (
+                side.decode
+                for pair in pairs
+                for side in pair
+                if isinstance(side, ColumnBatch)
+            ),
+            None,
+        )
+        return pool.run_join_tasks(tasks, decode=decode)
+
     def _run_tasks(self, task: Callable, items: List) -> List[_TaskResult]:
         if self._pool is None:
             self._pool = ThreadPoolExecutor(

@@ -549,7 +549,11 @@ class SqliteExecutor:
     # ------------------------------------------------------------------ #
     def connection(self) -> sqlite3.Connection:
         if self._connection is None:
-            self._connection = sqlite3.connect(":memory:")
+            # ``check_same_thread=False``: each executor instance serves one
+            # thread's queries, but the owning session invalidates and closes
+            # every instance from whichever thread mutates or closes the
+            # store (always with no query in flight on this connection).
+            self._connection = sqlite3.connect(":memory:", check_same_thread=False)
             register_rdf_functions(self._connection)
         return self._connection
 

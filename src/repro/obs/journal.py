@@ -261,6 +261,10 @@ class JournalRecord:
     #: Engine that executed the query ("native" serial/parallel in-process
     #: engine, or "sqlite"); omitted from the JSON when "native".
     engine: str = "native"
+    #: Milliseconds the query waited in the serving scheduler's admission
+    #: queue before execution started; ``None`` (omitted) for queries that
+    #: never passed through a scheduler.
+    queue_ms: Optional[float] = None
 
     def to_json(self, include_template: bool = True) -> Dict[str, Any]:
         """Sparse JSON form: default/empty fields are omitted entirely.
@@ -307,6 +311,8 @@ class JournalRecord:
             data["statically_empty"] = True
         if self.engine != "native":
             data["engine"] = self.engine
+        if self.queue_ms is not None:
+            data["queue_ms"] = round(self.queue_ms, 3)
         return data
 
     def to_json_line(self, include_template: bool = True) -> str:
@@ -366,6 +372,8 @@ class JournalRecord:
             line += ',"statically_empty":true'
         if self.engine != "native":
             line += ',"engine":"%s"' % _safe_key(self.engine)
+        if self.queue_ms is not None:
+            line += ',"queue_ms":%.3f' % self.queue_ms
         return line + "}"
 
     @classmethod
@@ -390,6 +398,7 @@ class JournalRecord:
             broadcast_bytes=data.get("broadcast_bytes", 0),
             statically_empty=data.get("statically_empty", False),
             engine=data.get("engine", "native"),
+            queue_ms=data.get("queue_ms"),
         )
 
 

@@ -1,0 +1,392 @@
+"""The async query scheduler: admission control over a live session.
+
+:class:`QueryScheduler` fronts one :class:`~repro.core.session.S2RDFSession`
+with submit/await semantics:
+
+* **bounded admission queue** — at most ``admission_queue_limit`` admitted
+  queries wait at a time; a full queue either blocks the submitter
+  (``admission_policy="queue"``) or raises :class:`AdmissionError`
+  (``"reject"``) — closed-loop clients get backpressure instead of unbounded
+  memory growth;
+* **fair dispatch** — ``max_concurrent_queries`` dispatcher threads pop the
+  highest ``priority`` first and FIFO within a priority (a monotonic sequence
+  number breaks ties), so a stream of urgent queries cannot reorder equals
+  and equal-priority clients share the session fairly;
+* **per-query handles** — :meth:`submit` returns a :class:`QueryHandle` with
+  ``.result(timeout)`` / ``.done()`` / ``.exception()``;
+* **cross-query sharing** — identical query text submitted while the same
+  text is already in flight *on the same manifest epoch* attaches to the
+  running execution instead of re-executing (``share_results``); observed
+  cardinalities flow back into the session catalog keyed on the epoch they
+  were observed at, so every later query plans from truth; and
+  :meth:`prewarm` decodes broadcast-sized stored tables once per epoch so
+  concurrent queries share the warm build sides instead of racing to decode.
+
+Thread mode executes queries on the shared session (its per-thread executors
+make that safe); process mode ships whole queries to the dataset's
+:class:`~repro.serve.workers.PartitionWorkerPool` — true multi-core execution
+— and journals each record in the parent so the dataset keeps one workload
+journal.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import ServingConfig
+from repro.core.session import _QUEUE_WAIT_MS, S2RDFSession
+from repro.core.results import QueryResult
+from repro.engine.runtime.partitioned import BYTES_PER_VALUE
+from repro.obs.journal import JournalRecord
+
+
+class AdmissionError(RuntimeError):
+    """Raised by :meth:`QueryScheduler.submit` under the ``reject`` policy."""
+
+
+class QueryHandle:
+    """Future-style handle to one submitted query."""
+
+    def __init__(self, query_text: str, priority: int, epoch: Optional[int]) -> None:
+        self.query_text = query_text
+        self.priority = priority
+        #: Manifest epoch of the session when the query was *admitted* (the
+        #: executed epoch is on ``result().epoch``).
+        self.submitted_epoch = epoch
+        #: Milliseconds spent waiting in the admission queue; set when
+        #: execution starts (followers inherit their leader's value).
+        self.queue_ms: Optional[float] = None
+        #: True when this handle attached to an identical in-flight query
+        #: instead of executing its own copy.
+        self.shared = False
+        self._done = threading.Event()
+        self._result: Optional[QueryResult] = None
+        self._exception: Optional[BaseException] = None
+        self._followers: List["QueryHandle"] = []
+
+    # ------------------------------------------------------------------ #
+    def done(self) -> bool:
+        """True once the query finished (successfully or not)."""
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> QueryResult:
+        """Block until the query finishes and return its result.
+
+        Raises the query's exception if it failed, or :class:`TimeoutError`
+        if ``timeout`` (seconds) elapses first.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"query did not finish within {timeout} s: {self.query_text[:80]!r}"
+            )
+        if self._exception is not None:
+            raise self._exception
+        assert self._result is not None
+        return self._result
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """The exception the query raised, or ``None`` (blocks like result)."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"query did not finish within {timeout} s: {self.query_text[:80]!r}"
+            )
+        return self._exception
+
+    # ------------------------------------------------------------------ #
+    def _complete(self, result: Optional[QueryResult], error: Optional[BaseException]) -> None:
+        self._result = result
+        self._exception = error
+        self._done.set()
+        for follower in self._followers:
+            follower.queue_ms = self.queue_ms
+            follower._complete(result, error)
+        self._followers = []
+
+
+class QueryScheduler:
+    """Admission-controlled concurrent query execution over one session."""
+
+    def __init__(
+        self,
+        session: S2RDFSession,
+        serving: Optional[ServingConfig] = None,
+    ) -> None:
+        self.session = session
+        self.serving = serving if serving is not None else session.config.serving
+        self._lock = threading.Lock()
+        self._queue_changed = threading.Condition(self._lock)
+        #: Min-heap of ``(-priority, sequence, handle)``: highest priority
+        #: first, FIFO (by admission sequence) within a priority.
+        self._heap: List[Tuple[int, int, QueryHandle]] = []
+        self._sequence = 0
+        #: Leader handle per (query text, epoch) currently admitted or
+        #: running — the attach point for result sharing.
+        self._inflight: Dict[Tuple[str, Optional[int]], QueryHandle] = {}
+        self._dispatchers: List[threading.Thread] = []
+        self._closed = False
+        self._latencies_ms: List[float] = []
+        self._prewarmed_epoch: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(self, query_text: str, priority: int = 0) -> QueryHandle:
+        """Admit one query; returns immediately with its handle.
+
+        ``priority`` orders dispatch (higher first, FIFO within equals).
+        When the admission queue is full, the configured policy applies:
+        ``"queue"`` blocks this caller until a slot frees, ``"reject"``
+        raises :class:`AdmissionError`.
+        """
+        metrics = self.session.metrics
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            epoch = self.session._journal_epoch
+            key = (query_text, epoch)
+            leader = self._inflight.get(key) if self.serving.share_results else None
+            if leader is not None:
+                follower = QueryHandle(query_text, priority, epoch)
+                follower.shared = True
+                leader._followers.append(follower)
+                metrics.inc(
+                    "s2rdf_scheduler_shared_results_total",
+                    help="Queries that attached to an identical in-flight execution",
+                )
+                return follower
+            while len(self._heap) >= self.serving.admission_queue_limit:
+                if self.serving.admission_policy == "reject":
+                    metrics.inc(
+                        "s2rdf_scheduler_rejected_total",
+                        help="Submissions rejected by the full admission queue",
+                    )
+                    raise AdmissionError(
+                        f"admission queue is full "
+                        f"({self.serving.admission_queue_limit} queries waiting)"
+                    )
+                self._queue_changed.wait()
+                if self._closed:
+                    raise RuntimeError("scheduler is closed")
+            handle = QueryHandle(query_text, priority, epoch)
+            handle._admitted_at = time.perf_counter()
+            self._sequence += 1
+            heapq.heappush(self._heap, (-priority, self._sequence, handle))
+            self._inflight[key] = handle
+            metrics.inc("s2rdf_scheduler_admitted_total", help="Queries admitted to the queue")
+            metrics.observe(
+                "s2rdf_scheduler_queue_depth",
+                float(len(self._heap)),
+                help="Admission queue depth at each admission",
+            )
+            self._ensure_dispatchers()
+            self._queue_changed.notify_all()
+            return handle
+
+    def submit_all(self, queries: Sequence[str], priority: int = 0) -> List[QueryHandle]:
+        """Admit a batch of queries in order; returns all handles."""
+        return [self.submit(query, priority=priority) for query in queries]
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def _ensure_dispatchers(self) -> None:
+        # Called with the lock held.  Dispatchers are daemon threads, started
+        # lazily so an unused scheduler costs nothing.
+        while len(self._dispatchers) < self.serving.max_concurrent_queries:
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                name=f"s2rdf-dispatch-{len(self._dispatchers)}",
+                daemon=True,
+            )
+            self._dispatchers.append(thread)
+            thread.start()
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._heap and not self._closed:
+                    self._queue_changed.wait()
+                if self._closed and not self._heap:
+                    return
+                _, _, handle = heapq.heappop(self._heap)
+                self._queue_changed.notify_all()  # a queue slot freed
+            handle.queue_ms = (time.perf_counter() - handle._admitted_at) * 1000.0
+            self.session.metrics.observe(
+                "s2rdf_scheduler_queue_ms",
+                handle.queue_ms,
+                help="Milliseconds queries waited in the admission queue",
+            )
+            self._prewarm_if_stale()
+            start = time.perf_counter()
+            try:
+                result = self._execute(handle)
+                error: Optional[BaseException] = None
+            except BaseException as exc:  # noqa: BLE001 - delivered via handle
+                result, error = None, exc
+                self.session.metrics.inc(
+                    "s2rdf_scheduler_failed_total", help="Scheduled queries that raised"
+                )
+            finally:
+                with self._lock:
+                    self._inflight.pop((handle.query_text, handle.submitted_epoch), None)
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            with self._lock:
+                self._latencies_ms.append(elapsed_ms)
+            self.session.metrics.inc(
+                "s2rdf_scheduler_completed_total", help="Queries completed by the scheduler"
+            )
+            handle._complete(result, error)
+
+    def _execute(self, handle: QueryHandle) -> QueryResult:
+        pool = self.session._process_pool()
+        if pool is None:
+            # Thread mode: run on the shared session; the contextvar carries
+            # the queue wait into the session's journal record.
+            token = _QUEUE_WAIT_MS.set(handle.queue_ms)
+            try:
+                return self.session.query(handle.query_text)
+            finally:
+                _QUEUE_WAIT_MS.reset(token)
+        return self._execute_remote(pool, handle)
+
+    def _execute_remote(self, pool, handle: QueryHandle) -> QueryResult:
+        """Process mode: ship the whole query to a worker, share what it saw."""
+        session = self.session
+        epoch = session._journal_epoch
+        observed = dict(session.layout.catalog._observed)
+        outcome = pool.run_query(handle.query_text, epoch=epoch, observed=observed)
+        result: QueryResult = outcome["result"]
+        # Cardinality feedback is only valid for the epoch it was observed
+        # at — a concurrent append makes it describe data that no longer
+        # matches the manifest.
+        if outcome["epoch"] == session._journal_epoch:
+            for name, rows in outcome["observed"].items():
+                session.layout.catalog.record_observed(name, rows)
+        if session.journal is not None:
+            metrics = result.metrics
+            session.journal.append(
+                JournalRecord(
+                    fingerprint=outcome["fingerprint"],
+                    template=outcome["template"],
+                    epoch=result.epoch,
+                    rows=len(result.relation),
+                    wall_ms=result.wall_clock_ms,
+                    phase_ms=dict(result.phase_ms),
+                    scanned_tables=dict(metrics.scanned_tables),
+                    aqe_replans=metrics.aqe_replans,
+                    aqe_skew_splits=metrics.aqe_skew_splits,
+                    broadcast_guard_trips=metrics.broadcast_guard_trips,
+                    segments_scanned=metrics.store_segments_scanned,
+                    segments_pruned=metrics.store_segments_pruned,
+                    shuffled_bytes=metrics.shuffled_bytes,
+                    broadcast_bytes=metrics.broadcast_bytes,
+                    statically_empty=result.statically_empty,
+                    engine=result.engine,
+                    queue_ms=handle.queue_ms,
+                )
+            )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Broadcast prewarm
+    # ------------------------------------------------------------------ #
+    def _prewarm_if_stale(self) -> None:
+        epoch = self.session._journal_epoch
+        with self._lock:
+            if self._prewarmed_epoch == epoch:
+                return
+            self._prewarmed_epoch = epoch
+        self.prewarm(epoch=epoch)
+
+    def prewarm(
+        self, tables: Optional[Sequence[str]] = None, epoch: Optional[int] = None
+    ) -> int:
+        """Decode broadcast-sized stored tables once, ahead of the queries.
+
+        Without an explicit list, every stored table whose manifest row count
+        estimates below the session's broadcast threshold qualifies — the
+        build sides broadcast joins will ship.  Thread mode warms the shared
+        catalog's decode cache; process mode additionally asks the worker
+        pool to warm its per-process segment caches.  Best effort: failures
+        warm nothing but never fail a query.
+        """
+        catalog = self.session.layout.catalog
+        if tables is None:
+            threshold_rows = self.session.config.broadcast_threshold // (2 * BYTES_PER_VALUE)
+            tables = [
+                name
+                for name, statistics in catalog._statistics.items()
+                if catalog.is_stored(name) and 0 < statistics.row_count <= threshold_rows
+            ]
+        warmed = 0
+        for name in tables:
+            try:
+                catalog.table(name)  # decodes once; later queries hit the cache
+                warmed += 1
+            except Exception:  # pragma: no cover - best effort
+                continue
+        pool = self.session._process_pool()
+        if pool is not None and tables:
+            try:
+                pool.warm_tables(tables, epoch=epoch)
+            except Exception:  # pragma: no cover - best effort
+                pass
+        if warmed:
+            self.session.metrics.inc(
+                "s2rdf_scheduler_prewarmed_tables_total",
+                warmed,
+                help="Broadcast-sized tables decoded ahead of scheduled queries",
+            )
+        return warmed
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, float]:
+        """Latency summary of completed dispatches (milliseconds)."""
+        with self._lock:
+            latencies = sorted(self._latencies_ms)
+        if not latencies:
+            return {"completed": 0, "p50_ms": 0.0, "p99_ms": 0.0, "mean_ms": 0.0}
+
+        def percentile(q: float) -> float:
+            index = min(len(latencies) - 1, int(q * (len(latencies) - 1) + 0.5))
+            return latencies[index]
+
+        return {
+            "completed": len(latencies),
+            "p50_ms": percentile(0.50),
+            "p99_ms": percentile(0.99),
+            "mean_ms": sum(latencies) / len(latencies),
+        }
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every admitted query has finished."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                idle = not self._heap and not self._inflight
+            if idle:
+                return
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError("scheduler did not drain in time")
+            time.sleep(0.002)
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting queries; optionally wait for admitted ones."""
+        if drain:
+            self.drain()
+        with self._lock:
+            self._closed = True
+            self._queue_changed.notify_all()
+        for thread in self._dispatchers:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "QueryScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

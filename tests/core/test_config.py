@@ -1,0 +1,168 @@
+"""SessionConfig split: grouped construction, flat aliases, the deprecation
+surface and construction-time validation."""
+
+import pytest
+
+from repro.core.config import (
+    FLAT_FIELD_HOMES,
+    LEGACY_FLAT_FIELDS,
+    VALID_ADMISSION_POLICIES,
+    VALID_ENGINES,
+    VALID_EXECUTION_MODES,
+    ExecutionConfig,
+    ObservabilityConfig,
+    ServingConfig,
+    SessionConfig,
+    StoreConfig,
+)
+
+GROUPS = {
+    "execution": ExecutionConfig,
+    "store": StoreConfig,
+    "observability": ObservabilityConfig,
+    "serving": ServingConfig,
+}
+
+
+# --------------------------------------------------------------------------- #
+# Audit: every historical flat knob has exactly one nested home
+# --------------------------------------------------------------------------- #
+def test_every_legacy_flat_field_has_exactly_one_home():
+    from dataclasses import fields
+
+    for name in LEGACY_FLAT_FIELDS:
+        homes = [
+            group_name
+            for group_name, group_cls in GROUPS.items()
+            if name in {f.name for f in fields(group_cls)}
+        ]
+        assert homes == [FLAT_FIELD_HOMES[name]], name
+
+
+def test_flat_field_homes_covers_all_group_fields_and_nothing_else():
+    from dataclasses import fields
+
+    expected = {
+        field.name: group_name
+        for group_name, group_cls in GROUPS.items()
+        for field in fields(group_cls)
+    }
+    assert FLAT_FIELD_HOMES == expected
+    # The legacy list is a strict subset: new knobs (execution_mode, ...) are
+    # flat-addressable too, but only pre-split knobs are documented as legacy.
+    assert set(LEGACY_FLAT_FIELDS) <= set(FLAT_FIELD_HOMES)
+
+
+# --------------------------------------------------------------------------- #
+# Grouped and flat construction
+# --------------------------------------------------------------------------- #
+def test_grouped_construction_is_silent_and_applies():
+    config = SessionConfig(
+        execution=ExecutionConfig(num_partitions=8, engine="sqlite"),
+        serving=ServingConfig(max_concurrent_queries=16),
+    )
+    assert config.execution.num_partitions == 8
+    assert config.serving.max_concurrent_queries == 16
+    # Untouched groups get defaults.
+    assert config.store == StoreConfig()
+    assert config.observability == ObservabilityConfig()
+
+
+def test_flat_constructor_kwargs_warn_and_apply():
+    with pytest.warns(DeprecationWarning, match="flat SessionConfig knob 'num_partitions'"):
+        config = SessionConfig(num_partitions=8)
+    assert config.execution.num_partitions == 8
+    # The warning names the new spelling.
+    with pytest.warns(DeprecationWarning, match="ExecutionConfig"):
+        SessionConfig(engine="sqlite")
+
+
+def test_flat_aliases_read_and_write_silently():
+    import warnings
+
+    config = SessionConfig()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        config.num_partitions = 6
+        config.tracing_enabled = True
+        config.max_concurrent_queries = 9
+        assert config.num_partitions == 6
+        assert config.selectivity_threshold == 1.0
+    assert config.execution.num_partitions == 6
+    assert config.observability.tracing_enabled is True
+    assert config.serving.max_concurrent_queries == 9
+
+
+def test_from_flat_is_silent_and_rejects_unknown_knobs():
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        config = SessionConfig.from_flat(num_partitions=4, journal_enabled=False)
+    assert config.execution.num_partitions == 4
+    assert config.observability.journal_enabled is False
+    with pytest.raises(TypeError, match="unknown session knob"):
+        SessionConfig.from_flat(numm_partitions=4)
+
+
+def test_unknown_flat_constructor_kwarg_is_a_type_error():
+    with pytest.raises(TypeError, match="unexpected keyword"):
+        SessionConfig(not_a_knob=1)
+
+
+def test_equality_and_repr():
+    assert SessionConfig() == SessionConfig()
+    assert SessionConfig.from_flat(num_partitions=2) != SessionConfig()
+    assert "ExecutionConfig" in repr(SessionConfig())
+
+
+# --------------------------------------------------------------------------- #
+# Construction-time validation
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "group_cls, kwargs, message",
+    [
+        (ExecutionConfig, {"engine": "spark"}, "unknown engine"),
+        (ExecutionConfig, {"num_partitions": 0}, "num_partitions"),
+        (ExecutionConfig, {"broadcast_memory_limit": 0}, "broadcast_memory_limit"),
+        (ExecutionConfig, {"execution_mode": "gpu"}, "unknown execution_mode"),
+        (ExecutionConfig, {"worker_processes": 0}, "worker_processes"),
+        (ExecutionConfig, {"work_scale": 0.0}, "work_scale"),
+        (StoreConfig, {"selectivity_threshold": 1.5}, "selectivity_threshold"),
+        (StoreConfig, {"compaction_threshold": 0}, "compaction_threshold"),
+        (ServingConfig, {"max_concurrent_queries": 0}, "max_concurrent_queries"),
+        (ServingConfig, {"admission_queue_limit": 0}, "admission_queue_limit"),
+        (ServingConfig, {"admission_policy": "drop"}, "unknown admission_policy"),
+    ],
+)
+def test_groups_validate_at_construction(group_cls, kwargs, message):
+    with pytest.raises(ValueError, match=message):
+        group_cls(**kwargs)
+
+
+def test_flat_spellings_validate_too():
+    with pytest.raises(ValueError, match="unknown engine"):
+        SessionConfig.from_flat(engine="spark")
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError, match="num_partitions"):
+            SessionConfig(num_partitions=-1)
+    # Alias writes re-validate on demand via validate().
+    config = SessionConfig()
+    config.num_partitions = -1
+    with pytest.raises(ValueError, match="num_partitions"):
+        config.validate()
+
+
+def test_valid_value_tuples_are_the_documented_ones():
+    assert VALID_ENGINES == ("native", "sqlite")
+    assert VALID_EXECUTION_MODES == ("thread", "process")
+    assert VALID_ADMISSION_POLICIES == ("queue", "reject")
+
+
+def test_session_factories_validate_at_construction(example_graph):
+    from repro.core.session import S2RDFSession
+
+    with pytest.raises(ValueError, match="unknown engine"):
+        S2RDFSession.from_graph(example_graph, engine="spark")
+    with pytest.raises(ValueError, match="num_partitions"):
+        S2RDFSession.from_graph(example_graph, num_partitions=0)

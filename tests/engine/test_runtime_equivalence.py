@@ -6,12 +6,14 @@ The second half is the *differential correctness harness*: a seeded
 randomized generator of BGP / OPTIONAL / UNION queries — layered with
 FILTER expressions, DISTINCT, ORDER BY + LIMIT and aggregate heads
 (COUNT / SUM / AVG / MIN / MAX, grouped and implicit) — asserting
-bag-equality across six execution paths: serial reference, parallel
+bag-equality across seven execution paths: serial reference, parallel
 (static plans), parallel adaptive, stored-scan over a persisted dataset
 that carries pending (uncompacted) delta segments from an incremental
 append, the same stored dataset with the vectorized id-column kernels
-enabled, and the sqlite SQL-lowering backend (both over the warm catalog
-and over the delta-carrying stored dataset)."""
+enabled, the sqlite SQL-lowering backend (both over the warm catalog
+and over the delta-carrying stored dataset), and the stored dataset
+executed with ``execution_mode="process"`` — join tasks dispatched to
+partition worker processes."""
 
 import random
 
@@ -235,21 +237,28 @@ def differential_setup(small_dataset, tmp_path_factory):
     sqlite_executor = SqliteExecutor(warm.layout.catalog)
     stored_sql = S2RDFSession.open_dataset(path, engine="sqlite")
     stored_vec = S2RDFSession.open_dataset(path, tracing_enabled=True, vectorized_enabled=True)
+    # Seventh path: process-based partition workers over the same
+    # delta-carrying dataset — co-partitioned join tasks execute in separate
+    # worker processes and ship packed id batches back over the wire.
+    stored_proc = S2RDFSession.open_dataset(
+        path, execution_mode="process", worker_processes=2, vectorized_enabled=True
+    )
 
-    yield warm, stored, sqlite_executor, stored_sql, stored_vec
+    yield warm, stored, sqlite_executor, stored_sql, stored_vec, stored_proc
     sqlite_executor.close()
     warm.close()
     stored.close()
     stored_sql.close()
     stored_vec.close()
+    stored_proc.close()
 
 
 @pytest.mark.parametrize("seed", range(8))
 def test_differential_equivalence_across_execution_modes(differential_setup, seed):
     """Serial, parallel-static, parallel-adaptive, stored-scan, vectorized
-    stored-scan and sqlite execution must agree on the bag of rows for every
-    generated query."""
-    warm, stored, sqlite_executor, stored_sql, stored_vec = differential_setup
+    stored-scan, sqlite and process-worker execution must agree on the bag of
+    rows for every generated query."""
+    warm, stored, sqlite_executor, stored_sql, stored_vec, stored_proc = differential_setup
     generator = RandomQueryGenerator(_graph_view(warm), seed)
     catalog = warm.layout.catalog
     for _ in range(6):
@@ -290,6 +299,10 @@ def test_differential_equivalence_across_execution_modes(differential_setup, see
         assert sorted(vec_result.relation.columns) == sorted(reference.columns), query_text
         projected_vec = vec_result.relation.project(reference.columns)
         assert bag(projected_vec) == bag(reference), ("stored-vectorized", query_text)
+        proc_result = stored_proc.query(query_text)
+        assert sorted(proc_result.relation.columns) == sorted(reference.columns), query_text
+        projected_proc = proc_result.relation.project(reference.columns)
+        assert bag(projected_proc) == bag(reference), ("stored-process", query_text)
 
 
 def _graph_view(session: S2RDFSession) -> Graph:

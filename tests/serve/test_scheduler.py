@@ -1,0 +1,184 @@
+"""QueryScheduler: handles, priority dispatch, admission backpressure,
+result sharing and the journal's queue_ms field."""
+
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.core.config import ServingConfig
+from repro.serve.scheduler import AdmissionError, QueryScheduler
+
+
+Q_BLOCK = "SELECT * WHERE { ?x <follows> ?y }"
+Q_LOW = "SELECT * WHERE { ?x <likes> ?w }"
+Q_HIGH = "SELECT ?y WHERE { <A> <follows> ?y }"
+
+
+@pytest.fixture()
+def session(example_graph):
+    session = repro.create(example_graph)  # in-memory journal on by default
+    yield session
+    session.close()
+
+
+class GatedQuery:
+    """Wrap session.query: record execution order, block on Q_BLOCK."""
+
+    def __init__(self, session):
+        self.gate = threading.Event()
+        self.order = []
+        self._original = session.query
+        session.query = self  # instance attribute shadows the bound method
+
+    def __call__(self, query_text):
+        self.order.append(query_text)
+        if query_text == Q_BLOCK:
+            assert self.gate.wait(timeout=30)
+        return self._original(query_text)
+
+    def wait_for_block(self):
+        deadline = time.monotonic() + 30
+        while Q_BLOCK not in self.order:
+            assert time.monotonic() < deadline
+            time.sleep(0.001)
+
+
+def test_handle_result_done_and_iteration(session):
+    with session.serve() as scheduler:
+        handle = scheduler.submit(Q_LOW)
+        result = handle.result(timeout=30)
+        assert handle.done()
+        assert handle.exception() is None
+        assert len(result) == 3
+        stats = scheduler.stats()
+        assert stats["completed"] == 1
+        assert stats["p99_ms"] >= stats["p50_ms"] >= 0.0
+
+
+def test_failed_query_raises_through_the_handle(session):
+    with session.serve() as scheduler:
+        handle = scheduler.submit("SELECT * WHERE { broken syntax")
+        with pytest.raises(Exception):
+            handle.result(timeout=30)
+        assert handle.done()
+        assert handle.exception() is not None
+
+
+def test_result_timeout_raises_timeout_error(session):
+    gated = GatedQuery(session)
+    with session.serve(serving=ServingConfig(share_results=False)) as scheduler:
+        handle = scheduler.submit(Q_BLOCK)
+        with pytest.raises(TimeoutError):
+            handle.result(timeout=0.05)
+        gated.gate.set()
+        handle.result(timeout=30)
+
+
+def test_priority_orders_dispatch_fifo_within_equals(session):
+    gated = GatedQuery(session)
+    serving = ServingConfig(max_concurrent_queries=1, share_results=False)
+    with session.serve(serving=serving) as scheduler:
+        blocker = scheduler.submit(Q_BLOCK)
+        gated.wait_for_block()  # the only dispatcher is now busy
+        low = scheduler.submit(Q_LOW, priority=0)
+        high = scheduler.submit(Q_HIGH, priority=5)
+        gated.gate.set()
+        for handle in (blocker, low, high):
+            handle.result(timeout=30)
+    assert gated.order == [Q_BLOCK, Q_HIGH, Q_LOW]
+
+
+def test_reject_policy_raises_admission_error(session):
+    gated = GatedQuery(session)
+    serving = ServingConfig(
+        max_concurrent_queries=1,
+        admission_queue_limit=1,
+        admission_policy="reject",
+        share_results=False,
+    )
+    with session.serve(serving=serving) as scheduler:
+        blocker = scheduler.submit(Q_BLOCK)
+        gated.wait_for_block()  # blocker left the queue; the dispatcher holds it
+        queued = scheduler.submit(Q_LOW)  # fills the one-slot admission queue
+        with pytest.raises(AdmissionError, match="admission queue is full"):
+            scheduler.submit(Q_HIGH)
+        gated.gate.set()
+        blocker.result(timeout=30)
+        queued.result(timeout=30)
+    assert session.metrics.counter_value("s2rdf_scheduler_rejected_total") == 1
+
+
+def test_queue_policy_blocks_submitter_until_a_slot_frees(session):
+    gated = GatedQuery(session)
+    serving = ServingConfig(
+        max_concurrent_queries=1,
+        admission_queue_limit=1,
+        admission_policy="queue",
+        share_results=False,
+    )
+    with session.serve(serving=serving) as scheduler:
+        scheduler.submit(Q_BLOCK)
+        gated.wait_for_block()
+        scheduler.submit(Q_LOW)  # fills the queue
+        admitted = []
+
+        def submitter():
+            admitted.append(scheduler.submit(Q_HIGH))
+
+        thread = threading.Thread(target=submitter)
+        thread.start()
+        time.sleep(0.05)
+        assert not admitted  # still blocked on the full queue
+        gated.gate.set()  # blocker finishes; the queue drains; slot frees
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        admitted[0].result(timeout=30)
+
+
+def test_identical_inflight_queries_share_one_execution(session):
+    gated = GatedQuery(session)
+    with session.serve() as scheduler:  # share_results defaults True
+        leader = scheduler.submit(Q_BLOCK)
+        gated.wait_for_block()
+        followers = [scheduler.submit(Q_BLOCK) for _ in range(3)]
+        gated.gate.set()
+        result = leader.result(timeout=30)
+        assert not leader.shared
+        for follower in followers:
+            assert follower.shared
+            assert follower.result(timeout=30) is result  # same object, one run
+    assert gated.order.count(Q_BLOCK) == 1
+    assert session.metrics.counter_value("s2rdf_scheduler_shared_results_total") == 3
+
+
+def test_sharing_disabled_runs_every_submission(session):
+    gated = GatedQuery(session)
+    with session.serve(serving=ServingConfig(share_results=False)) as scheduler:
+        gated.gate.set()  # never block
+        handles = [scheduler.submit(Q_BLOCK) for _ in range(3)]
+        for handle in handles:
+            handle.result(timeout=30)
+    assert gated.order.count(Q_BLOCK) == 3
+
+
+def test_queue_ms_lands_in_the_journal(session):
+    with session.serve() as scheduler:
+        scheduler.submit(Q_LOW).result(timeout=30)
+        scheduler.drain(timeout=30)
+    records = session.journal.records()
+    assert records, "scheduled query must be journaled"
+    assert records[-1].queue_ms is not None
+    assert records[-1].queue_ms >= 0.0
+    # A direct (unscheduled) query has no admission queue to wait in.
+    session.query(Q_HIGH)
+    assert session.journal.records()[-1].queue_ms is None
+
+
+def test_closed_scheduler_rejects_submissions(session):
+    scheduler = session.serve()
+    scheduler.submit(Q_LOW).result(timeout=30)
+    scheduler.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        scheduler.submit(Q_LOW)
